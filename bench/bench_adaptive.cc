@@ -1,0 +1,118 @@
+// ABL-ADAPT — paper Section 2.9 "Optimization": adaptive optimization
+// interleaved with execution. A slide-driven conjunctive filter crosses
+// data regions with different properties; the adaptive operator reorders
+// its predicates per region from observed pass rates.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "exec/adaptive_filter.h"
+#include "storage/column.h"
+
+namespace {
+
+using dbtouch::Rng;
+using dbtouch::exec::AdaptiveConjunctionConfig;
+using dbtouch::exec::AdaptiveConjunctionOp;
+using dbtouch::exec::CompareOp;
+using dbtouch::exec::Predicate;
+using dbtouch::storage::Column;
+using dbtouch::storage::RowId;
+
+constexpr std::int64_t kRows = 2'000'000;
+constexpr int kSegments = 8;
+
+/// Three attributes whose selectivities rotate across 8 data segments:
+/// in segment s, predicate (s % 3) is the selective one (5% pass), the
+/// others pass 85%.
+std::vector<Column> MakeShiftingData() {
+  std::vector<Column> cols;
+  Rng rng(5);
+  for (int c = 0; c < 3; ++c) {
+    Column col("c" + std::to_string(c), dbtouch::storage::DataType::kInt32);
+    col.Reserve(kRows);
+    for (std::int64_t r = 0; r < kRows; ++r) {
+      const int segment = static_cast<int>(r * kSegments / kRows);
+      const bool selective_here = segment % 3 == c;
+      col.AppendInt32(rng.NextBernoulli(selective_here ? 0.05 : 0.85) ? 1
+                                                                      : 0);
+    }
+    cols.push_back(std::move(col));
+  }
+  return cols;
+}
+
+AdaptiveConjunctionOp MakeOp(const std::vector<Column>& cols,
+                             std::int64_t num_regions) {
+  AdaptiveConjunctionConfig config;
+  config.num_regions = num_regions;
+  std::vector<AdaptiveConjunctionOp::Term> terms;
+  for (const Column& c : cols) {
+    terms.push_back({c.View(), Predicate(CompareOp::kEq, 1.0)});
+  }
+  return AdaptiveConjunctionOp(std::move(terms), kRows, config);
+}
+
+void PrintReport() {
+  dbtouch::bench::Banner(
+      "ABL-ADAPT", "paper Section 2.9 'Optimization'",
+      "Slide-driven 3-predicate conjunction over data whose selective\n"
+      "attribute rotates across 8 segments. Cost = predicate evaluations\n"
+      "(lower is better; 1.0/row is the oracle short-circuit).");
+
+  const auto cols = MakeShiftingData();
+  // The slide touches every 1000th row, start to end (a slow full pass).
+  std::vector<RowId> touches;
+  for (RowId r = 0; r < kRows; r += 1000) {
+    touches.push_back(r);
+  }
+
+  std::printf("\n");
+  dbtouch::bench::Table table({"regions", "evaluations", "evals/row",
+                               "rows_passed"});
+  for (const std::int64_t regions : {1L, 4L, 16L, 64L, 256L}) {
+    AdaptiveConjunctionOp op = MakeOp(cols, regions);
+    for (const RowId r : touches) {
+      op.Feed(r);
+    }
+    table.Row({dbtouch::bench::Fmt(regions),
+               dbtouch::bench::Fmt(op.evaluations()),
+               dbtouch::bench::Fmt(static_cast<double>(op.evaluations()) /
+                                       static_cast<double>(op.rows_fed()),
+                                   3),
+               dbtouch::bench::Fmt(op.rows_passed())});
+  }
+  std::printf(
+      "\nregions=1 is a classic one-shot optimizer (single global order): it\n"
+      "fits the segments its global statistics happen to match and loses in\n"
+      "the rest. Moderate region counts adapt to each segment and approach\n"
+      "the short-circuit floor; very fine regions degrade again because few\n"
+      "touches land in each region and the statistics never warm up — the\n"
+      "tension the paper flags ('much harder to make reliable decisions\n"
+      "regarding when to switch').\n\n");
+}
+
+void BM_AdaptiveFeed(benchmark::State& state) {
+  const auto cols = MakeShiftingData();
+  AdaptiveConjunctionOp op = MakeOp(cols, state.range(0));
+  RowId row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op.Feed(row));
+    row = (row + 997) % kRows;
+  }
+  state.counters["regions"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_AdaptiveFeed)->Arg(1)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,138 @@
+// ABL-JOIN — paper Section 2.9 "Joins": "The join is primarily a blocking
+// operator as the hash-join is the typical choice ... exploiting non
+// blocking options is a necessary path in dbTouch."
+//
+// Compared: the symmetric (non-blocking) hash join fed by slide touches vs
+// the classic blocking build+probe join, on time-to-first-match and match
+// cadence during the gesture.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <vector>
+
+#include "baseline/monolithic.h"
+#include "bench/bench_util.h"
+#include "exec/join.h"
+#include "storage/catalog.h"
+#include "storage/datagen.h"
+
+namespace {
+
+using dbtouch::baseline::MonolithicExecutor;
+using dbtouch::exec::JoinSide;
+using dbtouch::exec::SymmetricHashJoin;
+using dbtouch::storage::Column;
+using dbtouch::storage::RowId;
+using dbtouch::storage::Table;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::int64_t kRows = 1'000'000;
+
+void PrintReport() {
+  dbtouch::bench::Banner(
+      "ABL-JOIN", "paper Section 2.9 'Joins'",
+      "Slide-driven symmetric hash join vs blocking build+probe join\n"
+      "(10^6 x 10^6 rows, keys uniform over 10^5 values).");
+
+  Column left = dbtouch::storage::GenUniformInt32("l", kRows, 0, 99'999, 1);
+  Column right = dbtouch::storage::GenUniformInt32("r", kRows, 0, 99'999, 2);
+
+  // --- dbTouch: interleaved touches, as two alternating slides produce.
+  SymmetricHashJoin join(left.View(), right.View());
+  const auto t0 = Clock::now();
+  double first_match_ms = -1.0;
+  std::int64_t touches = 0;
+  std::int64_t matches = 0;
+  // A gesture touches ~60 rows/side over 4s; simulate several gesture
+  // rounds (600 touches per side) interleaved.
+  for (std::int64_t i = 0; i < 600; ++i) {
+    const RowId row = (kRows / 600) * i;
+    matches += static_cast<std::int64_t>(
+        join.Feed(JoinSide::kLeft, row).size());
+    ++touches;
+    matches += static_cast<std::int64_t>(
+        join.Feed(JoinSide::kRight, row).size());
+    ++touches;
+    if (first_match_ms < 0 && matches > 0) {
+      first_match_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count();
+    }
+  }
+  const double sym_total_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  // --- Baseline: blocking hash join over the full inputs.
+  dbtouch::storage::Catalog catalog;
+  {
+    std::vector<Column> lc;
+    lc.push_back(std::move(left));
+    (void)catalog.Register(*Table::FromColumns("L", std::move(lc)));
+    std::vector<Column> rc;
+    rc.push_back(std::move(right));
+    (void)catalog.Register(*Table::FromColumns("R", std::move(rc)));
+  }
+  const MonolithicExecutor sql(&catalog);
+  const auto blocking = sql.HashJoin("L", "l", "R", "r");
+
+  std::printf("\n");
+  dbtouch::bench::Table table({"join", "first_match_ms", "touches/rows",
+                               "matches", "total_ms"});
+  table.Row({"symmetric(slide)", dbtouch::bench::Fmt(first_match_ms, 3),
+             dbtouch::bench::Fmt(touches), dbtouch::bench::Fmt(matches),
+             dbtouch::bench::Fmt(sym_total_ms, 2)});
+  table.Row({"blocking(build+probe)",
+             dbtouch::bench::Fmt(blocking->build_ms, 1),
+             dbtouch::bench::Fmt(blocking->rows_scanned),
+             dbtouch::bench::Fmt(blocking->matches),
+             dbtouch::bench::Fmt(blocking->total_ms, 1)});
+  std::printf(
+      "\nThe symmetric join surfaces its first match after a handful of\n"
+      "touches (microseconds of compute); the blocking join cannot answer\n"
+      "before its build phase consumes an entire input. The blocking join\n"
+      "wins on total throughput when ALL matches are wanted — exactly the\n"
+      "trade-off the paper describes for exploration.\n\n");
+}
+
+void BM_SymmetricFeed(benchmark::State& state) {
+  const Column left =
+      dbtouch::storage::GenUniformInt32("l", kRows, 0, 99'999, 1);
+  const Column right =
+      dbtouch::storage::GenUniformInt32("r", kRows, 0, 99'999, 2);
+  SymmetricHashJoin join(left.View(), right.View());
+  RowId row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(join.Feed(JoinSide::kLeft, row));
+    benchmark::DoNotOptimize(join.Feed(JoinSide::kRight, row));
+    row = (row + 7919) % kRows;
+  }
+}
+BENCHMARK(BM_SymmetricFeed);
+
+void BM_BlockingJoin(benchmark::State& state) {
+  dbtouch::storage::Catalog catalog;
+  {
+    std::vector<Column> lc;
+    lc.push_back(dbtouch::storage::GenUniformInt32("l", 100'000, 0, 9'999, 1));
+    (void)catalog.Register(*Table::FromColumns("L", std::move(lc)));
+    std::vector<Column> rc;
+    rc.push_back(dbtouch::storage::GenUniformInt32("r", 100'000, 0, 9'999, 2));
+    (void)catalog.Register(*Table::FromColumns("R", std::move(rc)));
+  }
+  const MonolithicExecutor sql(&catalog);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql.HashJoin("L", "l", "R", "r")->matches);
+  }
+}
+BENCHMARK(BM_BlockingJoin)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,146 @@
+// ABL-PREFETCH — paper Section 2.6 "Prefetching Data": extrapolating the
+// gesture (speed and direction) and fetching expected entries ahead vs
+// demand fetching, over a simulated slow medium.
+//
+// Scenarios: steady slide, pause-and-resume, and a 4x speed-up mid-slide
+// (the cases the paper calls out: "find a good way and timing to
+// extrapolate the gesture movement ... to avoid stalling once the query
+// session resumes or when it moves faster").
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "prefetch/prefetcher.h"
+#include "sim/virtual_clock.h"
+
+namespace {
+
+using dbtouch::prefetch::Prefetcher;
+using dbtouch::prefetch::SimulatedBlockStore;
+using dbtouch::sim::Micros;
+using dbtouch::storage::RowId;
+
+constexpr std::int64_t kRows = 10'000'000;
+constexpr std::int64_t kRowsPerBlock = 4'096;
+constexpr Micros kFetchLatency = 30'000;  // 30ms per block fetch.
+
+struct Touch {
+  Micros at;
+  RowId row;
+};
+
+/// Builds the touch sequence for a scenario.
+std::vector<Touch> MakeScenario(const std::string& name) {
+  std::vector<Touch> touches;
+  const Micros step = 66'666;  // 15 Hz
+  if (name == "steady") {
+    // 4s slide over the full column.
+    for (int i = 0; i < 60; ++i) {
+      touches.push_back({i * step, i * (kRows / 60)});
+    }
+  } else if (name == "pause-resume") {
+    // Slide 1.5s, pause 2s, resume.
+    for (int i = 0; i < 22; ++i) {
+      touches.push_back({i * step, i * (kRows / 60)});
+    }
+    const Micros resume = 22 * step + 2'000'000;
+    for (int i = 22; i < 60; ++i) {
+      touches.push_back({resume + (i - 22) * step, i * (kRows / 60)});
+    }
+  } else {  // speed-up: first half at 1x, second half at 4x row velocity.
+    RowId row = 0;
+    Micros at = 0;
+    for (int i = 0; i < 30; ++i) {
+      touches.push_back({at, row});
+      at += step;
+      row += kRows / 120;
+    }
+    for (int i = 0; i < 30 && row < kRows; ++i) {
+      touches.push_back({at, row});
+      at += step;
+      row += kRows / 30;
+    }
+  }
+  return touches;
+}
+
+struct RunResult {
+  std::int64_t stalls = 0;
+  double stall_ms = 0.0;
+  std::int64_t fetches = 0;
+};
+
+RunResult Run(const std::string& scenario, bool prefetch_on,
+              double horizon_s = 0.5) {
+  SimulatedBlockStore store(kRowsPerBlock, kFetchLatency);
+  Prefetcher::Config config;
+  config.enabled = prefetch_on;
+  config.horizon_s = horizon_s;
+  Prefetcher prefetcher(&store, config);
+  for (const Touch& t : MakeScenario(scenario)) {
+    prefetcher.OnTouch(t.at, t.row, kRows);
+  }
+  RunResult out;
+  out.stalls = prefetcher.stats().stalls;
+  out.stall_ms = dbtouch::sim::MicrosToMillis(prefetcher.stats().stall_us);
+  out.fetches = store.fetches_issued();
+  return out;
+}
+
+void PrintReport() {
+  dbtouch::bench::Banner(
+      "ABL-PREFETCH", "paper Section 2.6 'Prefetching Data'",
+      "User-visible stalls during slides over a slow medium (30ms block\n"
+      "fetches), with gesture extrapolation + prefetch vs demand fetching.");
+
+  std::printf("\n");
+  dbtouch::bench::Table table({"scenario", "prefetch", "stalls",
+                               "stall_ms", "blocks_fetched"});
+  for (const char* scenario : {"steady", "pause-resume", "speed-up"}) {
+    for (const bool on : {false, true}) {
+      const RunResult r = Run(scenario, on);
+      table.Row({scenario, on ? "on" : "off",
+                 dbtouch::bench::Fmt(r.stalls),
+                 dbtouch::bench::Fmt(r.stall_ms, 1),
+                 dbtouch::bench::Fmt(r.fetches)});
+    }
+  }
+
+  std::printf("\nHorizon sweep (steady slide):\n\n");
+  dbtouch::bench::Table sweep({"horizon_s", "stalls", "stall_ms",
+                               "blocks_fetched"});
+  for (const double h : {0.05, 0.1, 0.25, 0.5, 1.0}) {
+    const RunResult r = Run("steady", true, h);
+    sweep.Row({dbtouch::bench::Fmt(h, 2), dbtouch::bench::Fmt(r.stalls),
+               dbtouch::bench::Fmt(r.stall_ms, 1),
+               dbtouch::bench::Fmt(r.fetches)});
+  }
+  std::printf("\nThe horizon must exceed the fetch latency at gesture "
+              "speed; beyond that,\nextra look-ahead only costs bandwidth.\n\n");
+}
+
+void BM_PrefetcherOnTouch(benchmark::State& state) {
+  SimulatedBlockStore store(kRowsPerBlock, kFetchLatency);
+  Prefetcher::Config config;
+  Prefetcher prefetcher(&store, config);
+  Micros now = 0;
+  RowId row = 0;
+  for (auto _ : state) {
+    prefetcher.OnTouch(now, row, kRows);
+    now += 66'666;
+    row = (row + kRows / 60) % kRows;
+  }
+}
+BENCHMARK(BM_PrefetcherOnTouch);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

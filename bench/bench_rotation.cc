@@ -1,0 +1,136 @@
+// ABL-ROTATE — paper Section 2.8 "Schema and Storage Layout Gestures":
+// incremental rotation ("changing the layout can be done in steps") vs a
+// monolithic transpose, plus what the layout buys: slide-scan locality in
+// the matching orientation.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "layout/rotation.h"
+#include "storage/datagen.h"
+
+namespace {
+
+using dbtouch::layout::IncrementalRotator;
+using dbtouch::layout::RotateMonolithic;
+using dbtouch::storage::Column;
+using dbtouch::storage::ColumnView;
+using dbtouch::storage::MajorOrder;
+using dbtouch::storage::RowId;
+using dbtouch::storage::Table;
+using Clock = std::chrono::steady_clock;
+
+std::shared_ptr<Table> MakeWideTable(std::int64_t rows, MajorOrder order) {
+  std::vector<Column> cols;
+  cols.push_back(dbtouch::storage::GenSequenceInt64("c0", rows, 0, 1));
+  for (int c = 1; c < 8; ++c) {
+    cols.push_back(dbtouch::storage::GenUniformInt32(
+        "c" + std::to_string(c), rows, 0, 1'000'000,
+        static_cast<std::uint64_t>(c)));
+  }
+  return std::move(Table::FromColumns("wide", std::move(cols), order))
+      .value();
+}
+
+double Ms(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+void PrintReport() {
+  dbtouch::bench::Banner(
+      "ABL-ROTATE", "paper Section 2.8 'Schema and Storage Layout Gestures'",
+      "Incremental rotate (bounded work per touch) vs monolithic\n"
+      "transpose, on an 8-column table; then the payoff: column-scan cost\n"
+      "in each layout.");
+
+  std::printf("\n");
+  dbtouch::bench::Table table({"rows", "method", "first_response_ms",
+                               "total_ms", "steps"});
+  for (const std::int64_t rows :
+       {std::int64_t{100'000}, std::int64_t{1'000'000}}) {
+    {
+      auto t = MakeWideTable(rows, MajorOrder::kColumnMajor);
+      const auto t0 = Clock::now();
+      IncrementalRotator rotator(t.get(), MajorOrder::kRowMajor, 65'536);
+      rotator.Step();  // First chunk: the per-touch budget.
+      const double first_ms = Ms(t0);
+      std::int64_t steps = 1;
+      while (!rotator.Step()) {
+        ++steps;
+      }
+      (void)rotator.Finish();
+      table.Row({dbtouch::bench::Fmt(rows), "incremental",
+                 dbtouch::bench::Fmt(first_ms, 2),
+                 dbtouch::bench::Fmt(Ms(t0), 1),
+                 dbtouch::bench::Fmt(steps + 1)});
+    }
+    {
+      auto t = MakeWideTable(rows, MajorOrder::kColumnMajor);
+      const auto t0 = Clock::now();
+      (void)RotateMonolithic(t.get(), MajorOrder::kRowMajor);
+      const double total = Ms(t0);
+      table.Row({dbtouch::bench::Fmt(rows), "monolithic",
+                 dbtouch::bench::Fmt(total, 1),
+                 dbtouch::bench::Fmt(total, 1), "1"});
+    }
+  }
+  std::printf(
+      "\nIncremental rotation's first response is one bounded chunk — the\n"
+      "screen stays interactive — while the monolithic transpose blocks\n"
+      "for the whole copy.\n");
+
+  // The payoff: scanning one attribute under each layout.
+  std::printf("\nColumn-scan cost by layout (sum one attribute, 10^6 "
+              "rows):\n\n");
+  dbtouch::bench::Table scan({"layout", "stride_bytes", "scan_ms"});
+  for (const MajorOrder order :
+       {MajorOrder::kColumnMajor, MajorOrder::kRowMajor}) {
+    auto t = MakeWideTable(1'000'000, order);
+    const ColumnView view = t->ColumnViewAt(3);
+    const auto t0 = Clock::now();
+    double sum = 0.0;
+    for (RowId r = 0; r < view.row_count(); ++r) {
+      sum += view.GetAsDouble(r);
+    }
+    benchmark::DoNotOptimize(sum);
+    scan.Row({MajorOrderName(order),
+              dbtouch::bench::Fmt(static_cast<std::int64_t>(view.stride())),
+              dbtouch::bench::Fmt(Ms(t0), 2)});
+  }
+  std::printf("\nColumn-major scans touch 4-byte strides (dense); row-major "
+              "pays the full\ntuple width per value — the locality the rotate "
+              "gesture trades between.\n\n");
+}
+
+void BM_IncrementalStep(benchmark::State& state) {
+  auto t = MakeWideTable(1'000'000, MajorOrder::kColumnMajor);
+  IncrementalRotator rotator(t.get(), MajorOrder::kRowMajor,
+                             state.range(0));
+  for (auto _ : state) {
+    if (rotator.done()) {
+      state.PauseTiming();
+      t = MakeWideTable(1'000'000, MajorOrder::kColumnMajor);
+      rotator = IncrementalRotator(t.get(), MajorOrder::kRowMajor,
+                                   state.range(0));
+      state.ResumeTiming();
+    }
+    rotator.Step();
+  }
+  state.counters["rows_per_step"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_IncrementalStep)->Arg(4096)->Arg(65536)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared helpers for the experiment benchmarks. Each bench binary prints
+// a paper-style series table (deterministic, virtual-time driven) before
+// running its google-benchmark micro-benchmarks (wall time).
+
+#ifndef DBTOUCH_BENCH_BENCH_UTIL_H_
+#define DBTOUCH_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dbtouch::bench {
+
+/// Prints the experiment banner: id, paper reference, what it shows.
+inline void Banner(const char* experiment_id, const char* paper_ref,
+                   const char* claim) {
+  std::printf("\n==================================================================\n");
+  std::printf("Experiment %s  (%s)\n", experiment_id, paper_ref);
+  std::printf("%s\n", claim);
+  std::printf("==================================================================\n");
+}
+
+/// Fixed-width table output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    for (const auto& h : headers_) {
+      std::printf("%-18s", h.c_str());
+    }
+    std::printf("\n");
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      std::printf("%-18s", "----------------");
+    }
+    std::printf("\n");
+  }
+
+  void Row(const std::vector<std::string>& cells) {
+    for (const auto& c : cells) {
+      std::printf("%-18s", c.c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+};
+
+inline std::string Fmt(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string Fmt(std::int64_t v) { return std::to_string(v); }
+
+}  // namespace dbtouch::bench
+
+#endif  // DBTOUCH_BENCH_BENCH_UTIL_H_

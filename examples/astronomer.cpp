@@ -1,0 +1,162 @@
+// The astronomer scenario from the paper's introduction: "an astronomer
+// wants to browse parts of the sky to look for interesting effects."
+//
+// A sky-survey table (object id, right ascension, declination, brightness)
+// hides brightness bursts — stretches of consecutive survey rows a
+// transient event lights up. The astronomer explores the dbTouch way:
+//
+//   1. Fast slide with coarse summaries over the whole brightness column —
+//      a 4-second overview of 10^7 objects.
+//   2. Any band whose summary looks anomalous gets a zoom-in (pinch) and a
+//      slow slide at finer granularity to tighten the localisation.
+//
+// Build & run:  ./build/examples/astronomer
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/kernel.h"
+#include "sim/motion_profile.h"
+#include "sim/trace_builder.h"
+#include "storage/datagen.h"
+
+using dbtouch::core::ActionConfig;
+using dbtouch::core::Kernel;
+using dbtouch::core::ResultItem;
+using dbtouch::core::ResultKind;
+using dbtouch::sim::MotionProfile;
+using dbtouch::sim::PointCm;
+using dbtouch::sim::TraceBuilder;
+using dbtouch::storage::RowId;
+using dbtouch::touch::RectCm;
+
+namespace {
+
+constexpr std::int64_t kObjects = 10'000'000;
+
+/// Bands found during a pass whose summary deviates hard from the
+/// sinusoidal baseline (amplitude 2): base-row ranges worth a closer look.
+std::vector<std::pair<RowId, RowId>> SuspiciousBands(
+    const std::vector<ResultItem>& items, std::int64_t from_index,
+    double threshold) {
+  std::vector<std::pair<RowId, RowId>> bands;
+  for (std::size_t i = static_cast<std::size_t>(from_index);
+       i < items.size(); ++i) {
+    const ResultItem& r = items[i];
+    if (r.kind == ResultKind::kSummary && r.value.AsDouble() > threshold) {
+      if (!bands.empty() && r.band_first <= bands.back().second) {
+        bands.back().second = std::max(bands.back().second, r.band_last);
+      } else {
+        bands.emplace_back(r.band_first, r.band_last);
+      }
+    }
+  }
+  return bands;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<RowId> point_transients;
+  std::vector<std::pair<RowId, RowId>> bursts;
+  const auto sky = dbtouch::storage::MakeSkyTable(
+      kObjects, /*seed=*/2013, &point_transients, &bursts);
+  std::printf("Sky survey: %lld objects; %zu burst regions and %zu point "
+              "transients hidden\nin 'brightness'.\n\n",
+              static_cast<long long>(kObjects), bursts.size(),
+              point_transients.size());
+
+  // Drill-down precision matters more than read locality here: don't let
+  // fast gestures coarsen the sample level.
+  dbtouch::core::KernelConfig kernel_config;
+  kernel_config.level_policy.speed_weight = 0.0;
+  Kernel kernel(kernel_config);
+  if (!kernel.RegisterTable(sky).ok()) {
+    return 1;
+  }
+  const auto object = kernel.CreateColumnObject(
+      "sky", "brightness", RectCm{2.0, 1.0, 2.0, 10.0});
+  if (!object.ok() ||
+      !kernel.SetAction(*object, ActionConfig::Summary(10)).ok()) {
+    return 1;
+  }
+  TraceBuilder gestures(kernel.device());
+
+  // --- Pass 1: 4-second overview slide. ----------------------------------
+  kernel.Replay(gestures.Slide("overview", PointCm{3.0, 1.0},
+                               PointCm{3.0, 11.0},
+                               MotionProfile::Constant(4.0)));
+  const auto candidate_bands =
+      SuspiciousBands(kernel.results().items(), 0, 3.0);
+  std::printf("Pass 1 (fast slide, %lld summaries): %zu suspicious "
+              "band(s):\n",
+              static_cast<long long>(kernel.results().size()),
+              candidate_bands.size());
+  for (const auto& [first, last] : candidate_bands) {
+    std::printf("  rows %lld..%lld\n", static_cast<long long>(first),
+                static_cast<long long>(last));
+  }
+
+  // --- Pass 2: zoom in (pinch), pan each candidate band on-screen, and
+  // reslide it slowly at the finer granularity. -----------------------------
+  const auto view = kernel.object_view(*object);
+  kernel.Replay(gestures.Pinch("zoom", PointCm{3.0, 6.0}, M_PI / 2.0, 2.0,
+                               5.0, 0.5, kernel.clock().now() + 200'000));
+  std::printf("\nZoom-in: object now %.1fcm tall (finer granularity).\n",
+              (*view)->tuple_axis_extent());
+
+  const double screen_center_y =
+      kernel.device().config().screen_height_cm / 2.0;
+  std::vector<std::pair<RowId, RowId>> refined;
+  for (const auto& [first, last] : candidate_bands) {
+    const double extent = (*view)->tuple_axis_extent();
+    // Pan gesture: bring this band's stretch of the (now oversized)
+    // object onto the screen, centred.
+    const double band_center_pos = dbtouch::touch::RowToPosition(
+        (first + last) / 2, extent, kObjects);
+    RectCm frame = (*view)->frame();
+    frame.y = screen_center_y - band_center_pos;
+    (*view)->set_frame(frame);
+
+    const double x = frame.x + 1.0;
+    const double y0 =
+        frame.y + dbtouch::touch::RowToPosition(first, extent, kObjects);
+    const double y1 =
+        frame.y + dbtouch::touch::RowToPosition(last, extent, kObjects);
+    const std::int64_t before = kernel.results().size();
+    kernel.Replay(gestures.Slide("drill", PointCm{x, y0}, PointCm{x, y1},
+                                 MotionProfile::Constant(4.0),
+                                 kernel.clock().now() + 200'000));
+    for (const auto& band :
+         SuspiciousBands(kernel.results().items(), before, 8.0)) {
+      refined.push_back(band);
+    }
+  }
+  std::printf("Pass 2 (slow reslide over candidates): %zu refined "
+              "band(s).\n",
+              refined.size());
+
+  // --- Verify: every planted burst overlaps a refined band. ---------------
+  std::int64_t found = 0;
+  for (const auto& [bf, bl] : bursts) {
+    for (const auto& [rf, rl] : refined) {
+      if (bl >= rf && bf <= rl) {
+        ++found;
+        break;
+      }
+    }
+  }
+  std::printf("\nBurst regions localised: %lld / %zu\n",
+              static_cast<long long>(found), bursts.size());
+  std::printf("Rows scanned in total: %lld of %lld (%.4f%%)\n",
+              static_cast<long long>(kernel.stats().rows_scanned),
+              static_cast<long long>(kObjects),
+              100.0 * static_cast<double>(kernel.stats().rows_scanned) /
+                  static_cast<double>(kObjects));
+  std::printf("\nThe astronomer cornered every burst from two gesture "
+              "passes over a\nfraction of the data — no SQL, no full "
+              "scan.\n");
+  return found == static_cast<std::int64_t>(bursts.size()) ? 0 : 1;
+}

@@ -1,0 +1,180 @@
+// The exploration contest from the paper's Appendix A, as a runnable
+// head-to-head: one explorer uses dbTouch gestures, the other fires
+// SQL-style queries at a monolithic column-store executor. Both must
+// characterise an unknown data set: find the anomalous region and report
+// its approximate location.
+//
+// Build & run:  ./build/examples/exploration_contest
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baseline/monolithic.h"
+#include "core/kernel.h"
+#include "sim/motion_profile.h"
+#include "sim/trace_builder.h"
+#include "storage/datagen.h"
+
+using dbtouch::baseline::MonolithicExecutor;
+using dbtouch::core::ActionConfig;
+using dbtouch::core::Kernel;
+using dbtouch::core::ResultKind;
+using dbtouch::sim::MicrosToMillis;
+using dbtouch::sim::MotionProfile;
+using dbtouch::sim::PointCm;
+using dbtouch::sim::TraceBuilder;
+using dbtouch::storage::Column;
+using dbtouch::storage::RowId;
+using dbtouch::storage::Table;
+using dbtouch::touch::RectCm;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr std::int64_t kRows = 10'000'000;
+constexpr RowId kRegionFirst = 6'200'000;
+constexpr RowId kRegionLast = 6'400'000;
+
+std::shared_ptr<Table> MakeMysteryTable() {
+  // Flat noise with one anomalous level-shifted region — the "pattern"
+  // the contestants must discover.
+  Column signal("signal", dbtouch::storage::DataType::kDouble);
+  signal.Reserve(kRows);
+  dbtouch::Rng rng(99);
+  for (RowId r = 0; r < kRows; ++r) {
+    const bool in_region = r >= kRegionFirst && r < kRegionLast;
+    signal.AppendDouble(50.0 + 2.0 * rng.NextGaussian() +
+                        (in_region ? 30.0 : 0.0));
+  }
+  std::vector<Column> cols;
+  cols.push_back(std::move(signal));
+  return std::move(Table::FromColumns("mystery", std::move(cols))).value();
+}
+
+double ElapsedMs(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const auto table = MakeMysteryTable();
+  std::printf("Contest data: %lld rows; anomalous region hidden at "
+              "[%lld, %lld).\n\n",
+              static_cast<long long>(kRows),
+              static_cast<long long>(kRegionFirst),
+              static_cast<long long>(kRegionLast));
+
+  // ---- Contestant 1: dbTouch. ---------------------------------------------
+  std::printf("== Contestant 1: dbTouch (one slide, summaries k=10) ==\n");
+  Kernel kernel;
+  (void)kernel.RegisterTable(table);
+  const auto obj = kernel.CreateColumnObject("mystery", "signal",
+                                             RectCm{2.0, 1.0, 2.0, 10.0});
+  (void)kernel.SetAction(*obj, ActionConfig::Summary(10));
+  TraceBuilder gestures(kernel.device());
+  const auto wall0 = Clock::now();
+  kernel.Replay(gestures.Slide("hunt", PointCm{3.0, 1.0},
+                               PointCm{3.0, 11.0},
+                               MotionProfile::Constant(4.0)));
+  const double dbtouch_compute_ms = ElapsedMs(wall0);
+
+  RowId found_first = -1;
+  RowId found_last = -1;
+  double found_at_gesture_ms = -1.0;
+  for (const auto& item : kernel.results().items()) {
+    if (item.kind == ResultKind::kSummary && item.value.AsDouble() > 60.0) {
+      if (found_first < 0) {
+        found_first = item.band_first;
+        found_at_gesture_ms = MicrosToMillis(item.timestamp_us);
+      }
+      found_last = item.band_last;
+    }
+  }
+  if (found_first >= 0) {
+    std::printf("  Anomaly surfaced mid-gesture at %.0f ms (gesture time), "
+                "localised to rows\n  [%lld, %lld] — overlaps the true "
+                "region: %s. Compute cost: %.2f ms, rows\n  touched: %lld "
+                "(%.4f%% of the data).\n",
+                found_at_gesture_ms, static_cast<long long>(found_first),
+                static_cast<long long>(found_last),
+                (found_last >= kRegionFirst && found_first <= kRegionLast)
+                    ? "yes"
+                    : "NO",
+                dbtouch_compute_ms,
+                static_cast<long long>(kernel.stats().rows_scanned),
+                100.0 * static_cast<double>(kernel.stats().rows_scanned) /
+                    static_cast<double>(kRows));
+  } else {
+    std::printf("  Anomaly not surfaced (unexpected).\n");
+  }
+
+  // ---- Contestant 2: SQL on the monolithic engine. -------------------------
+  std::printf("\n== Contestant 2: SQL on the monolithic column store ==\n");
+  dbtouch::storage::Catalog catalog;
+  (void)catalog.Register(table);
+  const MonolithicExecutor sql(&catalog);
+  // Query 1: overall statistics (something's off — max is high).
+  const auto avg = sql.Aggregate("mystery", "signal",
+                                 dbtouch::exec::AggKind::kAvg);
+  const auto mx = sql.FindExtreme("mystery", "signal", /*find_max=*/true);
+  // Query 2: count above threshold confirms a heavy tail.
+  const auto cnt = sql.CountWhere("mystery", "signal",
+                                  dbtouch::exec::Predicate(
+                                      dbtouch::exec::CompareOp::kGt, 70.0));
+  // Queries 3..k: binary-search the region with range counts.
+  const auto t0 = Clock::now();
+  RowId lo = 0;
+  RowId hi = kRows;
+  std::int64_t probe_queries = 0;
+  std::int64_t probe_rows = 0;
+  const auto view = table->ColumnViewAt(0);
+  while (hi - lo > 250'000) {
+    const RowId mid = (lo + hi) / 2;
+    // "SELECT count(*) WHERE signal > 70 AND rowid < mid" — the executor
+    // scans everything; we model the halves directly.
+    std::int64_t left_count = 0;
+    for (RowId r = lo; r < mid; ++r) {
+      if (view.GetDouble(r) > 70.0) {
+        ++left_count;
+      }
+    }
+    probe_rows += mid - lo;
+    ++probe_queries;
+    if (left_count > 0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  const double probe_ms = ElapsedMs(t0);
+  std::printf("  avg query: %.0f ms (%lld rows) -> avg=%.1f\n",
+              avg->wall_ms, static_cast<long long>(avg->rows_scanned),
+              avg->value);
+  std::printf("  max query: %.0f ms -> max=%.1f at row %lld\n",
+              mx->wall_ms, mx->value, static_cast<long long>(mx->row));
+  std::printf("  count>70 : %.0f ms -> %lld rows\n", cnt->wall_ms,
+              static_cast<long long>(static_cast<std::int64_t>(cnt->value)));
+  std::printf("  %lld binary-search range counts: %.0f ms, %lld more rows "
+              "-> region near\n  [%lld, %lld]\n",
+              static_cast<long long>(probe_queries), probe_ms,
+              static_cast<long long>(probe_rows), static_cast<long long>(lo),
+              static_cast<long long>(hi));
+
+  const double sql_total_ms =
+      avg->wall_ms + mx->wall_ms + cnt->wall_ms + probe_ms;
+  std::printf("\n== Verdict ==\n");
+  std::printf("  dbTouch : anomaly on screen during the first slide "
+              "(compute %.1f ms,\n            %.4f%% of rows touched).\n",
+              dbtouch_compute_ms,
+              100.0 * static_cast<double>(kernel.stats().rows_scanned) /
+                  static_cast<double>(kRows));
+  std::printf("  SQL     : %.0f ms of full/partial scans across %lld "
+              "queries before the\n            region was cornered.\n",
+              sql_total_ms,
+              static_cast<long long>(3 + probe_queries));
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Quickstart: the dbTouch public API in one file.
+//
+//   1. Generate a column of data and register it with the kernel.
+//   2. Put a column-shaped data object on the (simulated) screen.
+//   3. Tap it to peek at a value; slide over it to scan; switch the
+//      action to interactive summaries and slide again.
+//   4. Inspect the result stream, the way the screen would render it.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/kernel.h"
+#include "sim/motion_profile.h"
+#include "sim/trace_builder.h"
+#include "storage/datagen.h"
+
+using dbtouch::core::ActionConfig;
+using dbtouch::core::Kernel;
+using dbtouch::core::ResultItem;
+using dbtouch::sim::MotionProfile;
+using dbtouch::sim::PointCm;
+using dbtouch::sim::TraceBuilder;
+using dbtouch::storage::Column;
+using dbtouch::storage::Table;
+using dbtouch::touch::RectCm;
+
+int main() {
+  // --- 1. Data: one million sensor readings. -----------------------------
+  Kernel kernel;
+  std::vector<Column> columns;
+  columns.push_back(dbtouch::storage::GenSinusoidDouble(
+      "reading", 1'000'000, /*amplitude=*/10.0, /*period=*/125'000.0,
+      /*noise_stddev=*/0.5, /*seed=*/42));
+  auto table = Table::FromColumns("sensor", std::move(columns));
+  if (!table.ok() || !kernel.RegisterTable(*table).ok()) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+
+  // --- 2. A column object: 2cm wide, 10cm tall, at (2cm, 1cm). -----------
+  const auto object = kernel.CreateColumnObject(
+      "sensor", "reading", RectCm{2.0, 1.0, 2.0, 10.0});
+  if (!object.ok()) {
+    std::fprintf(stderr, "%s\n", object.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Registered table 'sensor' (%lld rows) and bound it to a "
+              "10cm column object.\n\n",
+              static_cast<long long>(1'000'000));
+
+  TraceBuilder gestures(kernel.device());
+
+  // --- 3a. Tap the middle: one value pops up. -----------------------------
+  kernel.Replay(gestures.Tap("peek", PointCm{3.0, 6.0}));
+  const ResultItem& tap = kernel.results().back();
+  std::printf("Tap at the object's middle -> row %lld, value %s\n",
+              static_cast<long long>(tap.row),
+              tap.value.ToString().c_str());
+
+  // --- 3b. Slide top-to-bottom in 2 seconds: a scan. ----------------------
+  kernel.Replay(gestures.Slide("scan", PointCm{3.0, 1.0},
+                               PointCm{3.0, 11.0},
+                               MotionProfile::Constant(2.0)));
+  std::printf("\n2s slide (scan): %lld entries surfaced while the finger "
+              "moved.\n",
+              static_cast<long long>(kernel.stats().entries_returned - 1));
+
+  // --- 3c. Switch to interactive summaries and slide slowly. -------------
+  if (!kernel.SetAction(*object, ActionConfig::Summary(/*k=*/10)).ok()) {
+    return 1;
+  }
+  const std::int64_t before = kernel.results().size();
+  kernel.Replay(gestures.Slide("summaries", PointCm{3.0, 1.0},
+                               PointCm{3.0, 11.0},
+                               MotionProfile::Constant(4.0)));
+  std::printf("4s slide (summaries, k=10): %lld band averages.\n\n",
+              static_cast<long long>(kernel.results().size() - before));
+
+  // --- 4. What the screen shows right now (results fade with age). --------
+  const auto visible = kernel.results().VisibleAt(kernel.clock().now());
+  std::printf("On screen at t=%.2fs (most recent = boldest):\n",
+              dbtouch::sim::MicrosToSeconds(kernel.clock().now()));
+  int shown = 0;
+  for (auto it = visible.rbegin(); it != visible.rend() && shown < 8;
+       ++it, ++shown) {
+    const ResultItem& r = *it->item;
+    std::printf("  [opacity %.2f] rows %lld..%lld  avg=%s\n", it->opacity,
+                static_cast<long long>(r.band_first),
+                static_cast<long long>(r.band_last),
+                r.value.ToString().c_str());
+  }
+
+  std::printf("\nSession summary:\n");
+  kernel.sessions().EndSession(kernel.clock().now());
+  for (const auto& s : kernel.sessions().completed()) {
+    std::printf("  session %lld: %lld gestures, %lld touches, %lld entries, "
+                "%.1fs\n",
+                static_cast<long long>(s.id),
+                static_cast<long long>(s.gestures),
+                static_cast<long long>(s.touches),
+                static_cast<long long>(s.entries_returned), s.duration_s());
+  }
+  return 0;
+}

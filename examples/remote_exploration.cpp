@@ -1,0 +1,73 @@
+// Remote processing (paper Section 4): the tablet holds only small coarse
+// samples; a server holds the base data and big samples. This example
+// slides over a remote-backed column under the three client strategies and
+// prints what the user experiences under each.
+//
+// Build & run:  ./build/examples/remote_exploration
+
+#include <cstdio>
+
+#include "remote/network.h"
+#include "remote/remote_store.h"
+#include "storage/datagen.h"
+
+using dbtouch::remote::NetworkConfig;
+using dbtouch::remote::RemoteClient;
+using dbtouch::remote::RemoteServer;
+using dbtouch::remote::RemoteStrategy;
+using dbtouch::remote::RemoteStrategyName;
+using dbtouch::remote::SimulatedNetwork;
+using dbtouch::sim::Micros;
+using dbtouch::storage::Column;
+using dbtouch::storage::RowId;
+
+int main() {
+  constexpr std::int64_t kRows = 10'000'000;
+  Column base = dbtouch::storage::MakePaperEvalColumn(kRows);
+  RemoteServer server(base.View());
+  std::printf("Server: %lld-row column + %d sample levels.\n",
+              static_cast<long long>(kRows),
+              server.hierarchy().num_levels());
+
+  NetworkConfig net_config;  // 20ms one-way, 100 Mbit/s.
+  std::printf("Network: %lld ms one-way latency, %.0f Mbit/s.\n\n",
+              static_cast<long long>(net_config.one_way_latency_us / 1000),
+              net_config.bytes_per_second * 8.0 / 1e6);
+
+  for (const RemoteStrategy strategy :
+       {RemoteStrategy::kLocalOnly, RemoteStrategy::kPerTouchRpc,
+        RemoteStrategy::kBatchedHybrid}) {
+    SimulatedNetwork network(net_config);
+    RemoteClient::Config config;
+    config.strategy = strategy;
+    config.local_levels = 2;   // The tablet stores only the 2 coarsest.
+    config.target_level = 3;   // The fidelity the user drills to.
+    RemoteClient client(&server, &network, config);
+
+    // A 4-second slide: 60 touches across the column.
+    Micros now = 0;
+    for (int i = 0; i < 60; ++i) {
+      client.OnTouch(now, (kRows / 60) * static_cast<RowId>(i));
+      now += 66'666;
+    }
+    client.Flush(now);
+
+    const auto& stats = client.stats();
+    std::printf("strategy=%-15s local level L%d\n",
+                RemoteStrategyName(strategy), client.local_level());
+    std::printf("  touches=%lld  first-answer avg=%.1f ms  refined "
+                "avg=%.1f ms\n",
+                static_cast<long long>(stats.touches),
+                stats.avg_first_answer_ms(), stats.avg_refined_ms());
+    std::printf("  network: %lld requests, %lld B down\n\n",
+                static_cast<long long>(network.requests_sent()),
+                static_cast<long long>(network.bytes_down()));
+  }
+
+  std::printf(
+      "The hybrid gives instant (coarse) feedback on every touch and\n"
+      "refines through a handful of batched requests — the paper's\n"
+      "'use local data to feed partial answers, while ... more\n"
+      "fine-grained answers are produced and delivered by the server.'\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+#include "baseline/monolithic.h"
+
+#include <chrono>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "storage/column.h"
+#include "storage/table.h"
+
+namespace dbtouch::baseline {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+MonolithicExecutor::MonolithicExecutor(storage::Catalog* catalog)
+    : catalog_(catalog) {
+  DBTOUCH_CHECK(catalog != nullptr);
+}
+
+Result<QueryStats> MonolithicExecutor::Aggregate(
+    const std::string& table, const std::string& column, exec::AggKind agg,
+    const std::optional<exec::Predicate>& predicate) const {
+  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> t,
+                           catalog_->Get(table));
+  DBTOUCH_ASSIGN_OR_RETURN(const storage::ColumnView view,
+                           t->ColumnViewByName(column));
+  const auto start = Clock::now();
+  exec::RunningAggregate acc(agg);
+  QueryStats out;
+  for (storage::RowId r = 0; r < view.row_count(); ++r) {
+    const double v = view.GetAsDouble(r);
+    ++out.rows_scanned;
+    if (predicate.has_value() && !predicate->Matches(v)) {
+      continue;
+    }
+    acc.Add(v);
+  }
+  out.value = acc.value();
+  out.wall_ms = ElapsedMs(start);
+  return out;
+}
+
+Result<ExtremeRow> MonolithicExecutor::FindExtreme(const std::string& table,
+                                                   const std::string& column,
+                                                   bool find_max) const {
+  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> t,
+                           catalog_->Get(table));
+  DBTOUCH_ASSIGN_OR_RETURN(const storage::ColumnView view,
+                           t->ColumnViewByName(column));
+  if (view.row_count() == 0) {
+    return Status::FailedPrecondition("empty column");
+  }
+  const auto start = Clock::now();
+  ExtremeRow out;
+  out.row = 0;
+  out.value = view.GetAsDouble(0);
+  for (storage::RowId r = 1; r < view.row_count(); ++r) {
+    const double v = view.GetAsDouble(r);
+    if ((find_max && v > out.value) || (!find_max && v < out.value)) {
+      out.value = v;
+      out.row = r;
+    }
+  }
+  out.rows_scanned = view.row_count();
+  out.wall_ms = ElapsedMs(start);
+  return out;
+}
+
+Result<JoinStats> MonolithicExecutor::HashJoin(
+    const std::string& left_table, const std::string& left_column,
+    const std::string& right_table, const std::string& right_column) const {
+  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> lt,
+                           catalog_->Get(left_table));
+  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> rt,
+                           catalog_->Get(right_table));
+  DBTOUCH_ASSIGN_OR_RETURN(const storage::ColumnView left,
+                           lt->ColumnViewByName(left_column));
+  DBTOUCH_ASSIGN_OR_RETURN(const storage::ColumnView right,
+                           rt->ColumnViewByName(right_column));
+  if (left.type() == storage::DataType::kFloat ||
+      left.type() == storage::DataType::kDouble ||
+      right.type() == storage::DataType::kFloat ||
+      right.type() == storage::DataType::kDouble) {
+    return Status::InvalidArgument("join keys must be integer or string");
+  }
+  const auto key_at = [](const storage::ColumnView& c, storage::RowId r) {
+    return c.type() == storage::DataType::kInt64
+               ? c.GetInt64(r)
+               : static_cast<std::int64_t>(c.GetInt32(r));
+  };
+
+  const auto start = Clock::now();
+  JoinStats out;
+  // Blocking build phase: the user sees nothing until it completes.
+  std::unordered_map<std::int64_t, std::vector<storage::RowId>> table;
+  table.reserve(static_cast<std::size_t>(left.row_count()));
+  for (storage::RowId r = 0; r < left.row_count(); ++r) {
+    table[key_at(left, r)].push_back(r);
+    ++out.rows_scanned;
+  }
+  out.build_ms = ElapsedMs(start);
+  // Probe phase.
+  for (storage::RowId r = 0; r < right.row_count(); ++r) {
+    ++out.rows_scanned;
+    const auto it = table.find(key_at(right, r));
+    if (it != table.end()) {
+      out.matches += static_cast<std::int64_t>(it->second.size());
+    }
+  }
+  out.total_ms = ElapsedMs(start);
+  return out;
+}
+
+Result<QueryStats> MonolithicExecutor::CountWhere(
+    const std::string& table, const std::string& column,
+    const exec::Predicate& predicate) const {
+  return Aggregate(table, column, exec::AggKind::kCount, predicate);
+}
+
+}  // namespace dbtouch::baseline

@@ -1,0 +1,80 @@
+// The traditional DBMS baseline for the paper's exploration contest
+// (Appendix A): "a laptop installed with the open-source column store
+// DBMS, loaded with the same data sets as dbTouch."
+//
+// MonolithicExecutor answers queries the classic way: it consumes the full
+// input before producing anything, so its time-to-first-result equals its
+// total execution time — the behaviour dbTouch's incremental, user-driven
+// processing is contrasted against.
+
+#ifndef DBTOUCH_BASELINE_MONOLITHIC_H_
+#define DBTOUCH_BASELINE_MONOLITHIC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "exec/aggregate.h"
+#include "exec/predicate.h"
+#include "storage/catalog.h"
+#include "storage/types.h"
+
+namespace dbtouch::baseline {
+
+struct QueryStats {
+  double value = 0.0;
+  std::int64_t rows_scanned = 0;
+  /// Wall time of the whole query. Monolithic execution surfaces nothing
+  /// earlier, so this is also the time-to-first-result.
+  double wall_ms = 0.0;
+};
+
+struct ExtremeRow {
+  storage::RowId row = 0;
+  double value = 0.0;
+  std::int64_t rows_scanned = 0;
+  double wall_ms = 0.0;
+};
+
+struct JoinStats {
+  std::int64_t matches = 0;
+  std::int64_t rows_scanned = 0;
+  double build_ms = 0.0;   // Blocking build phase: nothing surfaces during it.
+  double total_ms = 0.0;
+};
+
+class MonolithicExecutor {
+ public:
+  explicit MonolithicExecutor(storage::Catalog* catalog);
+
+  /// SELECT agg(column) FROM table [WHERE column pred].
+  Result<QueryStats> Aggregate(
+      const std::string& table, const std::string& column,
+      exec::AggKind agg,
+      const std::optional<exec::Predicate>& predicate = std::nullopt) const;
+
+  /// Row holding the maximum (or minimum) of the column — what an analyst
+  /// fires repeatedly when hunting outliers with SQL.
+  Result<ExtremeRow> FindExtreme(const std::string& table,
+                                 const std::string& column, bool find_max)
+      const;
+
+  /// Classic blocking hash join: build on left, probe with right.
+  Result<JoinStats> HashJoin(const std::string& left_table,
+                             const std::string& left_column,
+                             const std::string& right_table,
+                             const std::string& right_column) const;
+
+  /// SELECT count(*) FROM table WHERE column pred.
+  Result<QueryStats> CountWhere(const std::string& table,
+                                const std::string& column,
+                                const exec::Predicate& predicate) const;
+
+ private:
+  storage::Catalog* catalog_;  // Not owned.
+};
+
+}  // namespace dbtouch::baseline
+
+#endif  // DBTOUCH_BASELINE_MONOLITHIC_H_

@@ -1,0 +1,74 @@
+#include "cache/block_cache.h"
+
+#include "common/macros.h"
+
+namespace dbtouch::cache {
+
+BlockCache::BlockCache(const Config& config) : config_(config) {
+  DBTOUCH_CHECK(config.capacity_blocks > 0);
+}
+
+bool BlockCache::Access(std::int64_t block, storage::RowId row) {
+  ++stats_.lookups;
+
+  // Direction tracking.
+  if (last_row_ >= 0 && row != last_row_) {
+    const int dir = row > last_row_ ? 1 : -1;
+    if (dir == direction_) {
+      ++scan_run_;
+    } else {
+      direction_ = dir;
+      scan_run_ = 0;  // Reversal: user re-examining — cache again.
+    }
+  }
+  last_row_ = row;
+
+  // Working buffer: the block under the finger is always resident.
+  if (block == current_block_) {
+    ++stats_.hits;
+    return true;
+  }
+  current_block_ = block;
+
+  const auto it = map_.find(block);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    TouchLru(block);
+    return true;
+  }
+  if (config_.gesture_aware && in_scan_mode()) {
+    ++stats_.bypasses;
+    return false;
+  }
+  Admit(block);
+  return false;
+}
+
+void BlockCache::OnGesturePause() {
+  scan_run_ = 0;
+}
+
+bool BlockCache::Contains(std::int64_t block) const {
+  return map_.count(block) > 0;
+}
+
+void BlockCache::Admit(std::int64_t block) {
+  if (static_cast<std::int64_t>(lru_.size()) >= config_.capacity_blocks) {
+    const std::int64_t victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(block);
+  map_[block] = lru_.begin();
+  ++stats_.admissions;
+}
+
+void BlockCache::TouchLru(std::int64_t block) {
+  const auto it = map_.find(block);
+  DBTOUCH_CHECK(it != map_.end());
+  lru_.splice(lru_.begin(), lru_, it->second);
+  it->second = lru_.begin();
+}
+
+}  // namespace dbtouch::cache

@@ -1,0 +1,86 @@
+// Gesture-aware block cache: "caching can be exploited such that dbTouch
+// is ready if the user decides to re-examine a data area already seen.
+// dbTouch needs to observe the gesture patterns and adjust the caching
+// policy" (Section 2.6 "Caching Data").
+//
+// The cache is an LRU of fixed-size blocks with one gesture-derived
+// refinement: steady one-directional slides are scans — caching their
+// blocks just evicts data the user might return to — so admission is
+// bypassed while the gesture is in "scan" mode and re-enabled when the
+// gesture reverses or pauses (both signals that the user is interested in
+// the current region).
+
+#ifndef DBTOUCH_CACHE_BLOCK_CACHE_H_
+#define DBTOUCH_CACHE_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/types.h"
+
+namespace dbtouch::cache {
+
+struct BlockCacheStats {
+  std::int64_t lookups = 0;
+  std::int64_t hits = 0;
+  std::int64_t admissions = 0;
+  std::int64_t bypasses = 0;   // Admission skipped in scan mode.
+  std::int64_t evictions = 0;
+
+  double hit_rate() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+class BlockCache {
+ public:
+  struct Config {
+    std::int64_t capacity_blocks = 64;
+    /// Enables the gesture-aware scan-bypass policy; false = plain LRU.
+    bool gesture_aware = true;
+    /// Consecutive same-direction accesses after which the stream is
+    /// treated as a scan.
+    int scan_run_length = 8;
+  };
+
+  explicit BlockCache(const Config& config);
+
+  /// Accesses `block` for the touch of `row` (row ordering feeds the
+  /// direction detector). Returns true on hit. On miss the block is
+  /// admitted unless the policy is currently bypassing. The most recently
+  /// touched block is always held in a working buffer, so consecutive
+  /// touches within one block hit even in bypass mode.
+  bool Access(std::int64_t block, storage::RowId row);
+
+  /// Signals that the gesture paused — interest in the current region, so
+  /// admission resumes.
+  void OnGesturePause();
+
+  bool Contains(std::int64_t block) const;
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(lru_.size());
+  }
+  const BlockCacheStats& stats() const { return stats_; }
+  bool in_scan_mode() const { return scan_run_ >= config_.scan_run_length; }
+
+ private:
+  void Admit(std::int64_t block);
+  void TouchLru(std::int64_t block);
+
+  Config config_;
+  std::list<std::int64_t> lru_;  // Front = most recent.
+  std::unordered_map<std::int64_t, std::list<std::int64_t>::iterator> map_;
+  BlockCacheStats stats_;
+  storage::RowId last_row_ = -1;
+  /// The block currently under the finger (working buffer).
+  std::int64_t current_block_ = -1;
+  int direction_ = 0;  // +1 / -1 / 0 unknown.
+  int scan_run_ = 0;
+};
+
+}  // namespace dbtouch::cache
+
+#endif  // DBTOUCH_CACHE_BLOCK_CACHE_H_

@@ -1,0 +1,53 @@
+#include "cache/hash_table_cache.h"
+
+#include "common/macros.h"
+
+namespace dbtouch::cache {
+
+HashTableCache::HashTableCache(std::size_t capacity) : capacity_(capacity) {
+  DBTOUCH_CHECK(capacity > 0);
+}
+
+std::string HashTableCache::MakeKey(const std::string& join_id, int level) {
+  return join_id + "@L" + std::to_string(level);
+}
+
+std::shared_ptr<exec::SymmetricHashJoin> HashTableCache::Get(
+    const std::string& key) {
+  ++stats_.lookups;
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    return nullptr;
+  }
+  ++stats_.hits;
+  TouchLru(key);
+  return it->second.join;
+}
+
+void HashTableCache::Put(const std::string& key,
+                         std::shared_ptr<exec::SymmetricHashJoin> join) {
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.join = std::move(join);
+    TouchLru(key);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{std::move(join), lru_.begin()});
+  ++stats_.inserts;
+}
+
+void HashTableCache::TouchLru(const std::string& key) {
+  auto it = map_.find(key);
+  DBTOUCH_CHECK(it != map_.end());
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  it->second.lru_it = lru_.begin();
+}
+
+}  // namespace dbtouch::cache

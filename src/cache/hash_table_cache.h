@@ -1,0 +1,60 @@
+// Hash-table cache for joins: "caching of hash tables across the various
+// sample copies can enhance future queries" (Section 2.9 "Joins").
+//
+// Keyed by (join identity, sample level); holds live SymmetricHashJoin
+// instances so a re-opened join session at the same granularity resumes
+// with all previously fed tuples already in its tables.
+
+#ifndef DBTOUCH_CACHE_HASH_TABLE_CACHE_H_
+#define DBTOUCH_CACHE_HASH_TABLE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "exec/join.h"
+
+namespace dbtouch::cache {
+
+struct HashTableCacheStats {
+  std::int64_t lookups = 0;
+  std::int64_t hits = 0;
+  std::int64_t inserts = 0;
+  std::int64_t evictions = 0;
+};
+
+class HashTableCache {
+ public:
+  explicit HashTableCache(std::size_t capacity = 8);
+
+  /// Cache key: join identity (e.g. "orders.cid=cust.id") + sample level.
+  static std::string MakeKey(const std::string& join_id, int level);
+
+  /// Returns the cached join for `key`, or nullptr.
+  std::shared_ptr<exec::SymmetricHashJoin> Get(const std::string& key);
+
+  /// Inserts (LRU-evicting) a join state under `key`.
+  void Put(const std::string& key,
+           std::shared_ptr<exec::SymmetricHashJoin> join);
+
+  const HashTableCacheStats& stats() const { return stats_; }
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  void TouchLru(const std::string& key);
+
+  std::size_t capacity_;
+  std::list<std::string> lru_;  // Front = most recent.
+  struct Entry {
+    std::shared_ptr<exec::SymmetricHashJoin> join;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::unordered_map<std::string, Entry> map_;
+  HashTableCacheStats stats_;
+};
+
+}  // namespace dbtouch::cache
+
+#endif  // DBTOUCH_CACHE_HASH_TABLE_CACHE_H_

@@ -1,0 +1,59 @@
+// Minimal leveled logging for dbTouch.
+//
+// Logging goes to stderr and is off below the global threshold; benchmarks
+// set the threshold to kWarning so hot paths stay quiet.
+
+#ifndef DBTOUCH_COMMON_LOGGING_H_
+#define DBTOUCH_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dbtouch {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Sets the global minimum level that is emitted. Thread-compatible: set it
+/// once at start-up.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits on destruction. Use via DBTOUCH_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dbtouch
+
+/// DBTOUCH_LOG(kInfo) << "loaded " << n << " tuples";
+#define DBTOUCH_LOG(level)                                        \
+  ::dbtouch::internal::LogMessage(::dbtouch::LogLevel::level,     \
+                                  __FILE__, __LINE__)
+
+#endif  // DBTOUCH_COMMON_LOGGING_H_

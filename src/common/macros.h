@@ -1,0 +1,60 @@
+// Propagation and checking macros shared across dbTouch.
+
+#ifndef DBTOUCH_COMMON_MACROS_H_
+#define DBTOUCH_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define DBTOUCH_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::dbtouch::Status dbtouch_status_tmp_ = (expr);   \
+    if (!dbtouch_status_tmp_.ok()) {                  \
+      return dbtouch_status_tmp_;                     \
+    }                                                 \
+  } while (false)
+
+#define DBTOUCH_MACRO_CONCAT_INNER(a, b) a##b
+#define DBTOUCH_MACRO_CONCAT(a, b) DBTOUCH_MACRO_CONCAT_INNER(a, b)
+
+/// Evaluates `rexpr` (a Result<T> expression); on success assigns the value
+/// to `lhs`, otherwise returns the error Status from the enclosing function.
+///
+///   DBTOUCH_ASSIGN_OR_RETURN(auto column, table.GetColumn("price"));
+#define DBTOUCH_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  DBTOUCH_ASSIGN_OR_RETURN_IMPL(                                          \
+      DBTOUCH_MACRO_CONCAT(dbtouch_result_tmp_, __LINE__), lhs, rexpr)
+
+#define DBTOUCH_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) {                                     \
+    return tmp.status();                               \
+  }                                                    \
+  lhs = std::move(tmp).value()
+
+/// Fatal invariant check, active in all build types. dbTouch uses this for
+/// programmer errors (broken invariants), never for data-dependent errors,
+/// which flow through Status.
+#define DBTOUCH_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "DBTOUCH_CHECK failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #cond);                           \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#define DBTOUCH_CHECK_OK(expr)                                             \
+  do {                                                                     \
+    ::dbtouch::Status dbtouch_check_status_ = (expr);                      \
+    if (!dbtouch_check_status_.ok()) {                                     \
+      std::fprintf(stderr, "DBTOUCH_CHECK_OK failed at %s:%d: %s\n",       \
+                   __FILE__, __LINE__,                                     \
+                   dbtouch_check_status_.ToString().c_str());              \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#endif  // DBTOUCH_COMMON_MACROS_H_

@@ -1,0 +1,67 @@
+// Result<T>: value-or-Status, dbTouch's equivalent of absl::StatusOr<T>.
+
+#ifndef DBTOUCH_COMMON_RESULT_H_
+#define DBTOUCH_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dbtouch {
+
+/// Holds either a T or a non-OK Status explaining why the T is absent.
+///
+/// Accessing value() on an error Result is a programming error and asserts
+/// in debug builds; callers must check ok() or use the
+/// DBTOUCH_ASSIGN_OR_RETURN macro (macros.h).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success case).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status. `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// OK if a value is present, else the stored error.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+ private:
+  Status status_;  // OK iff value_ present.
+  std::optional<T> value_;
+};
+
+}  // namespace dbtouch
+
+#endif  // DBTOUCH_COMMON_RESULT_H_

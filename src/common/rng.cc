@@ -1,0 +1,121 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace dbtouch {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(sm);
+  }
+}
+
+std::uint64_t Rng::NextUint64() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  DBTOUCH_CHECK(bound > 0);
+  // Debiased modulo (Lemire-style rejection kept simple).
+  const std::uint64_t threshold = (-bound) % bound;
+  for (;;) {
+    const std::uint64_t r = NextUint64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+std::int64_t Rng::NextInt64(std::int64_t lo, std::int64_t hi) {
+  DBTOUCH_CHECK(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // Full 64-bit range.
+    return static_cast<std::int64_t>(NextUint64());
+  }
+  return lo + static_cast<std::int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = NextDouble(-1.0, 1.0);
+    v = NextDouble(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  have_cached_gaussian_ = true;
+  return u * factor;
+}
+
+bool Rng::NextBernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return NextDouble() < p;
+}
+
+Rng Rng::Fork() {
+  return Rng(NextUint64());
+}
+
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double skew)
+    : n_(n), skew_(skew) {
+  DBTOUCH_CHECK(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf_[i] = acc;
+  }
+  const double total = acc;
+  for (auto& c : cdf_) {
+    c /= total;
+  }
+}
+
+std::uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace dbtouch

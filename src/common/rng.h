@@ -1,0 +1,70 @@
+// Deterministic random number generation for data generators, traces and
+// the simulated network. All randomness in dbTouch flows through Rng so
+// experiments are reproducible from a single seed.
+
+#ifndef DBTOUCH_COMMON_RNG_H_
+#define DBTOUCH_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dbtouch {
+
+/// xoshiro256** seeded via splitmix64. Not cryptographic; fast and
+/// statistically solid for synthetic workloads.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t NextUint64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInt64(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Standard normal via Marsaglia polar; deterministic per stream.
+  double NextGaussian();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Forks an independent stream; the child is a pure function of the
+  /// parent state, so forking is itself deterministic.
+  Rng Fork();
+
+ private:
+  std::uint64_t state_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Zipf(s) sampler over ranks [0, n). Precomputes the CDF once (O(n)) and
+/// samples in O(log n); suitable for n up to ~10^7.
+class ZipfDistribution {
+ public:
+  /// `skew` = 0 degenerates to uniform; typical skews are 0.5–1.5.
+  ZipfDistribution(std::uint64_t n, double skew);
+
+  std::uint64_t Sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double skew() const { return skew_; }
+
+ private:
+  std::uint64_t n_;
+  double skew_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace dbtouch
+
+#endif  // DBTOUCH_COMMON_RNG_H_

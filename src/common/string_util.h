@@ -1,0 +1,35 @@
+// Small string helpers used across modules (formatting of report tables,
+// byte counts, joining).
+
+#ifndef DBTOUCH_COMMON_STRING_UTIL_H_
+#define DBTOUCH_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dbtouch {
+
+/// Joins `parts` with `sep`: Join({"a","b"}, ", ") -> "a, b".
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single character, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// "1.5 KiB", "3.2 MiB", ... (binary units).
+std::string HumanBytes(std::uint64_t bytes);
+
+/// Fixed-point decimal: FormatDouble(1.23456, 2) -> "1.23".
+std::string FormatDouble(double v, int decimals);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+}  // namespace dbtouch
+
+#endif  // DBTOUCH_COMMON_STRING_UTIL_H_

@@ -1,0 +1,100 @@
+#include "core/ascii_screen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dbtouch::core {
+
+namespace {
+
+struct Grid {
+  int columns;
+  int rows;
+  std::vector<std::string> lines;
+
+  Grid(int c, int r) : columns(c), rows(r),
+                       lines(static_cast<std::size_t>(r),
+                             std::string(static_cast<std::size_t>(c), ' ')) {}
+
+  void Put(int col, int row, char ch) {
+    if (col >= 0 && col < columns && row >= 0 && row < rows) {
+      lines[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          ch;
+    }
+  }
+
+  void PutText(int col, int row, const std::string& text) {
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      Put(col + static_cast<int>(i), row, text[i]);
+    }
+  }
+};
+
+}  // namespace
+
+std::string RenderScreen(Kernel& kernel, const AsciiScreenOptions& options) {
+  const auto& device = kernel.device().config();
+  Grid grid(options.columns, options.rows);
+  const double x_scale =
+      static_cast<double>(options.columns - 1) / device.screen_width_cm;
+  const double y_scale =
+      static_cast<double>(options.rows - 1) / device.screen_height_cm;
+  const auto to_col = [&](double x_cm) {
+    return static_cast<int>(std::lround(x_cm * x_scale));
+  };
+  const auto to_row = [&](double y_cm) {
+    return static_cast<int>(std::lround(y_cm * y_scale));
+  };
+
+  // Object frames.
+  for (const ObjectId id : kernel.ListObjects()) {
+    const auto view = kernel.object_view(id);
+    if (!view.ok()) {
+      continue;
+    }
+    const touch::RectCm& f = (*view)->frame();
+    const int left = to_col(f.x);
+    const int right = to_col(f.x + f.width);
+    const int top = to_row(f.y);
+    const int bottom = to_row(f.y + f.height);
+    for (int c = left; c <= right; ++c) {
+      grid.Put(c, top, '-');
+      grid.Put(c, bottom, '-');
+    }
+    for (int r = top; r <= bottom; ++r) {
+      grid.Put(left, r, '|');
+      grid.Put(right, r, '|');
+    }
+    grid.Put(left, top, '+');
+    grid.Put(right, top, '+');
+    grid.Put(left, bottom, '+');
+    grid.Put(right, bottom, '+');
+    grid.PutText(left + 1, top, (*view)->name().substr(
+                                    0, static_cast<std::size_t>(std::max(
+                                           right - left - 1, 0))));
+  }
+
+  // Visible results, oldest first so fresh values overdraw faded ones.
+  for (const VisibleResult& v :
+       kernel.results().VisibleAt(kernel.clock().now())) {
+    const int col = to_col(v.item->screen_position.x);
+    const int row = to_row(v.item->screen_position.y);
+    if (v.opacity < options.dim_threshold) {
+      grid.Put(col, row, '.');
+    } else {
+      grid.PutText(col, row, v.item->value.ToString().substr(0, 8));
+    }
+  }
+
+  std::string out;
+  out.reserve(static_cast<std::size_t>(options.rows) *
+              static_cast<std::size_t>(options.columns + 1));
+  for (const std::string& line : grid.lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dbtouch::core

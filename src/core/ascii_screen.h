@@ -1,0 +1,30 @@
+// ASCII rendering of the kernel's screen: the terminal stand-in for the
+// paper's Figure 2 screenshots. Data objects draw as boxes; results pop
+// up beside the touch position and fade with age (bold digits -> dots).
+
+#ifndef DBTOUCH_CORE_ASCII_SCREEN_H_
+#define DBTOUCH_CORE_ASCII_SCREEN_H_
+
+#include <string>
+
+#include "core/kernel.h"
+
+namespace dbtouch::core {
+
+struct AsciiScreenOptions {
+  /// Character-grid resolution the physical screen maps onto.
+  int columns = 78;
+  int rows = 22;
+  /// Results older than this fraction of the fade window render as dots.
+  double dim_threshold = 0.4;
+};
+
+/// Renders the screen at the kernel's current virtual time: every data
+/// object's frame (with its name), and every still-visible result from
+/// the result stream at its on-screen position.
+std::string RenderScreen(Kernel& kernel,
+                         const AsciiScreenOptions& options = {});
+
+}  // namespace dbtouch::core
+
+#endif  // DBTOUCH_CORE_ASCII_SCREEN_H_

@@ -1,0 +1,702 @@
+#include "core/kernel.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "exec/summary.h"
+#include "index/level_index_set.h"
+#include "touch/touch_mapper.h"
+
+namespace dbtouch::core {
+
+using gesture::GestureEvent;
+using gesture::GesturePhase;
+using gesture::GestureType;
+using storage::RowId;
+using touch::DataObjectView;
+using touch::ObjectKind;
+using touch::TouchMapping;
+
+namespace {
+
+std::int64_t NowWallNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* ActionKindName(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kScan:
+      return "scan";
+    case ActionKind::kAggregate:
+      return "aggregate";
+    case ActionKind::kSummary:
+      return "summary";
+    case ActionKind::kFilteredScan:
+      return "filtered-scan";
+    case ActionKind::kGroupBy:
+      return "group-by";
+  }
+  return "?";
+}
+
+/// Everything the kernel knows about one on-screen data object.
+struct Kernel::ObjectState {
+  ObjectId id = 0;
+  DataObjectView* view = nullptr;  // Owned by root_view_.
+  std::shared_ptr<storage::Table> table;
+  /// Column index for column objects.
+  std::optional<std::size_t> column;
+  /// Sample hierarchy over the bound column (column objects only).
+  std::unique_ptr<sampling::SampleHierarchy> hierarchy;
+  ActionConfig action;
+  /// Per-action operator state (reset on SetAction).
+  std::unique_ptr<exec::TouchedAggregateOp> agg_op;
+  std::unique_ptr<exec::FilteredScanOp> filter_op;
+  std::unique_ptr<exec::IncrementalGroupBy> groupby_op;
+  /// In-flight incremental layout rotation.
+  std::unique_ptr<layout::IncrementalRotator> rotator;
+  /// Per-sample-level indexes, built lazily when an action wants them.
+  std::unique_ptr<index::LevelIndexSet> indexes;
+  ObjectStats stats;
+  /// Rotation gesture latch: fire once per gesture.
+  bool rotation_fired_this_gesture = false;
+
+  storage::ColumnView BaseColumn() const {
+    if (column.has_value()) {
+      return table->ColumnViewAt(*column);
+    }
+    return table->ColumnViewAt(0);
+  }
+};
+
+Kernel::Kernel(const KernelConfig& config)
+    : config_(config),
+      device_(config.device),
+      recognizer_(config.recognizer),
+      root_view_("screen",
+                 touch::RectCm{0.0, 0.0, config.device.screen_width_cm,
+                               config.device.screen_height_cm}),
+      results_(config.result_fade_us),
+      sessions_(config.session_idle_gap_us) {}
+
+Kernel::~Kernel() = default;
+
+Status Kernel::RegisterTable(std::shared_ptr<storage::Table> table) {
+  return catalog_.Register(std::move(table));
+}
+
+Result<ObjectId> Kernel::CreateColumnObject(const std::string& table,
+                                            const std::string& column,
+                                            const touch::RectCm& frame) {
+  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> t,
+                           catalog_.Get(table));
+  DBTOUCH_ASSIGN_OR_RETURN(const std::size_t col,
+                           t->schema().FieldIndex(column));
+  auto state = std::make_unique<ObjectState>();
+  state->id = next_object_id_++;
+  state->table = t;
+  state->column = col;
+
+  auto view = std::make_unique<DataObjectView>(
+      table + "." + column, frame, ObjectKind::kColumn, t->row_count(), 1);
+  view->BindColumn(table, col);
+  state->view =
+      static_cast<DataObjectView*>(root_view_.AddChild(std::move(view)));
+
+  state->hierarchy = std::make_unique<sampling::SampleHierarchy>(
+      t->ColumnViewAt(col), config_.sampling);
+
+  const ObjectId id = state->id;
+  objects_.emplace(id, std::move(state));
+  return id;
+}
+
+Result<ObjectId> Kernel::CreateTableObject(const std::string& table,
+                                           const touch::RectCm& frame) {
+  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> t,
+                           catalog_.Get(table));
+  auto state = std::make_unique<ObjectState>();
+  state->id = next_object_id_++;
+  state->table = t;
+
+  auto view = std::make_unique<DataObjectView>(
+      table, frame, ObjectKind::kTable, t->row_count(),
+      t->schema().num_fields());
+  view->BindTable(table);
+  state->view =
+      static_cast<DataObjectView*>(root_view_.AddChild(std::move(view)));
+
+  const ObjectId id = state->id;
+  objects_.emplace(id, std::move(state));
+  return id;
+}
+
+Status Kernel::DestroyObject(ObjectId id) {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + std::to_string(id));
+  }
+  if (gesture_target_ == it->second.get()) {
+    gesture_target_ = nullptr;
+  }
+  std::erase_if(joins_, [id](const JoinBinding& b) {
+    return b.left == id || b.right == id;
+  });
+  root_view_.RemoveChild(it->second->view);
+  objects_.erase(it);
+  return Status::OK();
+}
+
+Result<DataObjectView*> Kernel::object_view(ObjectId id) {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + std::to_string(id));
+  }
+  return it->second->view;
+}
+
+std::vector<ObjectId> Kernel::ListObjects() const {
+  std::vector<ObjectId> out;
+  out.reserve(objects_.size());
+  for (const auto& [id, state] : objects_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+Status Kernel::SetAction(ObjectId id, const ActionConfig& action) {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + std::to_string(id));
+  }
+  ObjectState* obj = it->second.get();
+  if (action.kind == ActionKind::kGroupBy) {
+    if (obj->view->kind() != ObjectKind::kTable) {
+      return Status::InvalidArgument("group-by requires a table object");
+    }
+    const std::size_t fields = obj->table->schema().num_fields();
+    if (action.group_key_attribute >= fields ||
+        action.group_value_attribute >= fields) {
+      return Status::OutOfRange("group-by attribute out of range");
+    }
+    const storage::DataType key_type =
+        obj->table->schema().field(action.group_key_attribute).type;
+    if (key_type == storage::DataType::kFloat ||
+        key_type == storage::DataType::kDouble) {
+      return Status::InvalidArgument(
+          "group-by key must be integer or string");
+    }
+  }
+  obj->action = action;
+  // A new action is a new logical query: clear operator state.
+  obj->agg_op.reset();
+  obj->filter_op.reset();
+  obj->groupby_op.reset();
+  switch (action.kind) {
+    case ActionKind::kAggregate:
+      obj->agg_op = std::make_unique<exec::TouchedAggregateOp>(
+          obj->BaseColumn(), action.agg);
+      break;
+    case ActionKind::kFilteredScan:
+      DBTOUCH_CHECK(action.predicate.has_value());
+      obj->filter_op = std::make_unique<exec::FilteredScanOp>(
+          obj->BaseColumn(), *action.predicate);
+      break;
+    case ActionKind::kGroupBy:
+      obj->groupby_op = std::make_unique<exec::IncrementalGroupBy>(
+          obj->table->ColumnViewAt(action.group_key_attribute),
+          obj->table->ColumnViewAt(action.group_value_attribute),
+          action.agg);
+      break;
+    case ActionKind::kScan:
+    case ActionKind::kSummary:
+      break;  // Stateless per touch.
+  }
+  return Status::OK();
+}
+
+Status Kernel::EnableJoin(ObjectId left, ObjectId right) {
+  const auto lit = objects_.find(left);
+  const auto rit = objects_.find(right);
+  if (lit == objects_.end() || rit == objects_.end()) {
+    return Status::NotFound("join endpoint object missing");
+  }
+  ObjectState* l = lit->second.get();
+  ObjectState* r = rit->second.get();
+  if (!l->column.has_value() || !r->column.has_value()) {
+    return Status::InvalidArgument("joins bind column objects");
+  }
+  const storage::DataType lt = l->BaseColumn().type();
+  const storage::DataType rt = r->BaseColumn().type();
+  if (lt == storage::DataType::kFloat || lt == storage::DataType::kDouble ||
+      rt == storage::DataType::kFloat || rt == storage::DataType::kDouble) {
+    return Status::InvalidArgument("join keys must be integer or string");
+  }
+  JoinBinding binding;
+  binding.left = left;
+  binding.right = right;
+  binding.join = std::make_shared<exec::SymmetricHashJoin>(l->BaseColumn(),
+                                                           r->BaseColumn());
+  joins_.push_back(std::move(binding));
+  return Status::OK();
+}
+
+void Kernel::OnTouch(const sim::TouchEvent& event) {
+  clock_.AdvanceTo(event.timestamp_us);
+  ++stats_.touch_events;
+  const auto gestures = recognizer_.OnTouch(event);
+  for (const GestureEvent& g : gestures) {
+    OnGesture(g);
+  }
+}
+
+void Kernel::Replay(const sim::GestureTrace& trace) {
+  for (const sim::TouchEvent& e : trace.events) {
+    OnTouch(e);
+  }
+}
+
+void Kernel::OnGesture(const GestureEvent& event) {
+  ++stats_.gesture_events;
+
+  if (event.phase == GesturePhase::kBegan) {
+    sessions_.OnGestureBegin(event.timestamp_us);
+    gesture_target_ = FindObjectAt(event.position);
+    applied_pinch_scale_ = 1.0;
+    if (gesture_target_ != nullptr) {
+      gesture_target_->rotation_fired_this_gesture = false;
+    }
+  }
+  // Taps never see a kBegan (they resolve at finger-up), so target them
+  // directly.
+  ObjectState* obj = event.type == GestureType::kTap
+                         ? FindObjectAt(event.position)
+                         : gesture_target_;
+  if (event.type == GestureType::kTap) {
+    sessions_.OnGestureBegin(event.timestamp_us);
+  }
+  if (obj == nullptr) {
+    if (event.phase == GesturePhase::kEnded) {
+      gesture_target_ = nullptr;
+    }
+    return;  // Gesture on empty screen space.
+  }
+
+  const std::int64_t start_ns = NowWallNs();
+  switch (event.type) {
+    case GestureType::kTap:
+      ++stats_.taps;
+      HandleTap(event, obj);
+      break;
+    case GestureType::kSlide:
+      if (event.phase == GesturePhase::kChanged) {
+        ++stats_.slide_steps;
+        HandleSlideStep(event, obj);
+      }
+      break;
+    case GestureType::kPinch:
+      if (event.phase == GesturePhase::kChanged ||
+          event.phase == GesturePhase::kEnded) {
+        ++stats_.pinch_steps;
+        HandlePinchStep(event, obj);
+      }
+      break;
+    case GestureType::kRotate:
+      ++stats_.rotate_steps;
+      HandleRotate(event, obj);
+      break;
+  }
+  // Pending layout rotations convert a bounded chunk per touch.
+  if (obj->rotator != nullptr && !obj->rotator->done()) {
+    obj->rotator->Step();
+    if (obj->rotator->done()) {
+      DBTOUCH_CHECK_OK(obj->rotator->Finish());
+      obj->rotator.reset();
+      ++stats_.layout_rotations;
+    }
+  }
+  const std::int64_t wall = NowWallNs() - start_ns;
+  stats_.exec_wall_ns += wall;
+  stats_.max_touch_wall_ns = std::max(stats_.max_touch_wall_ns, wall);
+
+  sessions_.OnTouch(event.timestamp_us);
+  if (event.phase == GesturePhase::kEnded &&
+      event.type != GestureType::kTap) {
+    gesture_target_ = nullptr;
+  }
+}
+
+Kernel::ObjectState* Kernel::FindObjectAt(const sim::PointCm& screen_point) {
+  touch::View* hit = root_view_.HitTest(screen_point);
+  if (hit == nullptr || hit == &root_view_) {
+    return nullptr;
+  }
+  return FindObjectByView(hit);
+}
+
+Kernel::ObjectState* Kernel::FindObjectByView(const touch::View* view) {
+  for (auto& [id, state] : objects_) {
+    if (state->view == view) {
+      return state.get();
+    }
+  }
+  return nullptr;
+}
+
+sim::PointCm Kernel::ResultPosition(const ObjectState& /*obj*/,
+                                    const sim::PointCm& screen_touch) const {
+  // "Result values are typically shifted slightly sideways from the exact
+  // touch location such as to avoid being hidden below the user finger."
+  sim::PointCm p = screen_touch;
+  p.x += device_.config().finger_width_cm;
+  return p;
+}
+
+void Kernel::HandleTap(const GestureEvent& event, ObjectState* obj) {
+  const sim::PointCm local = obj->view->ScreenToLocal(event.position);
+  const TouchMapping mapping = touch::MapTouch(*obj->view, local);
+  ++obj->stats.touches;
+  sessions_.OnGestureBegin(event.timestamp_us);
+
+  if (obj->view->kind() == ObjectKind::kTable) {
+    // "A single tap anywhere on a table data object reveals a full tuple."
+    const std::size_t fields = obj->table->schema().num_fields();
+    for (std::size_t c = 0; c < fields; ++c) {
+      ResultItem item;
+      item.object = obj->id;
+      item.kind = ResultKind::kTuple;
+      item.timestamp_us = event.timestamp_us;
+      item.screen_position = ResultPosition(*obj, event.position);
+      item.row = mapping.row;
+      item.attribute = c;
+      item.value = obj->table->GetValue(mapping.row, c);
+      results_.Append(std::move(item));
+    }
+    stats_.entries_returned += 1;
+    stats_.rows_scanned += 1;
+    obj->stats.entries_returned += 1;
+    obj->stats.rows_scanned += 1;
+    sessions_.AddEntries(1);
+    sessions_.AddRowsScanned(1);
+    return;
+  }
+  // "A single tap anywhere on a column data object reveals a single
+  // column value."
+  ResultItem item;
+  item.object = obj->id;
+  item.kind = ResultKind::kValue;
+  item.timestamp_us = event.timestamp_us;
+  item.screen_position = ResultPosition(*obj, event.position);
+  item.row = mapping.row;
+  item.value = obj->BaseColumn().GetValue(mapping.row);
+  results_.Append(std::move(item));
+  ++stats_.entries_returned;
+  ++stats_.rows_scanned;
+  ++obj->stats.entries_returned;
+  ++obj->stats.rows_scanned;
+  sessions_.AddEntries(1);
+  sessions_.AddRowsScanned(1);
+}
+
+int Kernel::ChooseLevelFor(const ObjectState& obj,
+                           const GestureEvent& event) const {
+  if (!config_.use_sampling || obj.hierarchy == nullptr) {
+    return 0;
+  }
+  const double extent = obj.view->tuple_axis_extent();
+  const std::int64_t positions = device_.DistinctPositions(extent);
+  // Positions skipped per registered event, from the slide velocity along
+  // the tuple axis.
+  const double axis_velocity =
+      obj.view->orientation() == touch::Orientation::kVertical
+          ? event.velocity_y_cm_s
+          : event.velocity_x_cm_s;
+  const double positions_per_event =
+      std::abs(axis_velocity) * device_.config().points_per_cm /
+      device_.config().touch_event_hz;
+  return sampling::ChooseLevel(obj.table->row_count(), positions,
+                               std::max(positions_per_event, 1.0),
+                               obj.hierarchy->num_levels(),
+                               config_.level_policy);
+}
+
+void Kernel::HandleSlideStep(const GestureEvent& event, ObjectState* obj) {
+  const sim::PointCm local = obj->view->ScreenToLocal(event.position);
+  const TouchMapping mapping = touch::MapTouch(*obj->view, local);
+  ++obj->stats.touches;
+  const std::int64_t entries = ExecuteAction(obj, mapping, event);
+  stats_.entries_returned += entries;
+  obj->stats.entries_returned += entries;
+  sessions_.AddEntries(entries);
+
+  // Slide-driven joins: feed every join this object participates in.
+  for (JoinBinding& binding : joins_) {
+    exec::JoinSide side;
+    if (binding.left == obj->id) {
+      side = exec::JoinSide::kLeft;
+    } else if (binding.right == obj->id) {
+      side = exec::JoinSide::kRight;
+    } else {
+      continue;
+    }
+    const auto matches = binding.join->Feed(side, mapping.row);
+    for (const exec::JoinMatch& m : matches) {
+      ResultItem item;
+      item.object = obj->id;
+      item.kind = ResultKind::kJoinMatch;
+      item.timestamp_us = event.timestamp_us;
+      item.screen_position = ResultPosition(*obj, event.position);
+      item.row = side == exec::JoinSide::kLeft ? m.left_row : m.right_row;
+      item.value = storage::Value(m.key);
+      results_.Append(std::move(item));
+    }
+    stats_.entries_returned += static_cast<std::int64_t>(matches.size());
+  }
+}
+
+std::int64_t Kernel::ExecuteAction(ObjectState* obj,
+                                   const TouchMapping& mapping,
+                                   const GestureEvent& event) {
+  const sim::PointCm result_pos = ResultPosition(*obj, event.position);
+  const RowId base_row = mapping.row;
+
+  switch (obj->action.kind) {
+    case ActionKind::kScan: {
+      ResultItem item;
+      item.object = obj->id;
+      item.kind = ResultKind::kValue;
+      item.timestamp_us = event.timestamp_us;
+      item.screen_position = result_pos;
+      item.row = base_row;
+      item.attribute = mapping.attribute;
+      item.value = obj->view->kind() == ObjectKind::kTable
+                       ? obj->table->GetValue(base_row, mapping.attribute)
+                       : obj->BaseColumn().GetValue(base_row);
+      results_.Append(std::move(item));
+      ++stats_.rows_scanned;
+      ++obj->stats.rows_scanned;
+      sessions_.AddRowsScanned(1);
+      return 1;
+    }
+
+    case ActionKind::kAggregate: {
+      DBTOUCH_CHECK(obj->agg_op != nullptr);
+      obj->agg_op->Feed(base_row);
+      ResultItem item;
+      item.object = obj->id;
+      item.kind = ResultKind::kAggregate;
+      item.timestamp_us = event.timestamp_us;
+      item.screen_position = result_pos;
+      item.row = base_row;
+      item.value = storage::Value(obj->agg_op->value());
+      item.rows_aggregated = obj->agg_op->rows_seen();
+      results_.Append(std::move(item));
+      ++stats_.rows_scanned;
+      ++obj->stats.rows_scanned;
+      sessions_.AddRowsScanned(1);
+      return 1;
+    }
+
+    case ActionKind::kSummary: {
+      // Band semantics: the touch denotes a band of base rows sized by the
+      // chosen level's stride. With sampling, read 2k+1 sample entries;
+      // without, read the full base band (same data region, more reads).
+      const int level = ChooseLevelFor(*obj, event);
+      obj->stats.last_level_used = level;
+      std::int64_t scanned = 0;
+      exec::SummaryResult sr;
+      bool approximate = false;
+      if (level > 0 && obj->hierarchy != nullptr) {
+        exec::InteractiveSummaryOp op(obj->hierarchy->LevelView(level),
+                                      obj->action.summary_k,
+                                      obj->action.agg);
+        sr = op.ComputeAt(obj->hierarchy->FromBaseRow(level, base_row));
+        scanned = op.rows_scanned();
+        // Convert the band back to base rows; the last sample entry
+        // represents its whole stride of base rows.
+        sr.first = obj->hierarchy->ToBaseRow(level, sr.first);
+        sr.last = std::min<RowId>(
+            obj->hierarchy->ToBaseRow(level, sr.last) +
+                obj->hierarchy->LevelStride(level) - 1,
+            obj->table->row_count() - 1);
+        approximate = true;
+      } else {
+        // Base-data band of equivalent width, truncated to the per-touch
+        // budget so one touch can never stall unboundedly.
+        const std::int64_t stride =
+            (obj->hierarchy != nullptr && config_.use_sampling)
+                ? 1
+                : std::max<std::int64_t>(
+                      obj->table->row_count() /
+                          std::max<std::int64_t>(
+                              device_.DistinctPositions(
+                                  obj->view->tuple_axis_extent()),
+                              1),
+                      1);
+        std::int64_t k_base = obj->action.summary_k * stride;
+        k_base = std::min(k_base, config_.max_rows_per_touch / 2);
+        exec::InteractiveSummaryOp op(obj->BaseColumn(), k_base,
+                                      obj->action.agg);
+        sr = op.ComputeAt(base_row);
+        scanned = op.rows_scanned();
+      }
+      ResultItem item;
+      item.object = obj->id;
+      item.kind = ResultKind::kSummary;
+      item.timestamp_us = event.timestamp_us;
+      item.screen_position = result_pos;
+      item.row = base_row;
+      item.value = storage::Value(sr.value);
+      item.band_first = sr.first;
+      item.band_last = sr.last;
+      item.rows_aggregated = sr.rows;
+      item.approximate = approximate;
+      results_.Append(std::move(item));
+      stats_.rows_scanned += scanned;
+      obj->stats.rows_scanned += scanned;
+      sessions_.AddRowsScanned(scanned);
+      return 1;
+    }
+
+    case ActionKind::kFilteredScan: {
+      DBTOUCH_CHECK(obj->filter_op != nullptr);
+      // Index-assisted slide (Section 2.6): if this touch's zone cannot
+      // contain a matching value, answer without reading the data.
+      if (obj->action.use_zone_map && obj->hierarchy != nullptr) {
+        if (obj->indexes == nullptr) {
+          obj->indexes =
+              std::make_unique<index::LevelIndexSet>(obj->hierarchy.get());
+        }
+        const exec::Predicate::Interval window =
+            obj->action.predicate->ValueInterval();
+        if (!obj->indexes->ZoneMapAt(0).MayMatch(base_row, window.lo,
+                                                 window.hi)) {
+          ++stats_.rows_pruned;
+          return 0;
+        }
+      }
+      ++stats_.rows_scanned;
+      ++obj->stats.rows_scanned;
+      sessions_.AddRowsScanned(1);
+      if (!obj->filter_op->Feed(base_row)) {
+        return 0;  // Entry does not satisfy the where-restriction.
+      }
+      ResultItem item;
+      item.object = obj->id;
+      item.kind = ResultKind::kFilterMatch;
+      item.timestamp_us = event.timestamp_us;
+      item.screen_position = result_pos;
+      item.row = base_row;
+      item.value = obj->BaseColumn().GetValue(base_row);
+      results_.Append(std::move(item));
+      return 1;
+    }
+
+    case ActionKind::kGroupBy: {
+      DBTOUCH_CHECK(obj->groupby_op != nullptr);
+      ++stats_.rows_scanned;
+      ++obj->stats.rows_scanned;
+      sessions_.AddRowsScanned(1);
+      if (!obj->groupby_op->Feed(base_row)) {
+        return 0;  // Revisited tuple.
+      }
+      // Surface the touched tuple's group with its fresh aggregate.
+      const storage::ColumnView keys =
+          obj->table->ColumnViewAt(obj->action.group_key_attribute);
+      const std::int64_t key =
+          keys.type() == storage::DataType::kInt64 ? keys.GetInt64(base_row)
+                                                   : keys.GetInt32(base_row);
+      double group_value = 0.0;
+      std::int64_t group_count = 0;
+      for (const auto& g : obj->groupby_op->Snapshot()) {
+        if (g.key == key) {
+          group_value = g.value;
+          group_count = g.count;
+          break;
+        }
+      }
+      ResultItem item;
+      item.object = obj->id;
+      item.kind = ResultKind::kGroupUpdate;
+      item.timestamp_us = event.timestamp_us;
+      item.screen_position = result_pos;
+      item.row = base_row;
+      item.attribute = obj->action.group_key_attribute;
+      item.value = storage::Value(group_value);
+      item.rows_aggregated = group_count;
+      results_.Append(std::move(item));
+      return 1;
+    }
+  }
+  return 0;
+}
+
+void Kernel::HandlePinchStep(const GestureEvent& event, ObjectState* obj) {
+  // GestureEvent carries cumulative scale; apply only the delta.
+  if (event.pinch_scale <= 0.0 || applied_pinch_scale_ <= 0.0) {
+    return;
+  }
+  const double step = event.pinch_scale / applied_pinch_scale_;
+  applied_pinch_scale_ = event.pinch_scale;
+  obj->view->ApplyZoom(step, config_.zoom_min_extent_cm,
+                       config_.zoom_max_extent_cm);
+}
+
+void Kernel::HandleRotate(const GestureEvent& event, ObjectState* obj) {
+  if (obj->rotation_fired_this_gesture) {
+    return;
+  }
+  if (std::abs(event.rotation_rad) < config_.rotation_trigger_rad) {
+    return;
+  }
+  obj->rotation_fired_this_gesture = true;
+  obj->view->FlipOrientation();
+  if (obj->view->kind() == ObjectKind::kTable) {
+    // "Rotating a row-oriented table changes its physical layout to a
+    // column-store structure ... (and vice versa)" — incrementally.
+    const storage::MajorOrder target =
+        obj->table->layout() == storage::MajorOrder::kRowMajor
+            ? storage::MajorOrder::kColumnMajor
+            : storage::MajorOrder::kRowMajor;
+    obj->rotator = std::make_unique<layout::IncrementalRotator>(
+        obj->table.get(), target, config_.rotation_rows_per_step);
+  }
+}
+
+Result<const ObjectStats*> Kernel::object_stats(ObjectId id) const {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + std::to_string(id));
+  }
+  return const_cast<const ObjectStats*>(&it->second->stats);
+}
+
+Result<bool> Kernel::rotation_in_progress(ObjectId id) const {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + std::to_string(id));
+  }
+  return it->second->rotator != nullptr && !it->second->rotator->done();
+}
+
+void Kernel::PumpMaintenance() {
+  for (auto& [id, obj] : objects_) {
+    if (obj->rotator != nullptr && !obj->rotator->done()) {
+      obj->rotator->Step();
+    }
+    if (obj->rotator != nullptr && obj->rotator->done()) {
+      DBTOUCH_CHECK_OK(obj->rotator->Finish());
+      obj->rotator.reset();
+      ++stats_.layout_rotations;
+    }
+  }
+}
+
+}  // namespace dbtouch::core

@@ -1,0 +1,219 @@
+// The dbTouch kernel: the per-touch pipeline of paper Figure 3.
+//
+//   Operating system (sim):  recognise touch
+//   Gesture layer:           recognise gesture
+//   dbTouch:                 map touch to data, execute
+//
+// "This flow is not per query as it is in database systems; instead,
+// dbTouch goes through these steps for every touch input on a data
+// object." The kernel owns the catalog binding, the view hierarchy, the
+// sample hierarchies, per-object operator state, the result stream and the
+// session tracker. It is the public API of the library: examples and
+// benchmarks drive everything through it.
+
+#ifndef DBTOUCH_CORE_KERNEL_H_
+#define DBTOUCH_CORE_KERNEL_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/action.h"
+#include "core/result_stream.h"
+#include "core/session.h"
+#include "exec/groupby.h"
+#include "exec/join.h"
+#include "gesture/recognizer.h"
+#include "layout/rotation.h"
+#include "sampling/level_policy.h"
+#include "sampling/sample_hierarchy.h"
+#include "sim/touch_device.h"
+#include "sim/touch_event.h"
+#include "sim/virtual_clock.h"
+#include "storage/catalog.h"
+#include "touch/data_object_view.h"
+#include "touch/touch_mapper.h"
+#include "touch/view.h"
+
+namespace dbtouch::core {
+
+struct KernelConfig {
+  sim::TouchDeviceConfig device;
+  gesture::RecognizerConfig recognizer;
+  sampling::SampleHierarchyConfig sampling;
+  sampling::LevelPolicyConfig level_policy;
+  /// Feed from the sample hierarchy level matching object size and gesture
+  /// speed (paper Section 2.6). Off = always read base data; the
+  /// ABL-SAMPLE benchmark flips this.
+  bool use_sampling = true;
+  /// How long results stay on screen before fading (Section 2.3).
+  sim::Micros result_fade_us = 1'500'000;
+  /// Zoom clamp for pinch gestures (cm per axis).
+  double zoom_min_extent_cm = 1.0;
+  double zoom_max_extent_cm = 25.0;
+  /// Hard bound on entries read for one touch — the paper's "maximum
+  /// possible wait time for a single touch regardless of the query and the
+  /// data sizes" (Section 4). Summary bands truncate to it.
+  std::int64_t max_rows_per_touch = 1'000'000;
+  /// Rows converted per touch while an incremental layout rotation is in
+  /// flight (Section 2.8: "changing the layout can be done in steps").
+  std::int64_t rotation_rows_per_step = 65'536;
+  /// Rotation gestures beyond this angle trigger the layout change.
+  double rotation_trigger_rad = 0.8;
+  /// Idle gap that splits query sessions.
+  sim::Micros session_idle_gap_us = 3'000'000;
+};
+
+struct KernelStats {
+  std::int64_t touch_events = 0;
+  std::int64_t gesture_events = 0;
+  std::int64_t taps = 0;
+  std::int64_t slide_steps = 0;
+  std::int64_t pinch_steps = 0;
+  std::int64_t rotate_steps = 0;
+  std::int64_t entries_returned = 0;
+  std::int64_t rows_scanned = 0;
+  /// Touches answered "no match possible" from the zone map alone,
+  /// without reading the data.
+  std::int64_t rows_pruned = 0;
+  std::int64_t layout_rotations = 0;
+  /// Wall time spent inside per-touch execution (ns), and its max over
+  /// any single touch — the interactivity headline number.
+  std::int64_t exec_wall_ns = 0;
+  std::int64_t max_touch_wall_ns = 0;
+};
+
+struct ObjectStats {
+  std::int64_t touches = 0;
+  std::int64_t entries_returned = 0;
+  std::int64_t rows_scanned = 0;
+  int last_level_used = 0;
+};
+
+class Kernel {
+ public:
+  explicit Kernel(const KernelConfig& config = {});
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // ---- Catalog & data objects -------------------------------------------
+
+  storage::Catalog& catalog() { return catalog_; }
+  const sim::TouchDevice& device() const { return device_; }
+  sim::VirtualClock& clock() { return clock_; }
+  const KernelConfig& config() const { return config_; }
+
+  /// Registers a table and is the usual way data enters the kernel.
+  Status RegisterTable(std::shared_ptr<storage::Table> table);
+
+  /// Creates a column-shaped data object bound to `table.column`, placed
+  /// at `frame` on screen. Builds its sample hierarchy.
+  Result<ObjectId> CreateColumnObject(const std::string& table,
+                                      const std::string& column,
+                                      const touch::RectCm& frame);
+
+  /// Creates a fat-rectangle table object bound to the whole table.
+  Result<ObjectId> CreateTableObject(const std::string& table,
+                                     const touch::RectCm& frame);
+
+  Status DestroyObject(ObjectId id);
+
+  /// The object's view (frame, orientation, ...). Borrowed pointer, owned
+  /// by the kernel's view hierarchy.
+  Result<touch::DataObjectView*> object_view(ObjectId id);
+
+  /// Ids of all live data objects, in creation order.
+  std::vector<ObjectId> ListObjects() const;
+
+  /// Sets what gestures on the object compute. Resets per-object operator
+  /// state (a new choice of action starts a new logical query).
+  Status SetAction(ObjectId id, const ActionConfig& action);
+
+  /// Declares a slide-driven join between the bound columns of two column
+  /// objects. Sliding over either feeds that side; matches stream out as
+  /// results (Section 2.9).
+  Status EnableJoin(ObjectId left, ObjectId right);
+
+  // ---- The OS feed -------------------------------------------------------
+
+  /// The per-touch pipeline. Advances the virtual clock to the event's
+  /// timestamp, recognises gestures, maps and executes.
+  void OnTouch(const sim::TouchEvent& event);
+
+  /// Feeds a whole trace through OnTouch.
+  void Replay(const sim::GestureTrace& trace);
+
+  // ---- Results & introspection -------------------------------------------
+
+  ResultStream& results() { return results_; }
+  const KernelStats& stats() const { return stats_; }
+  Result<const ObjectStats*> object_stats(ObjectId id) const;
+
+  SessionTracker& sessions() { return sessions_; }
+
+  /// Whether an incremental layout rotation is still converting.
+  Result<bool> rotation_in_progress(ObjectId id) const;
+
+  /// Drives background maintenance (pending rotation steps) without user
+  /// input, e.g. while the device is idle.
+  void PumpMaintenance();
+
+ private:
+  struct ObjectState;
+
+  void OnGesture(const gesture::GestureEvent& event);
+  void HandleTap(const gesture::GestureEvent& event, ObjectState* obj);
+  void HandleSlideStep(const gesture::GestureEvent& event, ObjectState* obj);
+  void HandlePinchStep(const gesture::GestureEvent& event, ObjectState* obj);
+  void HandleRotate(const gesture::GestureEvent& event, ObjectState* obj);
+
+  /// Executes the object's action for the touch mapped to `mapping`,
+  /// appending results. Returns entries returned.
+  std::int64_t ExecuteAction(ObjectState* obj,
+                             const touch::TouchMapping& mapping,
+                             const gesture::GestureEvent& event);
+
+  /// Chooses the sample level for this slide step.
+  int ChooseLevelFor(const ObjectState& obj,
+                     const gesture::GestureEvent& event) const;
+
+  ObjectState* FindObjectAt(const sim::PointCm& screen_point);
+  ObjectState* FindObjectByView(const touch::View* view);
+
+  sim::PointCm ResultPosition(const ObjectState& obj,
+                              const sim::PointCm& screen_touch) const;
+
+  KernelConfig config_;
+  sim::TouchDevice device_;
+  sim::VirtualClock clock_;
+  gesture::GestureRecognizer recognizer_;
+  storage::Catalog catalog_;
+  touch::View root_view_;
+  ResultStream results_;
+  SessionTracker sessions_;
+  KernelStats stats_;
+
+  std::map<ObjectId, std::unique_ptr<ObjectState>> objects_;
+  ObjectId next_object_id_ = 1;
+  /// Object locked as the target while a gesture is in flight.
+  ObjectState* gesture_target_ = nullptr;
+  /// Cumulative pinch scale already applied to the target this gesture.
+  double applied_pinch_scale_ = 1.0;
+  /// Joins: each entry links two objects to a shared live join.
+  struct JoinBinding {
+    ObjectId left;
+    ObjectId right;
+    std::shared_ptr<exec::SymmetricHashJoin> join;
+  };
+  std::vector<JoinBinding> joins_;
+};
+
+}  // namespace dbtouch::core
+
+#endif  // DBTOUCH_CORE_KERNEL_H_

@@ -1,0 +1,97 @@
+// ResultStream: dbTouch's result presentation model (paper Section 2.3,
+// "Inspecting Results"): "results appear in place, i.e., as if every
+// single result value pops up from the position in the data object where
+// the raw value responsible for this result lies ... Soon after a result
+// value becomes visible, it subsequently fades away."
+//
+// The stream records every produced result with its on-screen position and
+// timestamp; VisibleAt() reconstructs what the user sees at any instant
+// (bold for fresh results, faded out after the fade window).
+
+#ifndef DBTOUCH_CORE_RESULT_STREAM_H_
+#define DBTOUCH_CORE_RESULT_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/touch_event.h"
+#include "sim/virtual_clock.h"
+#include "storage/types.h"
+#include "storage/value.h"
+
+namespace dbtouch::core {
+
+using ObjectId = std::int64_t;
+
+enum class ResultKind : std::uint8_t {
+  kValue = 0,        // Plain scan: one data entry.
+  kTuple = 1,        // Table tap: one attribute of a revealed tuple.
+  kAggregate = 2,    // Running aggregate update.
+  kSummary = 3,      // Interactive summary of a row band.
+  kFilterMatch = 4,  // Entry passing the where-restriction.
+  kJoinMatch = 5,    // Pair produced by a slide-driven join.
+  kGroupUpdate = 6,  // Group-by bucket update.
+};
+
+const char* ResultKindName(ResultKind kind);
+
+struct ResultItem {
+  ObjectId object = 0;
+  ResultKind kind = ResultKind::kValue;
+  sim::Micros timestamp_us = 0;
+  /// Where the value pops up (screen cm; shifted sideways from the touch
+  /// so the finger does not hide it).
+  sim::PointCm screen_position;
+  /// Base row responsible for the result (band centre for summaries).
+  storage::RowId row = 0;
+  std::size_t attribute = 0;
+  storage::Value value;
+  /// Summary extras: the base-row band aggregated and how many entries
+  /// were actually read to produce it.
+  storage::RowId band_first = 0;
+  storage::RowId band_last = 0;
+  std::int64_t rows_aggregated = 0;
+  /// True when produced from a sample rather than base data.
+  bool approximate = false;
+};
+
+struct VisibleResult {
+  const ResultItem* item;
+  /// 1.0 = just appeared (bold), decaying linearly to 0.0 at the fade
+  /// deadline.
+  double opacity;
+};
+
+class ResultStream {
+ public:
+  /// `fade_us`: how long a result stays visible after appearing.
+  explicit ResultStream(sim::Micros fade_us = 1'500'000)
+      : fade_us_(fade_us) {}
+
+  void Append(ResultItem item) { items_.push_back(std::move(item)); }
+
+  const std::vector<ResultItem>& items() const { return items_; }
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(items_.size());
+  }
+  const ResultItem& back() const { return items_.back(); }
+
+  /// Results still on screen at `now`, most recent last, with opacities.
+  std::vector<VisibleResult> VisibleAt(sim::Micros now) const;
+
+  /// Count of items of the given kind.
+  std::int64_t CountKind(ResultKind kind) const;
+
+  void Clear() { items_.clear(); }
+
+  sim::Micros fade_us() const { return fade_us_; }
+
+ private:
+  sim::Micros fade_us_;
+  std::vector<ResultItem> items_;
+};
+
+}  // namespace dbtouch::core
+
+#endif  // DBTOUCH_CORE_RESULT_STREAM_H_

@@ -1,0 +1,48 @@
+#include "core/session.h"
+
+namespace dbtouch::core {
+
+void SessionTracker::OnGestureBegin(sim::Micros now) {
+  if (active_ && now - last_activity_us_ > idle_gap_us_) {
+    EndSession(last_activity_us_);
+  }
+  if (!active_) {
+    active_ = true;
+    current_ = SessionSummary{};
+    current_.id = next_id_++;
+    current_.started_us = now;
+  }
+  ++current_.gestures;
+  last_activity_us_ = now;
+}
+
+void SessionTracker::OnTouch(sim::Micros now) {
+  if (!active_) {
+    return;
+  }
+  ++current_.touches;
+  last_activity_us_ = now;
+}
+
+void SessionTracker::AddEntries(std::int64_t entries) {
+  if (active_) {
+    current_.entries_returned += entries;
+  }
+}
+
+void SessionTracker::AddRowsScanned(std::int64_t rows) {
+  if (active_) {
+    current_.rows_scanned += rows;
+  }
+}
+
+void SessionTracker::EndSession(sim::Micros now) {
+  if (!active_) {
+    return;
+  }
+  current_.ended_us = now;
+  completed_.push_back(current_);
+  active_ = false;
+}
+
+}  // namespace dbtouch::core

@@ -1,0 +1,65 @@
+// Query sessions: "In dbTouch, a query is a session of one or more
+// continuous gestures and the system needs to react to every touch"
+// (paper Section 1). Sessions group gestures separated by less than an
+// idle gap; their summaries are what an analyst reviews after exploring.
+
+#ifndef DBTOUCH_CORE_SESSION_H_
+#define DBTOUCH_CORE_SESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/virtual_clock.h"
+
+namespace dbtouch::core {
+
+struct SessionSummary {
+  std::int64_t id = 0;
+  sim::Micros started_us = 0;
+  sim::Micros ended_us = 0;
+  std::int64_t gestures = 0;
+  std::int64_t touches = 0;
+  std::int64_t entries_returned = 0;
+  std::int64_t rows_scanned = 0;
+
+  double duration_s() const {
+    return sim::MicrosToSeconds(ended_us - started_us);
+  }
+};
+
+/// Tracks the current session and the history of completed ones.
+class SessionTracker {
+ public:
+  /// `idle_gap_us`: a gesture starting more than this after the previous
+  /// activity opens a new session.
+  explicit SessionTracker(sim::Micros idle_gap_us = 3'000'000)
+      : idle_gap_us_(idle_gap_us) {}
+
+  /// Called at each gesture begin; decides whether it extends the current
+  /// session or opens a new one.
+  void OnGestureBegin(sim::Micros now);
+
+  /// Activity accounting (from the kernel's pipeline).
+  void OnTouch(sim::Micros now);
+  void AddEntries(std::int64_t entries);
+  void AddRowsScanned(std::int64_t rows);
+
+  /// Force-closes the current session (e.g. user lifts device).
+  void EndSession(sim::Micros now);
+
+  bool active() const { return active_; }
+  const SessionSummary& current() const { return current_; }
+  const std::vector<SessionSummary>& completed() const { return completed_; }
+
+ private:
+  sim::Micros idle_gap_us_;
+  bool active_ = false;
+  sim::Micros last_activity_us_ = 0;
+  std::int64_t next_id_ = 1;
+  SessionSummary current_;
+  std::vector<SessionSummary> completed_;
+};
+
+}  // namespace dbtouch::core
+
+#endif  // DBTOUCH_CORE_SESSION_H_

@@ -1,0 +1,79 @@
+#include "exec/adaptive_filter.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace dbtouch::exec {
+
+AdaptiveConjunctionOp::AdaptiveConjunctionOp(
+    std::vector<Term> terms, std::int64_t row_count,
+    const AdaptiveConjunctionConfig& config)
+    : terms_(std::move(terms)), row_count_(row_count), config_(config) {
+  DBTOUCH_CHECK(!terms_.empty());
+  DBTOUCH_CHECK(config_.num_regions > 0);
+  for (const Term& t : terms_) {
+    DBTOUCH_CHECK(t.column.row_count() == row_count_);
+  }
+  stats_.assign(static_cast<std::size_t>(config_.num_regions),
+                std::vector<TermStats>(terms_.size()));
+}
+
+std::int64_t AdaptiveConjunctionOp::RegionOf(storage::RowId row) const {
+  if (row_count_ == 0) {
+    return 0;
+  }
+  const std::int64_t region = row * config_.num_regions / row_count_;
+  return std::clamp<std::int64_t>(region, 0, config_.num_regions - 1);
+}
+
+std::vector<std::size_t> AdaptiveConjunctionOp::RegionOrder(
+    std::int64_t region) const {
+  DBTOUCH_CHECK(region >= 0 && region < config_.num_regions);
+  const auto& region_stats = stats_[static_cast<std::size_t>(region)];
+  std::vector<std::size_t> order(terms_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Most selective (lowest pass rate) first. Terms still warming up keep
+  // their declaration position via a neutral pass rate of 1.0, which
+  // sorts after any measured term — they get evaluated (and thus warmed)
+  // when earlier terms pass.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const TermStats& sa = region_stats[a];
+                     const TermStats& sb = region_stats[b];
+                     const double ra = sa.evaluated >= config_.warmup_evals
+                                           ? sa.pass_rate()
+                                           : 1.0;
+                     const double rb = sb.evaluated >= config_.warmup_evals
+                                           ? sb.pass_rate()
+                                           : 1.0;
+                     return ra < rb;
+                   });
+  return order;
+}
+
+bool AdaptiveConjunctionOp::Feed(storage::RowId row) {
+  if (row < 0 || row >= row_count_) {
+    return false;
+  }
+  ++rows_fed_;
+  const std::int64_t region = RegionOf(row);
+  auto& region_stats = stats_[static_cast<std::size_t>(region)];
+  const std::vector<std::size_t> order = RegionOrder(region);
+  for (const std::size_t t : order) {
+    ++evaluations_;
+    ++region_stats[t].evaluated;
+    const bool pass =
+        terms_[t].predicate.Matches(terms_[t].column.GetAsDouble(row));
+    if (pass) {
+      ++region_stats[t].passed;
+    } else {
+      return false;  // Short-circuit.
+    }
+  }
+  ++rows_passed_;
+  return true;
+}
+
+}  // namespace dbtouch::exec

@@ -1,0 +1,87 @@
+// Adaptive multi-predicate evaluation (paper Section 2.9 "Optimization"):
+// "in a dbTouch system we do not know up front how much data we are going
+// to process ... for different parts of the data in the same table,
+// different properties may apply. In this way, dbTouch brings an
+// interesting scenario for adaptive optimization approaches that
+// interleave with query execution."
+//
+// AdaptiveConjunctionOp evaluates a conjunction of predicates over the
+// rows the user touches. It partitions the rowid space into regions and
+// keeps per-region pass-rate statistics for every term; within each
+// region, terms are evaluated most-selective-first, so the order adapts
+// as the slide crosses regions with different data properties — without
+// ever seeing data the user did not touch.
+
+#ifndef DBTOUCH_EXEC_ADAPTIVE_FILTER_H_
+#define DBTOUCH_EXEC_ADAPTIVE_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/predicate.h"
+#include "storage/column.h"
+#include "storage/types.h"
+
+namespace dbtouch::exec {
+
+struct AdaptiveConjunctionConfig {
+  /// Regions the rowid space is split into (per-region statistics).
+  std::int64_t num_regions = 64;
+  /// Evaluations of a term within a region before its observed pass rate
+  /// is trusted for ordering (before that, declaration order is used).
+  std::int64_t warmup_evals = 16;
+};
+
+class AdaptiveConjunctionOp {
+ public:
+  struct Term {
+    storage::ColumnView column;
+    Predicate predicate;
+  };
+
+  /// All columns must have `row_count` rows.
+  AdaptiveConjunctionOp(std::vector<Term> terms, std::int64_t row_count,
+                        const AdaptiveConjunctionConfig& config = {});
+
+  /// Evaluates the conjunction at `row` with short-circuiting in the
+  /// region's current best order. Returns true when every term passes.
+  bool Feed(storage::RowId row);
+
+  /// Total individual predicate evaluations so far — the cost an
+  /// optimizer tries to minimise.
+  std::int64_t evaluations() const { return evaluations_; }
+  std::int64_t rows_fed() const { return rows_fed_; }
+  std::int64_t rows_passed() const { return rows_passed_; }
+
+  /// The term order currently used for `region` (term indices,
+  /// most-selective-first once warmed up).
+  std::vector<std::size_t> RegionOrder(std::int64_t region) const;
+
+  std::int64_t RegionOf(storage::RowId row) const;
+  std::int64_t num_regions() const { return config_.num_regions; }
+
+ private:
+  struct TermStats {
+    std::int64_t evaluated = 0;
+    std::int64_t passed = 0;
+
+    double pass_rate() const {
+      return evaluated == 0 ? 1.0
+                            : static_cast<double>(passed) /
+                                  static_cast<double>(evaluated);
+    }
+  };
+
+  std::vector<Term> terms_;
+  std::int64_t row_count_;
+  AdaptiveConjunctionConfig config_;
+  /// stats_[region][term]
+  std::vector<std::vector<TermStats>> stats_;
+  std::int64_t evaluations_ = 0;
+  std::int64_t rows_fed_ = 0;
+  std::int64_t rows_passed_ = 0;
+};
+
+}  // namespace dbtouch::exec
+
+#endif  // DBTOUCH_EXEC_ADAPTIVE_FILTER_H_

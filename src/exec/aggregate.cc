@@ -1,0 +1,100 @@
+#include "exec/aggregate.h"
+
+#include <cmath>
+
+namespace dbtouch::exec {
+
+std::string_view AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kVariance:
+      return "variance";
+    case AggKind::kStdDev:
+      return "stddev";
+  }
+  return "?";
+}
+
+void RunningAggregate::Add(double v) {
+  ++count_;
+  sum_ += v;
+  const double delta = v - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (v - mean_);
+  if (v < min_) {
+    min_ = v;
+  }
+  if (v > max_) {
+    max_ = v;
+  }
+}
+
+double RunningAggregate::value() const {
+  if (kind_ == AggKind::kCount) {
+    return static_cast<double>(count_);
+  }
+  if (count_ == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  switch (kind_) {
+    case AggKind::kSum:
+      return sum_;
+    case AggKind::kAvg:
+      return mean_;
+    case AggKind::kMin:
+      return min_;
+    case AggKind::kMax:
+      return max_;
+    case AggKind::kVariance:
+      return m2_ / static_cast<double>(count_);
+    case AggKind::kStdDev:
+      return std::sqrt(m2_ / static_cast<double>(count_));
+    case AggKind::kCount:
+      break;  // Handled above.
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+void RunningAggregate::Reset() {
+  count_ = 0;
+  sum_ = 0.0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+bool TouchedAggregateOp::Feed(storage::RowId row) {
+  if (!column_.InRange(row)) {
+    return false;
+  }
+  if (!seen_.insert(row).second) {
+    return false;
+  }
+  agg_.Add(column_.GetAsDouble(row));
+  return true;
+}
+
+double TouchedAggregateOp::coverage() const {
+  if (column_.row_count() == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(seen_.size()) /
+         static_cast<double>(column_.row_count());
+}
+
+void TouchedAggregateOp::Reset() {
+  agg_.Reset();
+  seen_.clear();
+}
+
+}  // namespace dbtouch::exec

@@ -1,0 +1,86 @@
+// Running aggregates. In dbTouch an aggregation never sees its whole input
+// up front: the user feeds it values one touch at a time, in any order,
+// possibly revisiting rows ("a slide gesture ... computes a running
+// aggregate and continuously updates this result", Section 2.3). The
+// accumulator therefore supports out-of-order and repeated feeding, with
+// optional row-dedup so revisits don't skew results.
+
+#ifndef DBTOUCH_EXEC_AGGREGATE_H_
+#define DBTOUCH_EXEC_AGGREGATE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <unordered_set>
+
+#include "storage/column.h"
+#include "storage/types.h"
+
+namespace dbtouch::exec {
+
+enum class AggKind : std::uint8_t {
+  kCount = 0,
+  kSum = 1,
+  kAvg = 2,
+  kMin = 3,
+  kMax = 4,
+  kVariance = 5,
+  kStdDev = 6,
+};
+
+std::string_view AggKindName(AggKind kind);
+
+/// Numerically stable (Welford) streaming accumulator.
+class RunningAggregate {
+ public:
+  explicit RunningAggregate(AggKind kind) : kind_(kind) {}
+
+  void Add(double v);
+
+  /// Current aggregate value; NaN when empty (except count, which is 0).
+  double value() const;
+
+  std::int64_t count() const { return count_; }
+  AggKind kind() const { return kind_; }
+
+  void Reset();
+
+ private:
+  AggKind kind_;
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// A running aggregate fed by touched rows of one column. Deduplicates
+/// rows (a back-and-forth slide revisits data; the aggregate must not
+/// count it twice), tracking coverage for progress reporting.
+class TouchedAggregateOp {
+ public:
+  TouchedAggregateOp(storage::ColumnView column, AggKind kind)
+      : column_(column), agg_(kind) {}
+
+  /// Feeds row `row` if within range and unseen. Returns true when the row
+  /// contributed (i.e. it was new).
+  bool Feed(storage::RowId row);
+
+  double value() const { return agg_.value(); }
+  std::int64_t rows_seen() const { return agg_.count(); }
+
+  /// Fraction of the column's rows fed so far, in [0, 1].
+  double coverage() const;
+
+  void Reset();
+
+ private:
+  storage::ColumnView column_;
+  RunningAggregate agg_;
+  std::unordered_set<storage::RowId> seen_;
+};
+
+}  // namespace dbtouch::exec
+
+#endif  // DBTOUCH_EXEC_AGGREGATE_H_

@@ -1,0 +1,46 @@
+#include "exec/groupby.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dbtouch::exec {
+
+IncrementalGroupBy::IncrementalGroupBy(storage::ColumnView keys,
+                                       storage::ColumnView values,
+                                       AggKind kind)
+    : keys_(keys), values_(values), kind_(kind) {
+  DBTOUCH_CHECK(keys.row_count() == values.row_count());
+  DBTOUCH_CHECK(keys.type() != storage::DataType::kFloat &&
+                keys.type() != storage::DataType::kDouble);
+}
+
+bool IncrementalGroupBy::Feed(storage::RowId row) {
+  if (!keys_.InRange(row)) {
+    return false;
+  }
+  if (!seen_.insert(row).second) {
+    return false;
+  }
+  const std::int64_t key = keys_.type() == storage::DataType::kInt64
+                               ? keys_.GetInt64(row)
+                               : keys_.GetInt32(row);
+  auto [it, inserted] = groups_.try_emplace(key, kind_);
+  it->second.Add(values_.GetAsDouble(row));
+  return true;
+}
+
+std::vector<GroupResult> IncrementalGroupBy::Snapshot() const {
+  std::vector<GroupResult> out;
+  out.reserve(groups_.size());
+  for (const auto& [key, agg] : groups_) {
+    out.push_back(GroupResult{key, agg.count(), agg.value()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GroupResult& a, const GroupResult& b) {
+              return a.key < b.key;
+            });
+  return out;
+}
+
+}  // namespace dbtouch::exec

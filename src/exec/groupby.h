@@ -1,0 +1,57 @@
+// Incremental hash group-by. Like the join, grouping in dbTouch cannot
+// block on its full input (Section 2.9: "the same is true for hash-based
+// grouping"); groups accrete as the user touches tuples, and the current
+// group table is inspectable at any instant.
+
+#ifndef DBTOUCH_EXEC_GROUPBY_H_
+#define DBTOUCH_EXEC_GROUPBY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "storage/column.h"
+#include "storage/types.h"
+
+namespace dbtouch::exec {
+
+struct GroupResult {
+  std::int64_t key = 0;
+  std::int64_t count = 0;
+  double value = 0.0;
+};
+
+class IncrementalGroupBy {
+ public:
+  /// Groups `values` by the integer (or dictionary-code) `keys` column,
+  /// aggregating with `kind`.
+  IncrementalGroupBy(storage::ColumnView keys, storage::ColumnView values,
+                     AggKind kind);
+
+  /// Feeds the touched row; revisited rows are no-ops. Returns true when
+  /// the row was new and contributed to its group.
+  bool Feed(storage::RowId row);
+
+  /// Groups seen so far, sorted by key.
+  std::vector<GroupResult> Snapshot() const;
+
+  std::int64_t num_groups() const {
+    return static_cast<std::int64_t>(groups_.size());
+  }
+  std::int64_t rows_fed() const {
+    return static_cast<std::int64_t>(seen_.size());
+  }
+
+ private:
+  storage::ColumnView keys_;
+  storage::ColumnView values_;
+  AggKind kind_;
+  std::unordered_map<std::int64_t, RunningAggregate> groups_;
+  std::unordered_set<storage::RowId> seen_;
+};
+
+}  // namespace dbtouch::exec
+
+#endif  // DBTOUCH_EXEC_GROUPBY_H_

@@ -1,0 +1,72 @@
+#include "exec/join.h"
+
+#include "common/macros.h"
+
+namespace dbtouch::exec {
+
+SymmetricHashJoin::SymmetricHashJoin(storage::ColumnView left,
+                                     storage::ColumnView right) {
+  inputs_[0] = left;
+  inputs_[1] = right;
+}
+
+std::int64_t SymmetricHashJoin::KeyAt(JoinSide side,
+                                      storage::RowId row) const {
+  const storage::ColumnView& c = inputs_[static_cast<int>(side)];
+  switch (c.type()) {
+    case storage::DataType::kInt32:
+    case storage::DataType::kString:
+      return c.GetInt32(row);
+    case storage::DataType::kInt64:
+      return c.GetInt64(row);
+    case storage::DataType::kFloat:
+    case storage::DataType::kDouble:
+      // Joining on floating keys is ill-defined; dbTouch joins on integer
+      // or dictionary-encoded attributes.
+      DBTOUCH_CHECK(false);
+  }
+  return 0;
+}
+
+std::vector<JoinMatch> SymmetricHashJoin::Feed(JoinSide side,
+                                               storage::RowId row) {
+  std::vector<JoinMatch> out;
+  const int s = static_cast<int>(side);
+  const int other = 1 - s;
+  if (!inputs_[s].InRange(row)) {
+    return out;
+  }
+  if (!fed_[s].insert(row).second) {
+    return out;  // Revisit: already joined.
+  }
+  ++fed_count_[s];
+  const std::int64_t key = KeyAt(side, row);
+
+  // Probe the other side first, then insert: a row never matches itself
+  // twice and existing partners match exactly once.
+  const auto it = tables_[other].find(key);
+  if (it != tables_[other].end()) {
+    out.reserve(it->second.size());
+    for (const storage::RowId partner : it->second) {
+      JoinMatch m;
+      m.key = key;
+      if (side == JoinSide::kLeft) {
+        m.left_row = row;
+        m.right_row = partner;
+      } else {
+        m.left_row = partner;
+        m.right_row = row;
+      }
+      out.push_back(m);
+    }
+  }
+  tables_[s][key].push_back(row);
+  matches_.insert(matches_.end(), out.begin(), out.end());
+  return out;
+}
+
+std::int64_t SymmetricHashJoin::hash_entries() const {
+  return fed_count_[0] + fed_count_[1];
+}
+
+}  // namespace dbtouch::exec

@@ -1,0 +1,90 @@
+#include "exec/predicate.h"
+
+#include <cstdio>
+#include <limits>
+
+namespace dbtouch::exec {
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kEq:
+      return "==";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kBetween:
+      return "between";
+  }
+  return "?";
+}
+
+bool Predicate::Matches(double v) const {
+  switch (op_) {
+    case CompareOp::kLt:
+      return v < lo_;
+    case CompareOp::kLe:
+      return v <= lo_;
+    case CompareOp::kEq:
+      return v == lo_;
+    case CompareOp::kNe:
+      return v != lo_;
+    case CompareOp::kGe:
+      return v >= lo_;
+    case CompareOp::kGt:
+      return v > lo_;
+    case CompareOp::kBetween:
+      return v >= lo_ && v <= hi_;
+  }
+  return false;
+}
+
+Predicate::Interval Predicate::ValueInterval() const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  switch (op_) {
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      return {-kInf, lo_};
+    case CompareOp::kEq:
+      return {lo_, lo_};
+    case CompareOp::kNe:
+      return {-kInf, kInf};
+    case CompareOp::kGe:
+    case CompareOp::kGt:
+      return {lo_, kInf};
+    case CompareOp::kBetween:
+      return {lo_, hi_};
+  }
+  return {-kInf, kInf};
+}
+
+std::string Predicate::ToString() const {
+  char buf[96];
+  if (op_ == CompareOp::kBetween) {
+    std::snprintf(buf, sizeof(buf), "between %g and %g", lo_, hi_);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s %g",
+                  std::string(CompareOpName(op_)).c_str(), lo_);
+  }
+  return buf;
+}
+
+bool FilteredScanOp::Feed(storage::RowId row) {
+  if (!column_.InRange(row)) {
+    return false;
+  }
+  ++rows_fed_;
+  if (predicate_.Matches(column_.GetAsDouble(row))) {
+    ++rows_passed_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dbtouch::exec

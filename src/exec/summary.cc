@@ -1,0 +1,34 @@
+#include "exec/summary.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dbtouch::exec {
+
+InteractiveSummaryOp::InteractiveSummaryOp(storage::ColumnView column,
+                                           std::int64_t k, AggKind kind)
+    : column_(column), k_(k), kind_(kind) {
+  DBTOUCH_CHECK(k >= 0);
+}
+
+SummaryResult InteractiveSummaryOp::ComputeAt(storage::RowId center) const {
+  SummaryResult out;
+  const std::int64_t n = column_.row_count();
+  if (n == 0) {
+    return out;
+  }
+  out.center = std::clamp<storage::RowId>(center, 0, n - 1);
+  out.first = std::max<storage::RowId>(out.center - k_, 0);
+  out.last = std::min<storage::RowId>(out.center + k_, n - 1);
+  RunningAggregate agg(kind_);
+  for (storage::RowId r = out.first; r <= out.last; ++r) {
+    agg.Add(column_.GetAsDouble(r));
+  }
+  out.rows = agg.count();
+  out.value = agg.value();
+  rows_scanned_ += out.rows;
+  return out;
+}
+
+}  // namespace dbtouch::exec

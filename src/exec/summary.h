@@ -1,0 +1,51 @@
+// Interactive summaries (paper Section 2.7): "when during a slide we
+// register position p which corresponds to tuple identifier idp, then
+// dbTouch scans all entries within the tuple identifier range
+// [idp-k, idp+k] and calculates a single aggregate value."
+
+#ifndef DBTOUCH_EXEC_SUMMARY_H_
+#define DBTOUCH_EXEC_SUMMARY_H_
+
+#include <cstdint>
+
+#include "exec/aggregate.h"
+#include "storage/column.h"
+#include "storage/types.h"
+
+namespace dbtouch::exec {
+
+struct SummaryResult {
+  storage::RowId center = 0;
+  storage::RowId first = 0;   // inclusive
+  storage::RowId last = 0;    // inclusive
+  std::int64_t rows = 0;      // entries aggregated
+  double value = 0.0;
+};
+
+class InteractiveSummaryOp {
+ public:
+  /// `k`: half-width of the summary window. "A good default choice is to
+  /// perform an average aggregation" — so kAvg is the default kind.
+  InteractiveSummaryOp(storage::ColumnView column, std::int64_t k,
+                       AggKind kind = AggKind::kAvg);
+
+  /// Summary of the window centred at `center`, clamped to the column.
+  SummaryResult ComputeAt(storage::RowId center) const;
+
+  std::int64_t k() const { return k_; }
+  AggKind kind() const { return kind_; }
+
+  /// Total entries scanned across all ComputeAt calls (cost accounting
+  /// for the benchmarks).
+  std::int64_t rows_scanned() const { return rows_scanned_; }
+
+ private:
+  storage::ColumnView column_;
+  std::int64_t k_;
+  AggKind kind_;
+  mutable std::int64_t rows_scanned_ = 0;
+};
+
+}  // namespace dbtouch::exec
+
+#endif  // DBTOUCH_EXEC_SUMMARY_H_

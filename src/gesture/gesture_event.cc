@@ -1,0 +1,19 @@
+#include "gesture/gesture_event.h"
+
+namespace dbtouch::gesture {
+
+const char* GestureTypeName(GestureType type) {
+  switch (type) {
+    case GestureType::kTap:
+      return "tap";
+    case GestureType::kSlide:
+      return "slide";
+    case GestureType::kPinch:
+      return "pinch";
+    case GestureType::kRotate:
+      return "rotate";
+  }
+  return "?";
+}
+
+}  // namespace dbtouch::gesture

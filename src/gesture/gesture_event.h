@@ -1,0 +1,55 @@
+// Gesture events: the output of recognition (paper Figure 3, "Recognize
+// Gesture"), consumed by the dbTouch kernel's per-touch pipeline.
+
+#ifndef DBTOUCH_GESTURE_GESTURE_EVENT_H_
+#define DBTOUCH_GESTURE_GESTURE_EVENT_H_
+
+#include <cstdint>
+
+#include "sim/touch_event.h"
+#include "sim/virtual_clock.h"
+
+namespace dbtouch::gesture {
+
+using sim::Micros;
+using sim::PointCm;
+
+enum class GestureType : std::uint8_t {
+  kTap = 0,
+  kSlide = 1,
+  kPinch = 2,
+  kRotate = 3,
+};
+
+const char* GestureTypeName(GestureType type);
+
+enum class GesturePhase : std::uint8_t {
+  kBegan = 0,
+  kChanged = 1,
+  kEnded = 2,
+};
+
+/// One recognised gesture step. Slides emit one kChanged per registered
+/// touch move — the granularity at which the kernel processes data ("the
+/// slide gesture is equivalent to the next operation", Section 2.3).
+struct GestureEvent {
+  GestureType type = GestureType::kTap;
+  GesturePhase phase = GesturePhase::kBegan;
+  Micros timestamp_us = 0;
+  /// Current position (screen cm); the two-finger centroid for pinch and
+  /// rotate.
+  PointCm position;
+  /// Smoothed slide velocity (cm/s), EWMA over registered moves. What the
+  /// prefetcher extrapolates (Section 2.6 "Prefetching Data").
+  double velocity_x_cm_s = 0.0;
+  double velocity_y_cm_s = 0.0;
+  /// Pinch only: current finger separation / initial separation
+  /// (> 1 zoom-in, < 1 zoom-out).
+  double pinch_scale = 1.0;
+  /// Rotate only: accumulated rotation since the gesture began (radians).
+  double rotation_rad = 0.0;
+};
+
+}  // namespace dbtouch::gesture
+
+#endif  // DBTOUCH_GESTURE_GESTURE_EVENT_H_

@@ -1,0 +1,55 @@
+// Per-sample-level indexes: "dbTouch can maintain a separate index for
+// each sample level, treating each copy separately depending on how often
+// index support is needed for this copy" (Section 2.6). Indexes build
+// lazily, on the first query that wants one at that level, and usage is
+// counted so callers can see which copies earned their indexes.
+
+#ifndef DBTOUCH_INDEX_LEVEL_INDEX_SET_H_
+#define DBTOUCH_INDEX_LEVEL_INDEX_SET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "index/sorted_index.h"
+#include "index/zone_map.h"
+#include "sampling/sample_hierarchy.h"
+
+namespace dbtouch::index {
+
+struct LevelIndexStats {
+  std::int64_t zone_map_builds = 0;
+  std::int64_t sorted_builds = 0;
+  std::int64_t zone_map_uses = 0;
+  std::int64_t sorted_uses = 0;
+};
+
+class LevelIndexSet {
+ public:
+  /// `rows_per_zone` applies at level 0 and shrinks with the level so a
+  /// zone always summarises a comparable slice of the object.
+  LevelIndexSet(sampling::SampleHierarchy* hierarchy,
+                std::int64_t rows_per_zone = 4096);
+
+  /// Zone map for `level`, building it on first use.
+  const ZoneMap& ZoneMapAt(int level);
+
+  /// Sorted index for `level`, building it on first use.
+  const SortedIndex& SortedAt(int level);
+
+  bool HasZoneMap(int level) const;
+  bool HasSorted(int level) const;
+
+  const LevelIndexStats& stats() const { return stats_; }
+
+ private:
+  sampling::SampleHierarchy* hierarchy_;  // Not owned.
+  std::int64_t rows_per_zone_;
+  std::vector<std::unique_ptr<ZoneMap>> zone_maps_;
+  std::vector<std::unique_ptr<SortedIndex>> sorted_;
+  LevelIndexStats stats_;
+};
+
+}  // namespace dbtouch::index
+
+#endif  // DBTOUCH_INDEX_LEVEL_INDEX_SET_H_

@@ -1,0 +1,55 @@
+#include "index/zone_map.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace dbtouch::index {
+
+ZoneMap::ZoneMap(storage::ColumnView column, std::int64_t rows_per_zone)
+    : rows_per_zone_(rows_per_zone) {
+  DBTOUCH_CHECK(rows_per_zone > 0);
+  const std::int64_t n = column.row_count();
+  global_min_ = std::numeric_limits<double>::infinity();
+  global_max_ = -std::numeric_limits<double>::infinity();
+  for (storage::RowId first = 0; first < n; first += rows_per_zone) {
+    Zone z;
+    z.first = first;
+    z.last = std::min<storage::RowId>(first + rows_per_zone - 1, n - 1);
+    z.min = std::numeric_limits<double>::infinity();
+    z.max = -std::numeric_limits<double>::infinity();
+    for (storage::RowId r = z.first; r <= z.last; ++r) {
+      const double v = column.GetAsDouble(r);
+      z.min = std::min(z.min, v);
+      z.max = std::max(z.max, v);
+    }
+    global_min_ = std::min(global_min_, z.min);
+    global_max_ = std::max(global_max_, z.max);
+    zones_.push_back(z);
+  }
+}
+
+std::int64_t ZoneMap::ZoneOf(storage::RowId row) const {
+  DBTOUCH_CHECK(row >= 0);
+  const std::int64_t z = row / rows_per_zone_;
+  DBTOUCH_CHECK(z < num_zones());
+  return z;
+}
+
+bool ZoneMap::MayMatch(storage::RowId row, double lo, double hi) const {
+  const Zone& z = zones_[static_cast<std::size_t>(ZoneOf(row))];
+  return z.max >= lo && z.min <= hi;
+}
+
+std::vector<Zone> ZoneMap::MatchingZones(double lo, double hi) const {
+  std::vector<Zone> out;
+  for (const Zone& z : zones_) {
+    if (z.max >= lo && z.min <= hi) {
+      out.push_back(z);
+    }
+  }
+  return out;
+}
+
+}  // namespace dbtouch::index

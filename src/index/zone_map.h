@@ -1,0 +1,61 @@
+// Zone maps: per-block min/max summaries. During a filtered slide the
+// kernel consults the zone map to skip summary windows that cannot match
+// the predicate — the lightest of the paper's indexing options
+// (Section 2.6 "Indexing").
+
+#ifndef DBTOUCH_INDEX_ZONE_MAP_H_
+#define DBTOUCH_INDEX_ZONE_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/types.h"
+
+namespace dbtouch::index {
+
+struct Zone {
+  storage::RowId first = 0;  // inclusive
+  storage::RowId last = 0;   // inclusive
+  double min = 0.0;
+  double max = 0.0;
+};
+
+class ZoneMap {
+ public:
+  /// Builds over `column`, one zone per `rows_per_zone` rows (last zone may
+  /// be short).
+  ZoneMap(storage::ColumnView column, std::int64_t rows_per_zone);
+
+  std::int64_t num_zones() const {
+    return static_cast<std::int64_t>(zones_.size());
+  }
+  const Zone& zone(std::int64_t i) const {
+    return zones_[static_cast<std::size_t>(i)];
+  }
+  std::int64_t rows_per_zone() const { return rows_per_zone_; }
+
+  /// Zone index containing `row`.
+  std::int64_t ZoneOf(storage::RowId row) const;
+
+  /// True when the zone containing `row` may hold a value in [lo, hi].
+  bool MayMatch(storage::RowId row, double lo, double hi) const;
+
+  /// Rows of all zones overlapping value range [lo, hi] — candidate
+  /// regions for an index-assisted exploration.
+  std::vector<Zone> MatchingZones(double lo, double hi) const;
+
+  /// Global min/max (for on-screen object annotations).
+  double global_min() const { return global_min_; }
+  double global_max() const { return global_max_; }
+
+ private:
+  std::int64_t rows_per_zone_;
+  std::vector<Zone> zones_;
+  double global_min_ = 0.0;
+  double global_max_ = 0.0;
+};
+
+}  // namespace dbtouch::index
+
+#endif  // DBTOUCH_INDEX_ZONE_MAP_H_

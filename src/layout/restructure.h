@@ -1,0 +1,39 @@
+// Schema gestures (paper Section 2.8): dragging a column out of a fat
+// table to its own object ("a user can project a specific column out of a
+// fat table by dragging the column out"), and grouping independent columns
+// into a new table ("one can create a table by drag and drop actions in a
+// table placeholder object").
+
+#ifndef DBTOUCH_LAYOUT_RESTRUCTURE_H_
+#define DBTOUCH_LAYOUT_RESTRUCTURE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace dbtouch::layout {
+
+/// Projects column `column_index` of `source` into a new standalone
+/// single-column table named `new_table_name`, registered in `catalog`.
+/// The user then explores just that array and "experiences faster response
+/// times by going only through the needed data".
+Result<std::shared_ptr<storage::Table>> ExtractColumnToTable(
+    storage::Catalog* catalog, const storage::Table& source,
+    std::size_t column_index, const std::string& new_table_name);
+
+/// Combines equally-sized tables (the drag-and-drop group gesture) into a
+/// new table holding all their columns side by side, registered in
+/// `catalog`. Fails if row counts differ or a column name repeats.
+Result<std::shared_ptr<storage::Table>> GroupTables(
+    storage::Catalog* catalog, const std::vector<std::string>& table_names,
+    const std::string& new_table_name,
+    storage::MajorOrder order = storage::MajorOrder::kColumnMajor);
+
+}  // namespace dbtouch::layout
+
+#endif  // DBTOUCH_LAYOUT_RESTRUCTURE_H_

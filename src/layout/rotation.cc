@@ -1,0 +1,94 @@
+#include "layout/rotation.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace dbtouch::layout {
+
+using storage::Matrix;
+using storage::MajorOrder;
+using storage::RowId;
+using storage::Table;
+
+IncrementalRotator::IncrementalRotator(Table* table, MajorOrder target,
+                                       std::int64_t rows_per_step)
+    : table_(table),
+      target_(target),
+      rows_per_step_(rows_per_step),
+      total_rows_(table->row_count()) {
+  DBTOUCH_CHECK(table != nullptr);
+  DBTOUCH_CHECK(rows_per_step > 0);
+  if (!IsNoop()) {
+    scratch_ = std::make_unique<Matrix>(table_->schema(), target_);
+    scratch_->Reserve(total_rows_);
+  } else {
+    rows_converted_ = total_rows_;
+  }
+}
+
+bool IncrementalRotator::IsNoop() const {
+  return table_->layout() == target_;
+}
+
+bool IncrementalRotator::Step() {
+  if (done()) {
+    return true;
+  }
+  const Matrix& src = table_->storage();
+  const std::int64_t end =
+      std::min(rows_converted_ + rows_per_step_, total_rows_);
+  const std::size_t num_cols = src.schema().num_fields();
+  // Append the chunk row-wise; the scratch matrix lays cells out in the
+  // target order internally.
+  for (RowId r = rows_converted_; r < end; ++r) {
+    std::vector<storage::Value> row;
+    row.reserve(num_cols);
+    for (std::size_t c = 0; c < num_cols; ++c) {
+      row.push_back(src.GetCell(r, c));
+    }
+    scratch_->AppendRow(row);
+  }
+  rows_converted_ = end;
+  return done();
+}
+
+double IncrementalRotator::progress() const {
+  if (total_rows_ == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(rows_converted_) /
+         static_cast<double>(total_rows_);
+}
+
+Status IncrementalRotator::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("rotator already finished");
+  }
+  if (IsNoop()) {
+    finished_ = true;
+    return Status::OK();
+  }
+  if (!done()) {
+    return Status::FailedPrecondition(
+        "rotation incomplete: " + std::to_string(rows_converted_) + "/" +
+        std::to_string(total_rows_) + " rows converted");
+  }
+  DBTOUCH_RETURN_IF_ERROR(table_->ReplaceStorage(std::move(*scratch_)));
+  scratch_.reset();
+  finished_ = true;
+  return Status::OK();
+}
+
+Status RotateMonolithic(Table* table, MajorOrder target) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("null table");
+  }
+  if (table->layout() == target) {
+    return Status::OK();
+  }
+  return table->ReplaceStorage(table->storage().ToOrder(target));
+}
+
+}  // namespace dbtouch::layout

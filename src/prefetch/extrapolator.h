@@ -1,0 +1,68 @@
+// Gesture extrapolation: "dbTouch can extrapolate the gesture progression
+// (speed and direction) and fetch the expected entries such that they are
+// readily available if the gesture resumes" (Section 2.6 "Prefetching
+// Data").
+//
+// The extrapolator observes (time, row) pairs from slide steps and
+// predicts the row range the finger will touch over a look-ahead horizon.
+
+#ifndef DBTOUCH_PREFETCH_EXTRAPOLATOR_H_
+#define DBTOUCH_PREFETCH_EXTRAPOLATOR_H_
+
+#include <cstdint>
+
+#include "sim/virtual_clock.h"
+#include "storage/types.h"
+
+namespace dbtouch::prefetch {
+
+struct ExtrapolatorConfig {
+  /// EWMA weight of the newest velocity sample.
+  double smoothing = 0.3;
+  /// Gap (s) after which the gesture is considered paused; velocity decays
+  /// rather than projecting stale movement forward.
+  double pause_after_s = 0.25;
+};
+
+struct RowRange {
+  storage::RowId first = 0;  // inclusive
+  storage::RowId last = 0;   // inclusive
+
+  bool empty() const { return last < first; }
+  std::int64_t size() const { return empty() ? 0 : last - first + 1; }
+};
+
+class GestureExtrapolator {
+ public:
+  explicit GestureExtrapolator(const ExtrapolatorConfig& config = {});
+
+  /// Feeds the row just touched at `now`.
+  void Observe(sim::Micros now, storage::RowId row);
+
+  /// Smoothed velocity in rows/second; signed (negative = sliding towards
+  /// smaller row ids).
+  double velocity_rows_per_s() const { return velocity_; }
+
+  /// True when no movement has been observed for pause_after_s.
+  bool IsPaused(sim::Micros now) const;
+
+  /// Predicted touch range over the next `horizon_s` seconds from the last
+  /// observed row, clamped to [0, n). During a pause the prediction is the
+  /// neighbourhood of the current row (the user is inspecting; resumption
+  /// direction is unknown, so prefetch symmetrically).
+  RowRange PredictRange(sim::Micros now, double horizon_s,
+                        std::int64_t n) const;
+
+  void Reset();
+
+ private:
+  ExtrapolatorConfig config_;
+  bool has_observation_ = false;
+  sim::Micros last_time_ = 0;
+  storage::RowId last_row_ = 0;
+  double velocity_ = 0.0;
+};
+
+}  // namespace dbtouch::prefetch
+
+#endif  // DBTOUCH_PREFETCH_EXTRAPOLATOR_H_

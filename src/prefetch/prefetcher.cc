@@ -1,0 +1,67 @@
+#include "prefetch/prefetcher.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dbtouch::prefetch {
+
+sim::Micros SimulatedBlockStore::Fetch(std::int64_t block, sim::Micros now) {
+  const auto it = completion_.find(block);
+  if (it != completion_.end()) {
+    return it->second;  // Resident or already in flight.
+  }
+  const sim::Micros done = now + fetch_latency_;
+  completion_.emplace(block, done);
+  ++fetches_issued_;
+  return done;
+}
+
+bool SimulatedBlockStore::IsResident(std::int64_t block,
+                                     sim::Micros now) const {
+  const auto it = completion_.find(block);
+  return it != completion_.end() && it->second <= now;
+}
+
+sim::Micros SimulatedBlockStore::CompletionTime(std::int64_t block) const {
+  const auto it = completion_.find(block);
+  return it == completion_.end() ? -1 : it->second;
+}
+
+sim::Micros Prefetcher::OnTouch(sim::Micros now, storage::RowId row,
+                                std::int64_t n) {
+  DBTOUCH_CHECK(store_ != nullptr);
+  ++stats_.touches;
+
+  // Account the demand access first.
+  const std::int64_t block = store_->BlockOf(row);
+  sim::Micros stall = 0;
+  if (store_->IsResident(block, now)) {
+    ++stats_.hits;
+  } else {
+    const sim::Micros done = store_->Fetch(block, now);
+    stall = std::max<sim::Micros>(done - now, 0);
+    ++stats_.stalls;
+    stats_.stall_us += stall;
+  }
+
+  // Then extend the predicted path.
+  extrapolator_.Observe(now, row);
+  if (config_.enabled) {
+    const RowRange range =
+        extrapolator_.PredictRange(now, config_.horizon_s, n);
+    if (!range.empty()) {
+      const std::int64_t first_block = store_->BlockOf(range.first);
+      const std::int64_t last_block = store_->BlockOf(range.last);
+      for (std::int64_t b = first_block; b <= last_block; ++b) {
+        if (store_->CompletionTime(b) < 0) {
+          store_->Fetch(b, now);
+          ++stats_.blocks_prefetched;
+        }
+      }
+    }
+  }
+  return stall;
+}
+
+}  // namespace dbtouch::prefetch

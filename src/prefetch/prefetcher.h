@@ -1,0 +1,93 @@
+// Prefetcher over a simulated slow medium. dbTouch's base data may live on
+// flash or a remote server; the prefetcher turns predicted touch ranges
+// into asynchronous block fetches so the data is resident when the finger
+// arrives, and accounts for the stalls when it is not.
+
+#ifndef DBTOUCH_PREFETCH_PREFETCHER_H_
+#define DBTOUCH_PREFETCH_PREFETCHER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "prefetch/extrapolator.h"
+#include "sim/virtual_clock.h"
+#include "storage/types.h"
+
+namespace dbtouch::prefetch {
+
+/// Models block storage with a fixed fetch latency. A block is resident
+/// once its fetch completes (in virtual time). Fetches are issued
+/// asynchronously and many may be in flight.
+class SimulatedBlockStore {
+ public:
+  SimulatedBlockStore(std::int64_t rows_per_block, sim::Micros fetch_latency)
+      : rows_per_block_(rows_per_block), fetch_latency_(fetch_latency) {}
+
+  std::int64_t rows_per_block() const { return rows_per_block_; }
+  sim::Micros fetch_latency() const { return fetch_latency_; }
+
+  std::int64_t BlockOf(storage::RowId row) const {
+    return row / rows_per_block_;
+  }
+
+  /// Issues a fetch at `now` unless already resident/in flight. Returns
+  /// the completion time of the (possibly pre-existing) fetch.
+  sim::Micros Fetch(std::int64_t block, sim::Micros now);
+
+  /// True when the block's fetch has completed by `now`.
+  bool IsResident(std::int64_t block, sim::Micros now) const;
+
+  /// Completion time if fetched/fetching, -1 otherwise.
+  sim::Micros CompletionTime(std::int64_t block) const;
+
+  std::int64_t fetches_issued() const { return fetches_issued_; }
+
+ private:
+  std::int64_t rows_per_block_;
+  sim::Micros fetch_latency_;
+  std::unordered_map<std::int64_t, sim::Micros> completion_;
+  std::int64_t fetches_issued_ = 0;
+};
+
+struct PrefetcherStats {
+  std::int64_t touches = 0;
+  std::int64_t hits = 0;           // Row resident on arrival.
+  std::int64_t stalls = 0;         // Row not resident: user-visible wait.
+  sim::Micros stall_us = 0;        // Total modelled wait.
+  std::int64_t blocks_prefetched = 0;
+};
+
+/// Drives a SimulatedBlockStore from slide observations: every touch
+/// updates the extrapolator, prefetches the predicted range, and accounts
+/// a stall if the touched row itself was not yet resident.
+class Prefetcher {
+ public:
+  struct Config {
+    /// Look-ahead horizon (s). Should exceed the fetch latency or the
+    /// prefetch cannot win.
+    double horizon_s = 0.5;
+    bool enabled = true;
+  };
+
+  Prefetcher(SimulatedBlockStore* store, const Config& config)
+      : store_(store), config_(config) {}
+
+  /// Processes the touch of `row` at `now` over a column of `n` rows.
+  /// Returns the stall (us) the user experienced for this touch: 0 on a
+  /// hit, the remaining fetch wait on a miss (the demand fetch is issued
+  /// immediately).
+  sim::Micros OnTouch(sim::Micros now, storage::RowId row, std::int64_t n);
+
+  const PrefetcherStats& stats() const { return stats_; }
+  const GestureExtrapolator& extrapolator() const { return extrapolator_; }
+
+ private:
+  SimulatedBlockStore* store_;  // Not owned.
+  Config config_;
+  GestureExtrapolator extrapolator_;
+  PrefetcherStats stats_;
+};
+
+}  // namespace dbtouch::prefetch
+
+#endif  // DBTOUCH_PREFETCH_PREFETCHER_H_

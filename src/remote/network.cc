@@ -1,0 +1,30 @@
+#include "remote/network.h"
+
+#include "common/macros.h"
+
+namespace dbtouch::remote {
+
+SimulatedNetwork::SimulatedNetwork(const NetworkConfig& config)
+    : config_(config) {
+  DBTOUCH_CHECK(config_.one_way_latency_us >= 0);
+  DBTOUCH_CHECK(config_.bytes_per_second > 0.0);
+}
+
+sim::Micros SimulatedNetwork::RoundTripDone(sim::Micros sent_at,
+                                            std::int64_t request_bytes,
+                                            std::int64_t response_bytes) const {
+  const double transfer_s =
+      static_cast<double>(request_bytes + response_bytes) /
+      config_.bytes_per_second;
+  return sent_at + 2 * config_.one_way_latency_us +
+         config_.server_overhead_us + sim::SecondsToMicros(transfer_s);
+}
+
+void SimulatedNetwork::Account(std::int64_t request_bytes,
+                               std::int64_t response_bytes) {
+  ++requests_;
+  bytes_up_ += request_bytes;
+  bytes_down_ += response_bytes;
+}
+
+}  // namespace dbtouch::remote

@@ -1,0 +1,52 @@
+// Simulated network link between a dbTouch tablet client and a server.
+// Models one-way latency plus bandwidth-limited transfer in virtual time;
+// used to study the per-touch RPC cost the paper warns about ("sending a
+// new remote request for every single touch input of a long gesture will
+// lead to extensive administration and communication costs", Section 4).
+
+#ifndef DBTOUCH_REMOTE_NETWORK_H_
+#define DBTOUCH_REMOTE_NETWORK_H_
+
+#include <cstdint>
+
+#include "sim/virtual_clock.h"
+
+namespace dbtouch::remote {
+
+struct NetworkConfig {
+  /// One-way propagation latency.
+  sim::Micros one_way_latency_us = 20'000;  // 20 ms (WiFi to nearby cloud).
+  /// Payload bandwidth.
+  double bytes_per_second = 12.5e6;  // 100 Mbit/s.
+  /// Fixed per-request processing cost at the server.
+  sim::Micros server_overhead_us = 500;
+};
+
+class SimulatedNetwork {
+ public:
+  explicit SimulatedNetwork(const NetworkConfig& config = {});
+
+  const NetworkConfig& config() const { return config_; }
+
+  /// Completion time of a round trip issued at `sent_at` with
+  /// `request_bytes` up and `response_bytes` down.
+  sim::Micros RoundTripDone(sim::Micros sent_at, std::int64_t request_bytes,
+                            std::int64_t response_bytes) const;
+
+  std::int64_t requests_sent() const { return requests_; }
+  std::int64_t bytes_up() const { return bytes_up_; }
+  std::int64_t bytes_down() const { return bytes_down_; }
+
+  /// Records traffic accounting for one request.
+  void Account(std::int64_t request_bytes, std::int64_t response_bytes);
+
+ private:
+  NetworkConfig config_;
+  std::int64_t requests_ = 0;
+  std::int64_t bytes_up_ = 0;
+  std::int64_t bytes_down_ = 0;
+};
+
+}  // namespace dbtouch::remote
+
+#endif  // DBTOUCH_REMOTE_NETWORK_H_

@@ -1,0 +1,30 @@
+#include "sampling/level_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbtouch::sampling {
+
+int ChooseLevel(std::int64_t base_rows, std::int64_t distinct_positions,
+                double positions_per_event, int num_levels,
+                const LevelPolicyConfig& config) {
+  if (base_rows <= 0 || distinct_positions <= 0 || num_levels <= 1) {
+    return 0;
+  }
+  // Base rows between adjacent touch positions.
+  double rows_per_position = static_cast<double>(base_rows) /
+                             static_cast<double>(distinct_positions);
+  // A gesture skipping k positions per event only samples every k-th
+  // position; reads can be k times coarser without losing touched entries.
+  const double speed = std::max(positions_per_event, 1.0);
+  double target_stride =
+      rows_per_position * (1.0 + config.speed_weight * (speed - 1.0));
+  target_stride *= config.max_overshoot;
+  if (target_stride <= 1.0) {
+    return 0;
+  }
+  const int level = static_cast<int>(std::floor(std::log2(target_stride)));
+  return std::clamp(level, 0, num_levels - 1);
+}
+
+}  // namespace dbtouch::sampling

@@ -1,0 +1,40 @@
+// Level selection: "depending on the object size and gesture speed feed
+// from the proper copy" (paper Section 2.6).
+//
+// The driver is the touch granularity: an object of height o cm on a
+// device with p distinct positions/cm exposes P = o*p touchable positions
+// over n tuples, so consecutive touch positions are n/P base rows apart.
+// Feeding from the sample level whose stride matches that distance turns a
+// slide into a sequential read of the sample copy. Fast gestures skip
+// positions, so their effective stride — and the chosen level — grows.
+
+#ifndef DBTOUCH_SAMPLING_LEVEL_POLICY_H_
+#define DBTOUCH_SAMPLING_LEVEL_POLICY_H_
+
+#include <cstdint>
+
+namespace dbtouch::sampling {
+
+struct LevelPolicyConfig {
+  /// Never choose a level whose stride exceeds the touch distance by more
+  /// than this factor (coarser reads lose entries the user pointed at).
+  double max_overshoot = 1.0;
+  /// Extra coarsening per unit of gesture speed, in positions skipped per
+  /// registered event. 0 disables speed-based coarsening.
+  double speed_weight = 1.0;
+};
+
+/// Chooses the sample level for a data object of `base_rows` tuples whose
+/// visible extent offers `distinct_positions` touchable positions, while
+/// the gesture is skipping `positions_per_event` positions per registered
+/// touch (1.0 = finger lands on adjacent positions).
+///
+/// Returns a level in [0, num_levels). Level 0 (base data) is returned
+/// whenever positions resolve individual tuples.
+int ChooseLevel(std::int64_t base_rows, std::int64_t distinct_positions,
+                double positions_per_event, int num_levels,
+                const LevelPolicyConfig& config = {});
+
+}  // namespace dbtouch::sampling
+
+#endif  // DBTOUCH_SAMPLING_LEVEL_POLICY_H_

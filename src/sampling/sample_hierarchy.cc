@@ -1,0 +1,134 @@
+#include "sampling/sample_hierarchy.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace dbtouch::sampling {
+
+using storage::Column;
+using storage::ColumnView;
+using storage::RowId;
+
+SampleHierarchy::SampleHierarchy(ColumnView base,
+                                 const SampleHierarchyConfig& config)
+    : base_(base), config_(config) {
+  // Count how many levels clear the minimum-row threshold.
+  int levels = 1;
+  while (levels <= config_.max_level &&
+         (base_.row_count() >> levels) >= config_.min_level_rows) {
+    ++levels;
+  }
+  num_levels_ = levels;
+  for (int l = 1; l < num_levels_; ++l) {
+    levels_.emplace_back("sample", base_.type());
+  }
+  materialized_.assign(levels_.size(), false);
+  if (config_.eager) {
+    EnsureLevel(num_levels_ - 1);
+    for (int l = 1; l < num_levels_; ++l) {
+      EnsureLevel(l);
+    }
+  }
+}
+
+bool SampleHierarchy::IsMaterialized(int level) const {
+  DBTOUCH_CHECK(level >= 0 && level < num_levels_);
+  if (level == 0) {
+    return true;
+  }
+  return materialized_[static_cast<std::size_t>(level - 1)];
+}
+
+void SampleHierarchy::EnsureLevel(int level) {
+  DBTOUCH_CHECK(level >= 0 && level < num_levels_);
+  if (level == 0 || IsMaterialized(level)) {
+    return;
+  }
+  // Build from the nearest materialised ancestor below (halving is cheap);
+  // fall back to striding over the base.
+  int from = level - 1;
+  while (from > 0 && !IsMaterialized(from)) {
+    --from;
+  }
+  // Materialise intermediate levels on the way up so the chain stays
+  // usable for future queries at neighbouring granularities.
+  for (int l = from + 1; l <= level; ++l) {
+    if (IsMaterialized(l)) {
+      continue;
+    }
+    const ColumnView src =
+        (l - 1 == 0) ? base_
+                     : levels_[static_cast<std::size_t>(l - 2)].View();
+    Column& dst = levels_[static_cast<std::size_t>(l - 1)];
+    const std::int64_t rows = LevelRows(l);
+    dst.Reserve(rows);
+    const std::int64_t src_stride = (l - 1 == 0) ? LevelStride(l) : 2;
+    for (std::int64_t s = 0; s < rows; ++s) {
+      const RowId src_row = s * src_stride;
+      switch (base_.type()) {
+        case storage::DataType::kInt32:
+        case storage::DataType::kString:
+          dst.AppendInt32(src.GetInt32(src_row));
+          break;
+        case storage::DataType::kInt64:
+          dst.AppendInt64(src.GetInt64(src_row));
+          break;
+        case storage::DataType::kFloat:
+          dst.AppendFloat(src.GetFloat(src_row));
+          break;
+        case storage::DataType::kDouble:
+          dst.AppendDouble(src.GetDouble(src_row));
+          break;
+      }
+    }
+    materialized_[static_cast<std::size_t>(l - 1)] = true;
+  }
+}
+
+ColumnView SampleHierarchy::LevelView(int level) {
+  DBTOUCH_CHECK(level >= 0 && level < num_levels_);
+  if (level == 0) {
+    return base_;
+  }
+  EnsureLevel(level);
+  // Re-attach the base dictionary so string samples still decode.
+  const Column& c = levels_[static_cast<std::size_t>(level - 1)];
+  return ColumnView(c.type(), c.raw_data(), c.width(), c.row_count(),
+                    base_.dictionary());
+}
+
+std::int64_t SampleHierarchy::LevelRows(int level) const {
+  DBTOUCH_CHECK(level >= 0 && level < num_levels_);
+  if (level == 0) {
+    return base_.row_count();
+  }
+  // ceil(base / 2^level): row 0 is always sampled.
+  const std::int64_t stride = LevelStride(level);
+  return (base_.row_count() + stride - 1) / stride;
+}
+
+RowId SampleHierarchy::ToBaseRow(int level, RowId sample_row) const {
+  DBTOUCH_CHECK(level >= 0 && level < num_levels_);
+  return sample_row << level;
+}
+
+RowId SampleHierarchy::FromBaseRow(int level, RowId base_row) const {
+  DBTOUCH_CHECK(level >= 0 && level < num_levels_);
+  const RowId clamped =
+      std::clamp<RowId>(base_row, 0, std::max<RowId>(base_.row_count() - 1, 0));
+  return clamped >> level;
+}
+
+std::size_t SampleHierarchy::sample_bytes() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (materialized_[i]) {
+      total += levels_[i].raw_size();
+    }
+  }
+  return total;
+}
+
+}  // namespace dbtouch::sampling

@@ -1,0 +1,82 @@
+// SampleHierarchy: "store separately various different samples of the base
+// data and depending on the object size and gesture speed feed from the
+// proper copy, minimizing the auxiliary data reads" (paper Section 2.6,
+// citing Sciborg's hierarchies of samples).
+//
+// Level 0 is the base data (never copied). Level l >= 1 materialises every
+// 2^l-th tuple densely, so sample row s at level l is base row s << l. The
+// power-of-two strides make levels nested: every tuple present at level l
+// is also present at all levels below it.
+
+#ifndef DBTOUCH_SAMPLING_SAMPLE_HIERARCHY_H_
+#define DBTOUCH_SAMPLING_SAMPLE_HIERARCHY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/types.h"
+
+namespace dbtouch::sampling {
+
+struct SampleHierarchyConfig {
+  /// Highest materialisable level (stride 2^max_level).
+  int max_level = 16;
+  /// Levels whose sample would fall below this row count are not built;
+  /// tiny samples cost more in bookkeeping than they save in reads.
+  std::int64_t min_level_rows = 256;
+  /// If true, Build() materialises every level eagerly; otherwise levels
+  /// are built on first use (EnsureLevel), modelling the paper's
+  /// "incrementally create a new copy ... to answer future queries".
+  bool eager = true;
+};
+
+class SampleHierarchy {
+ public:
+  /// Builds over `base`. The view must outlive the hierarchy (in dbTouch
+  /// the kernel pins the owning Table for the life of the data object).
+  SampleHierarchy(storage::ColumnView base,
+                  const SampleHierarchyConfig& config = {});
+
+  /// Number of addressable levels (level 0 always exists).
+  int num_levels() const { return num_levels_; }
+
+  /// True once level `level`'s sample copy is materialised (level 0 always
+  /// is, being the base itself).
+  bool IsMaterialized(int level) const;
+
+  /// Materialises `level` (and, as a side effect, the cheapest ancestor
+  /// chain) if needed.
+  void EnsureLevel(int level);
+
+  /// View of the rows at `level`. Materialises lazily if needed.
+  storage::ColumnView LevelView(int level);
+
+  /// Rows at `level` without materialising it.
+  std::int64_t LevelRows(int level) const;
+
+  /// Stride in base rows between consecutive sample rows at `level`.
+  std::int64_t LevelStride(int level) const { return std::int64_t{1} << level; }
+
+  /// Base row backing sample row `sample_row` of `level`.
+  storage::RowId ToBaseRow(int level, storage::RowId sample_row) const;
+
+  /// Sample row at `level` nearest to (at or before) `base_row`.
+  storage::RowId FromBaseRow(int level, storage::RowId base_row) const;
+
+  /// Bytes held by materialised sample copies (excludes the base).
+  std::size_t sample_bytes() const;
+
+ private:
+  storage::ColumnView base_;
+  SampleHierarchyConfig config_;
+  int num_levels_;
+  /// levels_[l-1] holds level l (level 0 is base_). Unmaterialised levels
+  /// have row_count() == 0 and materialized_[l-1] == false.
+  std::vector<storage::Column> levels_;
+  std::vector<bool> materialized_;
+};
+
+}  // namespace dbtouch::sampling
+
+#endif  // DBTOUCH_SAMPLING_SAMPLE_HIERARCHY_H_

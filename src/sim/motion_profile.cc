@@ -1,0 +1,60 @@
+#include "sim/motion_profile.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dbtouch::sim {
+
+MotionProfile::MotionProfile(double start_fraction)
+    : start_fraction_(start_fraction) {}
+
+MotionProfile MotionProfile::Constant(double duration_s) {
+  MotionProfile p;
+  p.ThenMoveTo(1.0, duration_s);
+  return p;
+}
+
+MotionProfile& MotionProfile::ThenPause(double duration_s) {
+  const double here = segments_.empty() ? start_fraction_
+                                        : segments_.back().to_fraction;
+  return ThenMoveTo(here, duration_s);
+}
+
+MotionProfile& MotionProfile::ThenMoveTo(double fraction, double duration_s) {
+  DBTOUCH_CHECK(duration_s > 0.0);
+  const double from = segments_.empty() ? start_fraction_
+                                        : segments_.back().to_fraction;
+  segments_.push_back(Segment{total_duration_s_, duration_s, from, fraction});
+  total_duration_s_ += duration_s;
+  return *this;
+}
+
+double MotionProfile::FractionAt(double t_s) const {
+  if (segments_.empty()) {
+    return start_fraction_;
+  }
+  t_s = std::clamp(t_s, 0.0, total_duration_s_);
+  for (const Segment& seg : segments_) {
+    if (t_s <= seg.start_s + seg.duration_s) {
+      const double local = (t_s - seg.start_s) / seg.duration_s;
+      return seg.from_fraction +
+             (seg.to_fraction - seg.from_fraction) * local;
+    }
+  }
+  return segments_.back().to_fraction;
+}
+
+double MotionProfile::SpeedAt(double t_s) const {
+  if (segments_.empty() || t_s < 0.0 || t_s > total_duration_s_) {
+    return 0.0;
+  }
+  for (const Segment& seg : segments_) {
+    if (t_s <= seg.start_s + seg.duration_s) {
+      return (seg.to_fraction - seg.from_fraction) / seg.duration_s;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace dbtouch::sim

@@ -1,0 +1,56 @@
+// MotionProfile: how far along its path a finger is at each instant.
+//
+// The paper stresses that slide gestures have no restrictions: "users may
+// change the slide speed over time, they may change the direction of the
+// slide or they may even pause" (Section 2.6). A MotionProfile captures all
+// of that as a piecewise-linear function from time to path fraction, where
+// fraction 0 is the gesture's start point and 1 its end point. Fractions
+// may decrease (direction reversal) and hold (pause).
+
+#ifndef DBTOUCH_SIM_MOTION_PROFILE_H_
+#define DBTOUCH_SIM_MOTION_PROFILE_H_
+
+#include <vector>
+
+namespace dbtouch::sim {
+
+class MotionProfile {
+ public:
+  /// Starts a profile at path fraction `start_fraction` (default 0).
+  explicit MotionProfile(double start_fraction = 0.0);
+
+  /// A steady end-to-end slide: fraction 0 -> 1 over `duration_s` seconds.
+  static MotionProfile Constant(double duration_s);
+
+  /// Holds the current position for `duration_s` seconds (a pause).
+  MotionProfile& ThenPause(double duration_s);
+
+  /// Moves linearly from the current fraction to `fraction` over
+  /// `duration_s` seconds. `fraction` may be smaller than the current one,
+  /// which models reversing direction over already-seen data.
+  MotionProfile& ThenMoveTo(double fraction, double duration_s);
+
+  double total_duration_s() const { return total_duration_s_; }
+
+  /// Path fraction at time `t_s` (clamped to [0, total duration]).
+  double FractionAt(double t_s) const;
+
+  /// Signed speed in fractions/second at time `t_s` (0 during pauses).
+  double SpeedAt(double t_s) const;
+
+ private:
+  struct Segment {
+    double start_s;
+    double duration_s;
+    double from_fraction;
+    double to_fraction;
+  };
+
+  std::vector<Segment> segments_;
+  double start_fraction_;
+  double total_duration_s_ = 0.0;
+};
+
+}  // namespace dbtouch::sim
+
+#endif  // DBTOUCH_SIM_MOTION_PROFILE_H_

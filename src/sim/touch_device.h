@@ -1,0 +1,63 @@
+// The simulated touch screen. Substitutes for the paper's iPad 1: it owns
+// the physical parameters that bound how much data a gesture can reach
+// (paper Section 2.5 "Touching Samples" — "limitations ... purely due to
+// physical constraints (e.g., finger and object size)").
+
+#ifndef DBTOUCH_SIM_TOUCH_DEVICE_H_
+#define DBTOUCH_SIM_TOUCH_DEVICE_H_
+
+#include <cstdint>
+
+#include "sim/touch_event.h"
+#include "sim/virtual_clock.h"
+
+namespace dbtouch::sim {
+
+/// Physical description of the device.
+///
+/// Defaults model the iPad 1 used in the paper: 1024x768 at 132 ppi gives a
+/// 19.7 x 14.8 cm display at ~52 points/cm. `touch_event_hz` is the rate at
+/// which distinct touch-move positions are registered by the OS and
+/// delivered to dbTouch; 15 Hz is calibrated from Figure 4(a), where a 4 s
+/// slide yields ~60 processed entries (see DESIGN.md, calibration note).
+struct TouchDeviceConfig {
+  double screen_width_cm = 19.7;
+  double screen_height_cm = 14.8;
+  double points_per_cm = 52.0;
+  double touch_event_hz = 15.0;
+  /// Finger contact patch diameter. Movements smaller than half of this are
+  /// absorbed (touch slop) and do not produce distinct move events.
+  double finger_width_cm = 0.8;
+};
+
+/// Validates and exposes device geometry, quantisation and sampling.
+class TouchDevice {
+ public:
+  explicit TouchDevice(const TouchDeviceConfig& config = TouchDeviceConfig());
+
+  const TouchDeviceConfig& config() const { return config_; }
+
+  /// Interval between registered touch-move events.
+  Micros event_interval_us() const;
+
+  /// Clamps a point to the screen and snaps it to the device point grid.
+  /// A capacitive screen cannot report between-pixel positions; snapping is
+  /// what makes the number of distinct reachable positions finite (the
+  /// physical constraint behind paper Section 2.5).
+  PointCm Quantize(const PointCm& p) const;
+
+  /// Number of distinct touch positions along a vertical span of
+  /// `length_cm`: the hard upper bound on tuples reachable from an object
+  /// of that height without zooming.
+  std::int64_t DistinctPositions(double length_cm) const;
+
+  /// Minimum movement (cm) that registers as a new touch position.
+  double touch_slop_cm() const { return config_.finger_width_cm / 2.0; }
+
+ private:
+  TouchDeviceConfig config_;
+};
+
+}  // namespace dbtouch::sim
+
+#endif  // DBTOUCH_SIM_TOUCH_DEVICE_H_

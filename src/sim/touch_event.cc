@@ -1,0 +1,36 @@
+#include "sim/touch_event.h"
+
+#include <cmath>
+
+namespace dbtouch::sim {
+
+const char* TouchPhaseName(TouchPhase phase) {
+  switch (phase) {
+    case TouchPhase::kBegan:
+      return "began";
+    case TouchPhase::kMoved:
+      return "moved";
+    case TouchPhase::kEnded:
+      return "ended";
+    case TouchPhase::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+double DistanceCm(const PointCm& a, const PointCm& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+void GestureTrace::Append(const GestureTrace& other, Micros gap_us) {
+  const Micros base = duration_us() + gap_us;
+  events.reserve(events.size() + other.events.size());
+  for (TouchEvent e : other.events) {
+    e.timestamp_us += base;
+    events.push_back(e);
+  }
+}
+
+}  // namespace dbtouch::sim

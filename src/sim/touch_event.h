@@ -1,0 +1,71 @@
+// Touch events: the contract between the simulated operating system layer
+// and dbTouch (paper Figure 3, "Recognize Touch"). The kernel never sees
+// anything lower-level than these.
+
+#ifndef DBTOUCH_SIM_TOUCH_EVENT_H_
+#define DBTOUCH_SIM_TOUCH_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/virtual_clock.h"
+
+namespace dbtouch::sim {
+
+/// Lifecycle phase of one finger contact, mirroring UITouchPhase.
+enum class TouchPhase : std::uint8_t {
+  kBegan = 0,
+  kMoved = 1,
+  kEnded = 2,
+  kCancelled = 3,
+};
+
+const char* TouchPhaseName(TouchPhase phase);
+
+/// A point on the screen in centimetres from the top-left corner
+/// (x grows right, y grows down — matching view coordinates).
+struct PointCm {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const PointCm&, const PointCm&) = default;
+};
+
+/// Euclidean distance between two points, in cm.
+double DistanceCm(const PointCm& a, const PointCm& b);
+
+/// One registered touch sample for one finger.
+struct TouchEvent {
+  Micros timestamp_us = 0;
+  /// Stable finger identifier for the duration of the contact (0 for the
+  /// first finger, 1 for the second in pinch/rotate gestures).
+  std::int32_t finger_id = 0;
+  TouchPhase phase = TouchPhase::kBegan;
+  PointCm position;
+
+  friend bool operator==(const TouchEvent&, const TouchEvent&) = default;
+};
+
+/// A recorded gesture: a named, time-ordered stream of touch events.
+/// Traces are the unit of replay: benchmarks and tests build traces once
+/// and feed them through the kernel.
+struct GestureTrace {
+  std::string name;
+  std::vector<TouchEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Timestamp of the last event, or 0 for an empty trace.
+  Micros duration_us() const {
+    return events.empty() ? 0 : events.back().timestamp_us;
+  }
+
+  /// Appends another trace's events, shifting them to start `gap_us` after
+  /// this trace ends. Used to compose exploration sessions.
+  void Append(const GestureTrace& other, Micros gap_us);
+};
+
+}  // namespace dbtouch::sim
+
+#endif  // DBTOUCH_SIM_TOUCH_EVENT_H_

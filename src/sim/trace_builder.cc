@@ -1,0 +1,148 @@
+#include "sim/trace_builder.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace dbtouch::sim {
+namespace {
+
+PointCm Lerp(const PointCm& a, const PointCm& b, double f) {
+  return PointCm{a.x + (b.x - a.x) * f, a.y + (b.y - a.y) * f};
+}
+
+}  // namespace
+
+GestureTrace TraceBuilder::Slide(std::string name, PointCm from, PointCm to,
+                                 const MotionProfile& profile,
+                                 Micros start_time_us) const {
+  GestureTrace trace;
+  trace.name = std::move(name);
+  const Micros step = device_.event_interval_us();
+  const Micros total =
+      SecondsToMicros(profile.total_duration_s());
+
+  const PointCm first = device_.Quantize(Lerp(from, to, profile.FractionAt(0)));
+  trace.events.push_back(
+      TouchEvent{start_time_us, 0, TouchPhase::kBegan, first});
+  PointCm last = first;
+
+  for (Micros t = step; t < total; t += step) {
+    const double f = profile.FractionAt(MicrosToSeconds(t));
+    const PointCm p = device_.Quantize(Lerp(from, to, f));
+    if (p == last) {
+      continue;  // Stationary: the OS registers no move.
+    }
+    trace.events.push_back(
+        TouchEvent{start_time_us + t, 0, TouchPhase::kMoved, p});
+    last = p;
+  }
+
+  const PointCm end =
+      device_.Quantize(Lerp(from, to, profile.FractionAt(
+                                          profile.total_duration_s())));
+  trace.events.push_back(
+      TouchEvent{start_time_us + total, 0, TouchPhase::kEnded, end});
+  return trace;
+}
+
+GestureTrace TraceBuilder::Tap(std::string name, PointCm at, double hold_s,
+                               Micros start_time_us) const {
+  GestureTrace trace;
+  trace.name = std::move(name);
+  const PointCm p = device_.Quantize(at);
+  trace.events.push_back(TouchEvent{start_time_us, 0, TouchPhase::kBegan, p});
+  trace.events.push_back(TouchEvent{
+      start_time_us + SecondsToMicros(hold_s), 0, TouchPhase::kEnded, p});
+  return trace;
+}
+
+GestureTrace TraceBuilder::Pinch(std::string name, PointCm center,
+                                 double axis_angle_rad,
+                                 double start_separation_cm,
+                                 double end_separation_cm, double duration_s,
+                                 Micros start_time_us) const {
+  DBTOUCH_CHECK(duration_s > 0.0);
+  DBTOUCH_CHECK(start_separation_cm >= 0.0 && end_separation_cm >= 0.0);
+  GestureTrace trace;
+  trace.name = std::move(name);
+  const double ux = std::cos(axis_angle_rad);
+  const double uy = std::sin(axis_angle_rad);
+  const Micros step = device_.event_interval_us();
+  const Micros total = SecondsToMicros(duration_s);
+
+  auto finger_pos = [&](double separation, int finger) {
+    const double sign = finger == 0 ? -0.5 : 0.5;
+    return device_.Quantize(PointCm{center.x + sign * separation * ux,
+                                    center.y + sign * separation * uy});
+  };
+
+  trace.events.push_back(TouchEvent{start_time_us, 0, TouchPhase::kBegan,
+                                    finger_pos(start_separation_cm, 0)});
+  trace.events.push_back(TouchEvent{start_time_us, 1, TouchPhase::kBegan,
+                                    finger_pos(start_separation_cm, 1)});
+
+  for (Micros t = step; t < total; t += step) {
+    const double f = static_cast<double>(t) / static_cast<double>(total);
+    const double sep =
+        start_separation_cm + (end_separation_cm - start_separation_cm) * f;
+    trace.events.push_back(TouchEvent{start_time_us + t, 0,
+                                      TouchPhase::kMoved, finger_pos(sep, 0)});
+    trace.events.push_back(TouchEvent{start_time_us + t, 1,
+                                      TouchPhase::kMoved, finger_pos(sep, 1)});
+  }
+
+  trace.events.push_back(TouchEvent{start_time_us + total, 0,
+                                    TouchPhase::kEnded,
+                                    finger_pos(end_separation_cm, 0)});
+  trace.events.push_back(TouchEvent{start_time_us + total, 1,
+                                    TouchPhase::kEnded,
+                                    finger_pos(end_separation_cm, 1)});
+  return trace;
+}
+
+GestureTrace TraceBuilder::TwoFingerRotate(std::string name, PointCm center,
+                                           double radius_cm,
+                                           double start_angle_rad,
+                                           double end_angle_rad,
+                                           double duration_s,
+                                           Micros start_time_us) const {
+  DBTOUCH_CHECK(duration_s > 0.0);
+  DBTOUCH_CHECK(radius_cm > 0.0);
+  GestureTrace trace;
+  trace.name = std::move(name);
+  const Micros step = device_.event_interval_us();
+  const Micros total = SecondsToMicros(duration_s);
+
+  auto finger_pos = [&](double angle, int finger) {
+    const double a = finger == 0 ? angle : angle + M_PI;
+    return device_.Quantize(PointCm{center.x + radius_cm * std::cos(a),
+                                    center.y + radius_cm * std::sin(a)});
+  };
+
+  trace.events.push_back(TouchEvent{start_time_us, 0, TouchPhase::kBegan,
+                                    finger_pos(start_angle_rad, 0)});
+  trace.events.push_back(TouchEvent{start_time_us, 1, TouchPhase::kBegan,
+                                    finger_pos(start_angle_rad, 1)});
+
+  for (Micros t = step; t < total; t += step) {
+    const double f = static_cast<double>(t) / static_cast<double>(total);
+    const double angle =
+        start_angle_rad + (end_angle_rad - start_angle_rad) * f;
+    trace.events.push_back(TouchEvent{start_time_us + t, 0, TouchPhase::kMoved,
+                                      finger_pos(angle, 0)});
+    trace.events.push_back(TouchEvent{start_time_us + t, 1, TouchPhase::kMoved,
+                                      finger_pos(angle, 1)});
+  }
+
+  trace.events.push_back(TouchEvent{start_time_us + total, 0,
+                                    TouchPhase::kEnded,
+                                    finger_pos(end_angle_rad, 0)});
+  trace.events.push_back(TouchEvent{start_time_us + total, 1,
+                                    TouchPhase::kEnded,
+                                    finger_pos(end_angle_rad, 1)});
+  return trace;
+}
+
+}  // namespace dbtouch::sim

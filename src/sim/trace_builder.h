@@ -1,0 +1,53 @@
+// TraceBuilder: synthesises deterministic touch-event streams for the
+// gestures of paper Figure 1 (slide, tap, pinch zoom-in/out, two-finger
+// rotate), sampled at the device's registered-touch rate.
+
+#ifndef DBTOUCH_SIM_TRACE_BUILDER_H_
+#define DBTOUCH_SIM_TRACE_BUILDER_H_
+
+#include <string>
+
+#include "sim/motion_profile.h"
+#include "sim/touch_device.h"
+#include "sim/touch_event.h"
+
+namespace dbtouch::sim {
+
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(const TouchDevice& device) : device_(device) {}
+
+  /// One-finger slide along the straight line `from` -> `to`, progressing
+  /// according to `profile`. Consecutive samples that quantise to the same
+  /// device position are collapsed (a stationary finger registers no moves,
+  /// which is what makes pauses free and slow slides bounded by the number
+  /// of distinct positions — paper Section 2.5).
+  GestureTrace Slide(std::string name, PointCm from, PointCm to,
+                     const MotionProfile& profile,
+                     Micros start_time_us = 0) const;
+
+  /// Single tap: touch down and up at one position, `hold_s` apart.
+  GestureTrace Tap(std::string name, PointCm at, double hold_s = 0.05,
+                   Micros start_time_us = 0) const;
+
+  /// Two-finger pinch along the axis at `axis_angle_rad`, symmetric around
+  /// `center`; finger separation animates start -> end over `duration_s`.
+  /// end > start is a zoom-in, end < start a zoom-out.
+  GestureTrace Pinch(std::string name, PointCm center, double axis_angle_rad,
+                     double start_separation_cm, double end_separation_cm,
+                     double duration_s, Micros start_time_us = 0) const;
+
+  /// Two fingers on opposite ends of a circle of `radius_cm` around
+  /// `center`, rotating from `start_angle_rad` to `end_angle_rad`.
+  GestureTrace TwoFingerRotate(std::string name, PointCm center,
+                               double radius_cm, double start_angle_rad,
+                               double end_angle_rad, double duration_s,
+                               Micros start_time_us = 0) const;
+
+ private:
+  const TouchDevice& device_;
+};
+
+}  // namespace dbtouch::sim
+
+#endif  // DBTOUCH_SIM_TRACE_BUILDER_H_

@@ -1,0 +1,107 @@
+#include "sim/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace dbtouch::sim {
+
+std::string SerializeTrace(const GestureTrace& trace) {
+  std::ostringstream out;
+  out << "# dbtouch-trace v1\n";
+  out << "name " << trace.name << "\n";
+  for (const TouchEvent& e : trace.events) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "e %lld %d %d %.6f %.6f\n",
+                  static_cast<long long>(e.timestamp_us), e.finger_id,
+                  static_cast<int>(e.phase), e.position.x, e.position.y);
+    out << buf;
+  }
+  return out.str();
+}
+
+Result<GestureTrace> ParseTrace(const std::string& text) {
+  GestureTrace trace;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_header = false;
+  Micros last_ts = -1;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) {
+      continue;
+    }
+    if (!saw_header) {
+      if (stripped != "# dbtouch-trace v1") {
+        return Status::InvalidArgument("bad trace header: " + line);
+      }
+      saw_header = true;
+      continue;
+    }
+    if (StartsWith(stripped, "name ")) {
+      trace.name = std::string(stripped.substr(5));
+      continue;
+    }
+    if (StartsWith(stripped, "e ")) {
+      long long ts = 0;
+      int finger = 0;
+      int phase = 0;
+      double x = 0.0;
+      double y = 0.0;
+      const int n = std::sscanf(std::string(stripped).c_str(),
+                                "e %lld %d %d %lf %lf", &ts, &finger, &phase,
+                                &x, &y);
+      if (n != 5) {
+        return Status::InvalidArgument("bad event at line " +
+                                       std::to_string(line_no));
+      }
+      if (phase < 0 || phase > 3) {
+        return Status::InvalidArgument("bad phase at line " +
+                                       std::to_string(line_no));
+      }
+      if (ts < last_ts) {
+        return Status::InvalidArgument("non-monotonic timestamp at line " +
+                                       std::to_string(line_no));
+      }
+      last_ts = ts;
+      trace.events.push_back(TouchEvent{ts, finger,
+                                        static_cast<TouchPhase>(phase),
+                                        PointCm{x, y}});
+      continue;
+    }
+    return Status::InvalidArgument("unrecognised line " +
+                                   std::to_string(line_no) + ": " + line);
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("empty trace file");
+  }
+  return trace;
+}
+
+Status SaveTrace(const GestureTrace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::NotFound("cannot open for write: " + path);
+  }
+  out << SerializeTrace(trace);
+  if (!out.good()) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<GestureTrace> LoadTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseTrace(buf.str());
+}
+
+}  // namespace dbtouch::sim

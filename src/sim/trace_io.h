@@ -1,0 +1,32 @@
+// Trace serialisation: a line-oriented text format so recorded exploration
+// sessions can be saved, diffed and replayed.
+//
+//   # dbtouch-trace v1
+//   name <gesture name>
+//   e <timestamp_us> <finger_id> <phase 0..3> <x_cm> <y_cm>
+
+#ifndef DBTOUCH_SIM_TRACE_IO_H_
+#define DBTOUCH_SIM_TRACE_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sim/touch_event.h"
+
+namespace dbtouch::sim {
+
+/// Serialises a trace to the text format above.
+std::string SerializeTrace(const GestureTrace& trace);
+
+/// Parses a serialised trace. Rejects malformed headers, unknown phases and
+/// non-monotonic timestamps.
+Result<GestureTrace> ParseTrace(const std::string& text);
+
+/// File round-trip helpers.
+Status SaveTrace(const GestureTrace& trace, const std::string& path);
+Result<GestureTrace> LoadTrace(const std::string& path);
+
+}  // namespace dbtouch::sim
+
+#endif  // DBTOUCH_SIM_TRACE_IO_H_

@@ -1,0 +1,41 @@
+#include "storage/catalog.h"
+
+namespace dbtouch::storage {
+
+Status Catalog::Register(std::shared_ptr<Table> table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("null table");
+  }
+  const std::string& name = table->name();
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already registered");
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+Status Catalog::Drop(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("table '" + name + "' not in catalog");
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Table>> Catalog::Get(const std::string& name) const {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not in catalog");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::List() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace dbtouch::storage

@@ -1,0 +1,47 @@
+// Catalog: the named tables available for exploration. In dbTouch the
+// catalog is what the user "sees" on screen — every registered table can be
+// bound to a data-object view (paper Section 2.2 "Schema-less Querying":
+// glancing at the screen reveals how many tables and columns exist).
+
+#ifndef DBTOUCH_STORAGE_CATALOG_H_
+#define DBTOUCH_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace dbtouch::storage {
+
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers a table under its name. AlreadyExists if taken.
+  Status Register(std::shared_ptr<Table> table);
+
+  /// Removes a table. NotFound if absent.
+  Status Drop(const std::string& name);
+
+  Result<std::shared_ptr<Table>> Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  /// Table names in lexicographic order.
+  std::vector<std::string> List() const;
+
+  std::size_t size() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, std::shared_ptr<Table>> tables_;
+};
+
+}  // namespace dbtouch::storage
+
+#endif  // DBTOUCH_STORAGE_CATALOG_H_

@@ -1,0 +1,221 @@
+#include "storage/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/macros.h"
+
+namespace dbtouch::storage {
+
+Column GenUniformInt32(std::string name, std::int64_t n, std::int32_t lo,
+                       std::int32_t hi, std::uint64_t seed) {
+  DBTOUCH_CHECK(lo <= hi);
+  Rng rng(seed);
+  Column c(std::move(name), DataType::kInt32);
+  c.Reserve(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    c.AppendInt32(static_cast<std::int32_t>(rng.NextInt64(lo, hi)));
+  }
+  return c;
+}
+
+Column GenGaussianDouble(std::string name, std::int64_t n, double mean,
+                         double stddev, std::uint64_t seed) {
+  Rng rng(seed);
+  Column c(std::move(name), DataType::kDouble);
+  c.Reserve(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    c.AppendDouble(mean + stddev * rng.NextGaussian());
+  }
+  return c;
+}
+
+Column GenZipfInt32(std::string name, std::int64_t n,
+                    std::int64_t num_distinct, double skew,
+                    std::uint64_t seed) {
+  Rng rng(seed);
+  const ZipfDistribution zipf(static_cast<std::uint64_t>(num_distinct), skew);
+  Column c(std::move(name), DataType::kInt32);
+  c.Reserve(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    c.AppendInt32(static_cast<std::int32_t>(zipf.Sample(rng)));
+  }
+  return c;
+}
+
+Column GenSequenceInt64(std::string name, std::int64_t n, std::int64_t start,
+                        std::int64_t step) {
+  Column c(std::move(name), DataType::kInt64);
+  c.Reserve(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    c.AppendInt64(start + i * step);
+  }
+  return c;
+}
+
+Column GenSinusoidDouble(std::string name, std::int64_t n, double amplitude,
+                         double period, double noise_stddev,
+                         std::uint64_t seed) {
+  DBTOUCH_CHECK(period > 0.0);
+  Rng rng(seed);
+  Column c(std::move(name), DataType::kDouble);
+  c.Reserve(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double base =
+        amplitude *
+        std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / period);
+    c.AppendDouble(base + noise_stddev * rng.NextGaussian());
+  }
+  return c;
+}
+
+Column GenSegmentedDouble(std::string name, std::int64_t n,
+                          const std::vector<double>& segment_means,
+                          double noise_stddev, std::uint64_t seed) {
+  DBTOUCH_CHECK(!segment_means.empty());
+  Rng rng(seed);
+  Column c(std::move(name), DataType::kDouble);
+  c.Reserve(n);
+  const std::int64_t num_segments =
+      static_cast<std::int64_t>(segment_means.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t seg =
+        std::min(num_segments - 1, i * num_segments / std::max<std::int64_t>(n, 1));
+    c.AppendDouble(segment_means[static_cast<std::size_t>(seg)] +
+                   noise_stddev * rng.NextGaussian());
+  }
+  return c;
+}
+
+Column GenCategorical(std::string name, std::int64_t n,
+                      const std::vector<std::string>& categories,
+                      std::uint64_t seed) {
+  DBTOUCH_CHECK(!categories.empty());
+  Rng rng(seed);
+  Column c(std::move(name), DataType::kString);
+  c.Reserve(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    c.AppendString(
+        categories[rng.NextBounded(categories.size())]);
+  }
+  return c;
+}
+
+std::vector<RowId> InjectOutliers(Column& column, double fraction,
+                                  double magnitude, std::uint64_t seed) {
+  DBTOUCH_CHECK(column.type() == DataType::kDouble);
+  DBTOUCH_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  Rng rng(seed);
+  const std::int64_t n = column.row_count();
+  const auto count = static_cast<std::int64_t>(
+      fraction * static_cast<double>(n));
+  std::vector<RowId> rows;
+  rows.reserve(static_cast<std::size_t>(count));
+  // Rebuild the column with spikes planted at sampled rows.
+  std::vector<bool> is_outlier(static_cast<std::size_t>(n), false);
+  for (std::int64_t i = 0; i < count; ++i) {
+    RowId r;
+    do {
+      r = static_cast<RowId>(rng.NextBounded(static_cast<std::uint64_t>(n)));
+    } while (is_outlier[static_cast<std::size_t>(r)]);
+    is_outlier[static_cast<std::size_t>(r)] = true;
+    rows.push_back(r);
+  }
+  const ColumnView view = column.View();
+  Column rebuilt(column.name(), DataType::kDouble);
+  rebuilt.Reserve(n);
+  for (RowId r = 0; r < n; ++r) {
+    if (is_outlier[static_cast<std::size_t>(r)]) {
+      const double sign = rng.NextBernoulli(0.5) ? 1.0 : -1.0;
+      rebuilt.AppendDouble(sign * magnitude);
+    } else {
+      rebuilt.AppendDouble(view.GetDouble(r));
+    }
+  }
+  column = std::move(rebuilt);
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+Column MakePaperEvalColumn(std::int64_t n, std::uint64_t seed) {
+  return GenUniformInt32("values", n, 0, 1'000'000, seed);
+}
+
+std::shared_ptr<Table> MakeSkyTable(
+    std::int64_t n, std::uint64_t seed,
+    std::vector<RowId>* planted_transients,
+    std::vector<std::pair<RowId, RowId>>* burst_regions) {
+  Rng rng(seed);
+  std::vector<Column> cols;
+  cols.push_back(GenSequenceInt64("object_id", n, 1, 1));
+  cols.push_back(
+      GenGaussianDouble("right_ascension", n, 180.0, 60.0, rng.NextUint64()));
+  cols.push_back(
+      GenGaussianDouble("declination", n, 0.0, 30.0, rng.NextUint64()));
+  Column base =
+      GenSinusoidDouble("brightness", n, 2.0, static_cast<double>(n) / 8.0,
+                        0.3, rng.NextUint64());
+  // Burst regions at fixed sky fractions, each ~1% of the survey.
+  const double burst_centers[] = {0.18, 0.43, 0.67, 0.88};
+  const std::int64_t half_width = std::max<std::int64_t>(n / 200, 1);
+  std::vector<std::pair<RowId, RowId>> bursts;
+  for (const double c : burst_centers) {
+    const RowId center = static_cast<RowId>(c * static_cast<double>(n));
+    bursts.emplace_back(std::max<RowId>(center - half_width, 0),
+                        std::min<RowId>(center + half_width, n - 1));
+  }
+  Column brightness("brightness", DataType::kDouble);
+  brightness.Reserve(n);
+  const ColumnView base_view = base.View();
+  std::size_t next_burst = 0;
+  for (RowId r = 0; r < n; ++r) {
+    double v = base_view.GetDouble(r);
+    while (next_burst < bursts.size() && r > bursts[next_burst].second) {
+      ++next_burst;
+    }
+    if (next_burst < bursts.size() && r >= bursts[next_burst].first &&
+        r <= bursts[next_burst].second) {
+      v += 20.0;
+    }
+    brightness.AppendDouble(v);
+  }
+  if (burst_regions != nullptr) {
+    *burst_regions = std::move(bursts);
+  }
+  // Point transients last, so they overwrite rather than stack with
+  // bursts and always reach full |25| magnitude.
+  auto planted = InjectOutliers(brightness, 0.0005, 25.0, rng.NextUint64());
+  if (planted_transients != nullptr) {
+    *planted_transients = std::move(planted);
+  }
+  cols.push_back(std::move(brightness));
+  auto table = Table::FromColumns("sky", std::move(cols));
+  DBTOUCH_CHECK_OK(table.status());
+  return std::move(table).value();
+}
+
+std::shared_ptr<Table> MakeMonitoringTable(
+    std::int64_t n, std::uint64_t seed, std::vector<RowId>* planted_spikes) {
+  Rng rng(seed);
+  std::vector<Column> cols;
+  cols.push_back(GenSequenceInt64("timestamp", n, 1'357'000'000, 60));
+  cols.push_back(GenCategorical(
+      "host", n, {"web-1", "web-2", "db-1", "db-2", "cache-1"},
+      rng.NextUint64()));
+  Column latency = GenSegmentedDouble(
+      "latency_ms", n, {12.0, 14.0, 11.0, 55.0, 13.0, 12.5, 90.0, 12.0}, 2.0,
+      rng.NextUint64());
+  auto planted = InjectOutliers(latency, 0.001, 400.0, rng.NextUint64());
+  if (planted_spikes != nullptr) {
+    *planted_spikes = std::move(planted);
+  }
+  cols.push_back(std::move(latency));
+  cols.push_back(
+      GenGaussianDouble("error_rate", n, 0.01, 0.002, rng.NextUint64()));
+  auto table = Table::FromColumns("monitoring", std::move(cols));
+  DBTOUCH_CHECK_OK(table.status());
+  return std::move(table).value();
+}
+
+}  // namespace dbtouch::storage

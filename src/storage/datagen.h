@@ -1,0 +1,89 @@
+// Synthetic data generators. The paper's evaluation uses a column of 10^7
+// integers; its demo loads "alternative data sets with a varying set of
+// properties and patterns" that the audience must discover by touch
+// (Appendix A). These generators produce exactly such data: base
+// distributions plus plantable patterns (outliers, level shifts, periodic
+// structure) at known locations so tests and examples can verify that
+// exploration finds them.
+
+#ifndef DBTOUCH_STORAGE_DATAGEN_H_
+#define DBTOUCH_STORAGE_DATAGEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/column.h"
+#include "storage/table.h"
+
+namespace dbtouch::storage {
+
+/// Uniform int32 in [lo, hi].
+Column GenUniformInt32(std::string name, std::int64_t n, std::int32_t lo,
+                       std::int32_t hi, std::uint64_t seed);
+
+/// Gaussian doubles (mean, stddev).
+Column GenGaussianDouble(std::string name, std::int64_t n, double mean,
+                         double stddev, std::uint64_t seed);
+
+/// Zipf-distributed int32 ranks in [0, num_distinct).
+Column GenZipfInt32(std::string name, std::int64_t n,
+                    std::int64_t num_distinct, double skew,
+                    std::uint64_t seed);
+
+/// Monotonic int64 sequence start, start+step, ... (timestamps, ids).
+Column GenSequenceInt64(std::string name, std::int64_t n, std::int64_t start,
+                        std::int64_t step);
+
+/// amplitude * sin(2*pi*row/period) + gaussian noise. A smooth pattern the
+/// eye catches while sliding.
+Column GenSinusoidDouble(std::string name, std::int64_t n, double amplitude,
+                         double period, double noise_stddev,
+                         std::uint64_t seed);
+
+/// Piecewise-constant segments: `segment_means[i]` + noise over equal-width
+/// ranges. Models data whose properties differ by region (the adaptive
+/// optimisation scenario in paper Section 2.9).
+Column GenSegmentedDouble(std::string name, std::int64_t n,
+                          const std::vector<double>& segment_means,
+                          double noise_stddev, std::uint64_t seed);
+
+/// Categorical strings drawn uniformly from `categories`.
+Column GenCategorical(std::string name, std::int64_t n,
+                      const std::vector<std::string>& categories,
+                      std::uint64_t seed);
+
+/// Overwrites a random `fraction` of rows of a double column with
+/// `magnitude`-sized spikes; returns the planted row ids (sorted). This is
+/// the "interesting pattern" the demo audience hunts for.
+std::vector<RowId> InjectOutliers(Column& column, double fraction,
+                                  double magnitude, std::uint64_t seed);
+
+/// The paper's evaluation column: 10^7 uniform int32 values (Section 3).
+/// `n` is overridable so unit tests stay fast.
+Column MakePaperEvalColumn(std::int64_t n = 10'000'000,
+                           std::uint64_t seed = 2013);
+
+/// A sky-survey-like table for the astronomer scenario: object id, right
+/// ascension, declination, brightness. Two kinds of planted anomalies:
+/// isolated point transients (returned via `planted_transients`) and
+/// contiguous burst regions — stretches of consecutive survey rows with
+/// elevated brightness, the pattern a supernova leaves across a scan
+/// (returned via `burst_regions`, inclusive row ranges). Bursts are what
+/// sampled summaries can catch; point transients require fine-grained
+/// drill-down.
+std::shared_ptr<Table> MakeSkyTable(
+    std::int64_t n, std::uint64_t seed,
+    std::vector<RowId>* planted_transients,
+    std::vector<std::pair<RowId, RowId>>* burst_regions = nullptr);
+
+/// An IT-monitoring-like table: timestamp, host (categorical), latency_ms
+/// (segmented + outliers), error_rate.
+std::shared_ptr<Table> MakeMonitoringTable(std::int64_t n, std::uint64_t seed,
+                                           std::vector<RowId>* planted_spikes);
+
+}  // namespace dbtouch::storage
+
+#endif  // DBTOUCH_STORAGE_DATAGEN_H_

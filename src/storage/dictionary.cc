@@ -1,0 +1,29 @@
+#include "storage/dictionary.h"
+
+#include "common/macros.h"
+
+namespace dbtouch::storage {
+
+std::int32_t Dictionary::Intern(std::string_view s) {
+  const auto it = index_.find(std::string(s));
+  if (it != index_.end()) {
+    return it->second;
+  }
+  const std::int32_t code = static_cast<std::int32_t>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), code);
+  return code;
+}
+
+std::int32_t Dictionary::Find(std::string_view s) const {
+  const auto it = index_.find(std::string(s));
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::string& Dictionary::Lookup(std::int32_t code) const {
+  DBTOUCH_CHECK(code >= 0 &&
+                code < static_cast<std::int32_t>(strings_.size()));
+  return strings_[static_cast<std::size_t>(code)];
+}
+
+}  // namespace dbtouch::storage

@@ -1,0 +1,40 @@
+// Dictionary encoding for string attributes: maps each distinct string to a
+// dense int32 code so string columns stay fixed-width (paper Section 2.6).
+
+#ifndef DBTOUCH_STORAGE_DICTIONARY_H_
+#define DBTOUCH_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dbtouch::storage {
+
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the code for `s`, inserting it if unseen. Codes are dense and
+  /// assigned in first-seen order.
+  std::int32_t Intern(std::string_view s);
+
+  /// Returns the code for `s`, or -1 if absent (does not insert).
+  std::int32_t Find(std::string_view s) const;
+
+  /// The string for a valid code. CHECK-fails on out-of-range codes.
+  const std::string& Lookup(std::int32_t code) const;
+
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(strings_.size());
+  }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, std::int32_t> index_;
+};
+
+}  // namespace dbtouch::storage
+
+#endif  // DBTOUCH_STORAGE_DICTIONARY_H_

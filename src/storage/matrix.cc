@@ -1,0 +1,198 @@
+#include "storage/matrix.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dbtouch::storage {
+
+const char* MajorOrderName(MajorOrder order) {
+  return order == MajorOrder::kColumnMajor ? "column-major" : "row-major";
+}
+
+Matrix::Matrix(Schema schema, MajorOrder order)
+    : schema_(std::move(schema)), order_(order) {}
+
+void Matrix::Reserve(std::int64_t rows) {
+  if (rows > row_capacity_) {
+    GrowCapacity(rows);
+  }
+}
+
+void Matrix::GrowCapacity(std::int64_t at_least_rows) {
+  std::int64_t new_capacity = std::max<std::int64_t>(row_capacity_, 64);
+  while (new_capacity < at_least_rows) {
+    new_capacity *= 2;
+  }
+  const std::size_t row_width = schema_.row_width();
+  std::vector<std::byte> new_data(static_cast<std::size_t>(new_capacity) *
+                                  row_width);
+  if (row_count_ > 0) {
+    if (order_ == MajorOrder::kRowMajor) {
+      std::memcpy(new_data.data(), data_.data(),
+                  static_cast<std::size_t>(row_count_) * row_width);
+    } else {
+      // Column-major: each column region moves to its new, wider slot.
+      std::size_t old_off = 0;
+      std::size_t new_off = 0;
+      for (std::size_t c = 0; c < schema_.num_fields(); ++c) {
+        const std::size_t w = TypeWidth(schema_.field(c).type);
+        std::memcpy(new_data.data() + new_off, data_.data() + old_off,
+                    static_cast<std::size_t>(row_count_) * w);
+        old_off += static_cast<std::size_t>(row_capacity_) * w;
+        new_off += static_cast<std::size_t>(new_capacity) * w;
+      }
+    }
+  }
+  data_ = std::move(new_data);
+  row_capacity_ = new_capacity;
+}
+
+std::size_t Matrix::CellOffset(RowId row, std::size_t col) const {
+  DBTOUCH_CHECK(row >= 0 && row < row_count_ && col < schema_.num_fields());
+  if (order_ == MajorOrder::kRowMajor) {
+    return static_cast<std::size_t>(row) * schema_.row_width() +
+           schema_.field_offset(col);
+  }
+  // Column-major: columns packed one after another at full capacity.
+  std::size_t base = 0;
+  for (std::size_t c = 0; c < col; ++c) {
+    base += static_cast<std::size_t>(row_capacity_) *
+            TypeWidth(schema_.field(c).type);
+  }
+  return base + static_cast<std::size_t>(row) *
+                    TypeWidth(schema_.field(col).type);
+}
+
+void Matrix::AppendRow(const std::vector<Value>& row) {
+  DBTOUCH_CHECK(row.size() == schema_.num_fields());
+  if (row_count_ == row_capacity_) {
+    GrowCapacity(row_count_ + 1);
+  }
+  ++row_count_;
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    SetCell(row_count_ - 1, c, row[c]);
+  }
+}
+
+void Matrix::AppendRowsColumnar(
+    const std::vector<const std::byte*>& field_data, std::int64_t count) {
+  DBTOUCH_CHECK(field_data.size() == schema_.num_fields());
+  DBTOUCH_CHECK(count >= 0);
+  if (count == 0) {
+    return;
+  }
+  if (row_count_ + count > row_capacity_) {
+    GrowCapacity(row_count_ + count);
+  }
+  const RowId first = row_count_;
+  row_count_ += count;
+  for (std::size_t c = 0; c < field_data.size(); ++c) {
+    const std::size_t w = TypeWidth(schema_.field(c).type);
+    if (order_ == MajorOrder::kColumnMajor) {
+      std::memcpy(MutableCellPtr(first, c), field_data[c],
+                  static_cast<std::size_t>(count) * w);
+    } else {
+      for (std::int64_t r = 0; r < count; ++r) {
+        std::memcpy(MutableCellPtr(first + r, c),
+                    field_data[c] + static_cast<std::size_t>(r) * w, w);
+      }
+    }
+  }
+}
+
+const std::byte* Matrix::CellPtr(RowId row, std::size_t col) const {
+  return data_.data() + CellOffset(row, col);
+}
+
+std::byte* Matrix::MutableCellPtr(RowId row, std::size_t col) {
+  return data_.data() + CellOffset(row, col);
+}
+
+Value Matrix::GetCell(RowId row, std::size_t col) const {
+  const std::byte* p = CellPtr(row, col);
+  switch (schema_.field(col).type) {
+    case DataType::kInt32:
+    case DataType::kString: {
+      std::int32_t v;
+      std::memcpy(&v, p, sizeof(v));
+      return Value(static_cast<std::int64_t>(v));
+    }
+    case DataType::kInt64: {
+      std::int64_t v;
+      std::memcpy(&v, p, sizeof(v));
+      return Value(v);
+    }
+    case DataType::kFloat: {
+      float v;
+      std::memcpy(&v, p, sizeof(v));
+      return Value(static_cast<double>(v));
+    }
+    case DataType::kDouble: {
+      double v;
+      std::memcpy(&v, p, sizeof(v));
+      return Value(v);
+    }
+  }
+  return Value();
+}
+
+void Matrix::SetCell(RowId row, std::size_t col, const Value& v) {
+  std::byte* p = MutableCellPtr(row, col);
+  switch (schema_.field(col).type) {
+    case DataType::kInt32:
+    case DataType::kString: {
+      const std::int32_t x = static_cast<std::int32_t>(v.AsInt());
+      std::memcpy(p, &x, sizeof(x));
+      return;
+    }
+    case DataType::kInt64: {
+      const std::int64_t x = v.AsInt();
+      std::memcpy(p, &x, sizeof(x));
+      return;
+    }
+    case DataType::kFloat: {
+      const float x = static_cast<float>(v.ToDouble());
+      std::memcpy(p, &x, sizeof(x));
+      return;
+    }
+    case DataType::kDouble: {
+      const double x = v.ToDouble();
+      std::memcpy(p, &x, sizeof(x));
+      return;
+    }
+  }
+}
+
+ColumnView Matrix::ColumnAt(std::size_t col,
+                            const Dictionary* dictionary) const {
+  DBTOUCH_CHECK(col < schema_.num_fields());
+  if (row_count_ == 0) {
+    return ColumnView(schema_.field(col).type, nullptr, column_stride(col), 0,
+                      dictionary);
+  }
+  return ColumnView(schema_.field(col).type, CellPtr(0, col),
+                    column_stride(col), row_count_, dictionary);
+}
+
+std::size_t Matrix::column_stride(std::size_t col) const {
+  if (order_ == MajorOrder::kRowMajor) {
+    return schema_.row_width();
+  }
+  return TypeWidth(schema_.field(col).type);
+}
+
+Matrix Matrix::ToOrder(MajorOrder order) const {
+  Matrix out(schema_, order);
+  out.Reserve(row_count_);
+  out.row_count_ = row_count_;
+  for (std::size_t c = 0; c < schema_.num_fields(); ++c) {
+    const std::size_t w = TypeWidth(schema_.field(c).type);
+    for (RowId r = 0; r < row_count_; ++r) {
+      std::memcpy(out.MutableCellPtr(r, c), CellPtr(r, c), w);
+    }
+  }
+  return out;
+}
+
+}  // namespace dbtouch::storage

@@ -1,0 +1,57 @@
+// Schema: ordered, named, typed fields of a table or matrix.
+
+#ifndef DBTOUCH_STORAGE_SCHEMA_H_
+#define DBTOUCH_STORAGE_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/types.h"
+
+namespace dbtouch::storage {
+
+struct Field {
+  std::string name;
+  DataType type;
+
+  friend bool operator==(const Field&, const Field&) = default;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  std::size_t num_fields() const { return fields_.size(); }
+  const Field& field(std::size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or NotFound.
+  Result<std::size_t> FieldIndex(const std::string& name) const;
+
+  /// Total bytes of one tuple (sum of fixed widths).
+  std::size_t row_width() const { return row_width_; }
+
+  /// Byte offset of field `i` within a row-major tuple.
+  std::size_t field_offset(std::size_t i) const { return offsets_[i]; }
+
+  /// Schema with just the selected fields, in the given order.
+  Schema Project(const std::vector<std::size_t>& indices) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.fields_ == b.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+  std::vector<std::size_t> offsets_;
+  std::size_t row_width_ = 0;
+};
+
+}  // namespace dbtouch::storage
+
+#endif  // DBTOUCH_STORAGE_SCHEMA_H_

@@ -1,0 +1,141 @@
+#include "storage/table.h"
+
+#include "common/macros.h"
+
+namespace dbtouch::storage {
+
+Table::Table(std::string name, Schema schema, MajorOrder order)
+    : name_(std::move(name)),
+      schema_(schema),
+      storage_(schema, order),
+      dictionaries_(schema_.num_fields()) {
+  for (std::size_t c = 0; c < schema_.num_fields(); ++c) {
+    if (schema_.field(c).type == DataType::kString) {
+      dictionaries_[c] = std::make_shared<Dictionary>();
+    }
+  }
+}
+
+Result<std::shared_ptr<Table>> Table::FromColumns(std::string name,
+                                                  std::vector<Column> columns,
+                                                  MajorOrder order) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("table needs at least one column");
+  }
+  const std::int64_t rows = columns[0].row_count();
+  std::vector<Field> fields;
+  fields.reserve(columns.size());
+  for (const Column& c : columns) {
+    if (c.row_count() != rows) {
+      return Status::InvalidArgument(
+          "column '" + c.name() + "' has " + std::to_string(c.row_count()) +
+          " rows, expected " + std::to_string(rows));
+    }
+    fields.push_back(Field{c.name(), c.type()});
+  }
+  auto table =
+      std::make_shared<Table>(std::move(name), Schema(std::move(fields)),
+                              order);
+  std::vector<const std::byte*> field_data;
+  field_data.reserve(columns.size());
+  for (const Column& c : columns) {
+    field_data.push_back(c.raw_data());
+  }
+  table->storage_.AppendRowsColumnar(field_data, rows);
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (columns[c].type() == DataType::kString) {
+      table->dictionaries_[c] = columns[c].dictionary();
+    }
+  }
+  return table;
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != schema_.num_fields()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.num_fields()));
+  }
+  // Intern strings first so AppendRow sees only fixed-width values.
+  std::vector<Value> encoded;
+  encoded.reserve(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    const DataType t = schema_.field(c).type;
+    if (t == DataType::kString) {
+      if (!row[c].is_string()) {
+        return Status::InvalidArgument("field " + std::to_string(c) +
+                                       " expects a string value");
+      }
+      encoded.push_back(Value(static_cast<std::int64_t>(
+          dictionaries_[c]->Intern(row[c].AsString()))));
+    } else if (row[c].is_string()) {
+      return Status::InvalidArgument("field " + std::to_string(c) +
+                                     " is numeric but got a string");
+    } else {
+      encoded.push_back(row[c]);
+    }
+  }
+  storage_.AppendRow(encoded);
+  return Status::OK();
+}
+
+Value Table::GetValue(RowId row, std::size_t col) const {
+  const Value raw = storage_.GetCell(row, col);
+  if (schema_.field(col).type == DataType::kString &&
+      dictionaries_[col] != nullptr) {
+    return Value(
+        dictionaries_[col]->Lookup(static_cast<std::int32_t>(raw.AsInt())));
+  }
+  return raw;
+}
+
+ColumnView Table::ColumnViewAt(std::size_t col) const {
+  DBTOUCH_CHECK(col < schema_.num_fields());
+  return storage_.ColumnAt(col, dictionaries_[col].get());
+}
+
+Result<ColumnView> Table::ColumnViewByName(const std::string& name) const {
+  DBTOUCH_ASSIGN_OR_RETURN(const std::size_t idx, schema_.FieldIndex(name));
+  return ColumnViewAt(idx);
+}
+
+Column Table::ExtractColumn(std::size_t col) const {
+  DBTOUCH_CHECK(col < schema_.num_fields());
+  const Field& f = schema_.field(col);
+  Column out(f.name, f.type);
+  out.Reserve(row_count());
+  const ColumnView view = ColumnViewAt(col);
+  for (RowId r = 0; r < view.row_count(); ++r) {
+    switch (f.type) {
+      case DataType::kInt32:
+        out.AppendInt32(view.GetInt32(r));
+        break;
+      case DataType::kInt64:
+        out.AppendInt64(view.GetInt64(r));
+        break;
+      case DataType::kFloat:
+        out.AppendFloat(view.GetFloat(r));
+        break;
+      case DataType::kDouble:
+        out.AppendDouble(view.GetDouble(r));
+        break;
+      case DataType::kString:
+        out.AppendString(dictionaries_[col]->Lookup(view.GetInt32(r)));
+        break;
+    }
+  }
+  return out;
+}
+
+Status Table::ReplaceStorage(Matrix replacement) {
+  if (!(replacement.schema() == schema_)) {
+    return Status::InvalidArgument("replacement schema mismatch");
+  }
+  if (replacement.row_count() != storage_.row_count()) {
+    return Status::InvalidArgument("replacement row count mismatch");
+  }
+  storage_ = std::move(replacement);
+  return Status::OK();
+}
+
+}  // namespace dbtouch::storage

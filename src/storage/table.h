@@ -1,0 +1,72 @@
+// Table: a named relation backed by a fixed-width Matrix plus the
+// dictionaries of its string attributes. The table owns its layout
+// (row-store or column-store); the rotate gesture swaps it.
+
+#ifndef DBTOUCH_STORAGE_TABLE_H_
+#define DBTOUCH_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/column.h"
+#include "storage/matrix.h"
+#include "storage/schema.h"
+
+namespace dbtouch::storage {
+
+class Table {
+ public:
+  Table(std::string name, Schema schema,
+        MajorOrder order = MajorOrder::kColumnMajor);
+
+  /// Bulk-builds a table from equal-length columns (the generator path).
+  /// Dictionaries are taken over from the string columns.
+  static Result<std::shared_ptr<Table>> FromColumns(
+      std::string name, std::vector<Column> columns,
+      MajorOrder order = MajorOrder::kColumnMajor);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  std::int64_t row_count() const { return storage_.row_count(); }
+  MajorOrder layout() const { return storage_.order(); }
+
+  /// Appends one tuple; string Values are interned into the column's
+  /// dictionary. Returns InvalidArgument on arity/type mismatch.
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Cell with string decoding.
+  Value GetValue(RowId row, std::size_t col) const;
+
+  /// Strided view over column `col` with its dictionary attached.
+  ColumnView ColumnViewAt(std::size_t col) const;
+  Result<ColumnView> ColumnViewByName(const std::string& name) const;
+
+  const std::shared_ptr<Dictionary>& dictionary(std::size_t col) const {
+    return dictionaries_[col];
+  }
+
+  /// Deep-copies column `col` out of the table (the paper's "drag a column
+  /// out of a fat table" gesture produces one of these).
+  Column ExtractColumn(std::size_t col) const;
+
+  /// Direct storage access for the layout manager.
+  Matrix& mutable_storage() { return storage_; }
+  const Matrix& storage() const { return storage_; }
+
+  /// Swaps in a replacement matrix (must have the same schema and row
+  /// count); used when a layout rotation completes.
+  Status ReplaceStorage(Matrix replacement);
+
+ private:
+  std::string name_;
+  Schema schema_;
+  Matrix storage_;
+  std::vector<std::shared_ptr<Dictionary>> dictionaries_;
+};
+
+}  // namespace dbtouch::storage
+
+#endif  // DBTOUCH_STORAGE_TABLE_H_

@@ -1,0 +1,21 @@
+#include "storage/types.h"
+
+namespace dbtouch::storage {
+
+std::string_view DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+      return "int32";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat:
+      return "float";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+}  // namespace dbtouch::storage

@@ -1,0 +1,54 @@
+// Data types. dbTouch storage is fixed-width per attribute (paper
+// Section 2.6 "Physical Layout"): fixed widths make touch-location ->
+// tuple-identifier arithmetic a pure computation with no metadata access.
+// Variable-length strings are dictionary-encoded to a fixed-width code.
+
+#ifndef DBTOUCH_STORAGE_TYPES_H_
+#define DBTOUCH_STORAGE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dbtouch::storage {
+
+/// Tuple identifier: position of a tuple within its base column/table.
+/// The paper's touch mapping ("id = n * t / o") produces these.
+using RowId = std::int64_t;
+
+enum class DataType : std::uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kFloat = 2,
+  kDouble = 3,
+  /// Dictionary-encoded string; stored as an int32 code.
+  kString = 4,
+};
+
+/// Storage width in bytes of one field of `type`.
+constexpr std::size_t TypeWidth(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+      return 4;
+    case DataType::kInt64:
+      return 8;
+    case DataType::kFloat:
+      return 4;
+    case DataType::kDouble:
+      return 8;
+    case DataType::kString:
+      return 4;  // dictionary code
+  }
+  return 0;
+}
+
+/// True for types whose values order/aggregate numerically.
+constexpr bool IsNumeric(DataType type) {
+  return type != DataType::kString;
+}
+
+std::string_view DataTypeName(DataType type);
+
+}  // namespace dbtouch::storage
+
+#endif  // DBTOUCH_STORAGE_TYPES_H_

@@ -1,0 +1,44 @@
+#include "storage/value.h"
+
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace dbtouch::storage {
+
+std::int64_t Value::AsInt() const {
+  DBTOUCH_CHECK(is_int());
+  return std::get<std::int64_t>(v_);
+}
+
+double Value::AsDouble() const {
+  DBTOUCH_CHECK(is_double());
+  return std::get<double>(v_);
+}
+
+const std::string& Value::AsString() const {
+  DBTOUCH_CHECK(is_string());
+  return std::get<std::string>(v_);
+}
+
+double Value::ToDouble() const {
+  if (is_int()) {
+    return static_cast<double>(std::get<std::int64_t>(v_));
+  }
+  DBTOUCH_CHECK(is_double());
+  return std::get<double>(v_);
+}
+
+std::string Value::ToString() const {
+  if (is_string()) {
+    return std::get<std::string>(v_);
+  }
+  if (is_int()) {
+    return std::to_string(std::get<std::int64_t>(v_));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", std::get<double>(v_));
+  return buf;
+}
+
+}  // namespace dbtouch::storage

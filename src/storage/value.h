@@ -1,0 +1,48 @@
+// Value: a scalar crossing module boundaries (results surfaced to the user,
+// row appends, predicate constants). Hot loops never use Value; they read
+// raw fixed-width fields through ColumnView.
+
+#ifndef DBTOUCH_STORAGE_VALUE_H_
+#define DBTOUCH_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "storage/types.h"
+
+namespace dbtouch::storage {
+
+class Value {
+ public:
+  Value() : v_(std::int64_t{0}) {}
+  explicit Value(std::int64_t v) : v_(v) {}
+  explicit Value(std::int32_t v) : v_(static_cast<std::int64_t>(v)) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(float v) : v_(static_cast<double>(v)) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  std::int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Numeric view of the value for aggregation; strings are not numeric and
+  /// CHECK-fail (callers aggregate string columns over dictionary codes at
+  /// the ColumnView layer, never through Value).
+  double ToDouble() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) = default;
+
+ private:
+  std::variant<std::int64_t, double, std::string> v_;
+};
+
+}  // namespace dbtouch::storage
+
+#endif  // DBTOUCH_STORAGE_VALUE_H_

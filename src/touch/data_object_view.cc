@@ -1,0 +1,66 @@
+#include "touch/data_object_view.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dbtouch::touch {
+
+DataObjectView::DataObjectView(std::string name, RectCm frame, ObjectKind kind,
+                               std::int64_t tuple_count,
+                               std::size_t num_attributes,
+                               Orientation orientation)
+    : View(std::move(name), frame),
+      kind_(kind),
+      tuple_count_(tuple_count),
+      num_attributes_(num_attributes),
+      orientation_(orientation) {
+  DBTOUCH_CHECK(tuple_count >= 0);
+  DBTOUCH_CHECK(num_attributes >= 1);
+}
+
+void DataObjectView::FlipOrientation() {
+  orientation_ = orientation_ == Orientation::kVertical
+                     ? Orientation::kHorizontal
+                     : Orientation::kVertical;
+  // Rotating the shape swaps its visual extents about the same origin.
+  RectCm f = frame();
+  std::swap(f.width, f.height);
+  set_frame(f);
+}
+
+double DataObjectView::tuple_axis_extent() const {
+  return orientation_ == Orientation::kVertical ? frame().height
+                                                : frame().width;
+}
+
+double DataObjectView::attribute_axis_extent() const {
+  return orientation_ == Orientation::kVertical ? frame().width
+                                                : frame().height;
+}
+
+void DataObjectView::ApplyZoom(double scale, double min_extent_cm,
+                               double max_extent_cm) {
+  DBTOUCH_CHECK(scale > 0.0);
+  DBTOUCH_CHECK(min_extent_cm > 0.0 && min_extent_cm <= max_extent_cm);
+  RectCm f = frame();
+  const PointCm c = f.center();
+  f.width = std::clamp(f.width * scale, min_extent_cm, max_extent_cm);
+  f.height = std::clamp(f.height * scale, min_extent_cm, max_extent_cm);
+  f.x = c.x - f.width / 2.0;
+  f.y = c.y - f.height / 2.0;
+  set_frame(f);
+}
+
+void DataObjectView::BindTable(std::string table_name) {
+  table_name_ = std::move(table_name);
+  column_index_.reset();
+}
+
+void DataObjectView::BindColumn(std::string table_name,
+                                std::size_t column_index) {
+  table_name_ = std::move(table_name);
+  column_index_ = column_index;
+}
+
+}  // namespace dbtouch::touch

@@ -1,0 +1,78 @@
+// DataObjectView: a view that visualises a data object — "a column shape
+// for an attribute or a fat rectangle shape for a table" (paper abstract).
+// dbTouch "adds a number of properties to each view, e.g., the number of
+// data entries in the underlying column or table, the data type(s), the
+// data size" (Section 2.4); those properties are what the touch mapper
+// needs to turn a location into a tuple identifier.
+
+#ifndef DBTOUCH_TOUCH_DATA_OBJECT_VIEW_H_
+#define DBTOUCH_TOUCH_DATA_OBJECT_VIEW_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "storage/types.h"
+#include "touch/view.h"
+
+namespace dbtouch::touch {
+
+enum class ObjectKind : std::uint8_t {
+  kColumn = 0,  // one attribute; one axis maps to tuples
+  kTable = 1,   // whole relation; second axis maps to attributes
+};
+
+/// Which screen axis runs along the tuples. Vertical objects map y to
+/// rows; the rotate gesture flips the orientation ("if a data object is
+/// rotated such as it lies horizontally, then a horizontal slide is used
+/// to scan through the data", Section 2.4).
+enum class Orientation : std::uint8_t {
+  kVertical = 0,
+  kHorizontal = 1,
+};
+
+class DataObjectView : public View {
+ public:
+  DataObjectView(std::string name, RectCm frame, ObjectKind kind,
+                 std::int64_t tuple_count, std::size_t num_attributes,
+                 Orientation orientation = Orientation::kVertical);
+
+  ObjectKind kind() const { return kind_; }
+  std::int64_t tuple_count() const { return tuple_count_; }
+  std::size_t num_attributes() const { return num_attributes_; }
+  Orientation orientation() const { return orientation_; }
+
+  /// Flips the orientation (rotate gesture / rotating the tablet).
+  void FlipOrientation();
+
+  /// Extent (cm) of the axis that maps to tuples.
+  double tuple_axis_extent() const;
+  /// Extent (cm) of the axis that maps to attributes (table objects).
+  double attribute_axis_extent() const;
+
+  /// Grows/shrinks the frame about its centre by `scale` (> 1 zoom-in,
+  /// < 1 zoom-out), clamping the resulting size to
+  /// [min_extent_cm, max_extent_cm] per axis.
+  void ApplyZoom(double scale, double min_extent_cm, double max_extent_cm);
+
+  /// Binding to the catalog: table name, plus the column index when this
+  /// object visualises a single attribute.
+  void BindTable(std::string table_name);
+  void BindColumn(std::string table_name, std::size_t column_index);
+  const std::string& table_name() const { return table_name_; }
+  const std::optional<std::size_t>& column_index() const {
+    return column_index_;
+  }
+
+ private:
+  ObjectKind kind_;
+  std::int64_t tuple_count_;
+  std::size_t num_attributes_;
+  Orientation orientation_;
+  std::string table_name_;
+  std::optional<std::size_t> column_index_;
+};
+
+}  // namespace dbtouch::touch
+
+#endif  // DBTOUCH_TOUCH_DATA_OBJECT_VIEW_H_

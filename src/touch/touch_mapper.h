@@ -1,0 +1,49 @@
+// Touch -> tuple-identifier mapping (paper Section 2.4): "if the touch
+// location is t, the size of the data object is o and the number of total
+// tuples is n, then the tuple identifier we are looking for is
+// id = n * t / o" — the Rule of Three.
+
+#ifndef DBTOUCH_TOUCH_TOUCH_MAPPER_H_
+#define DBTOUCH_TOUCH_TOUCH_MAPPER_H_
+
+#include <cstdint>
+
+#include "storage/types.h"
+#include "touch/data_object_view.h"
+
+namespace dbtouch::touch {
+
+/// Result of mapping one touch on a data object.
+struct TouchMapping {
+  storage::RowId row = 0;
+  /// Attribute index (always 0 for column objects; for table objects,
+  /// derived from the cross-axis position).
+  std::size_t attribute = 0;
+};
+
+/// Rule of Three: maps location `t_cm` along an axis of extent `extent_cm`
+/// onto [0, n). Results clamp into the valid row range, so edge touches
+/// land on the first/last tuple.
+storage::RowId MapPositionToRow(double t_cm, double extent_cm,
+                                std::int64_t n);
+
+/// Inverse mapping: the axis position (cm) whose touch maps to `row`.
+/// Used to place results on screen and by the prefetcher to convert
+/// predicted positions back to rows.
+double RowToPosition(storage::RowId row, double extent_cm, std::int64_t n);
+
+/// Maps a touch in `object`'s local coordinates to (row, attribute),
+/// honouring the object's orientation and kind (paper: vertical slide over
+/// a table returns tuples; the attribute is chosen "by the relative width
+/// of the touch location within the view").
+TouchMapping MapTouch(const DataObjectView& object, const PointCm& local);
+
+/// Touch granularity: base tuples represented by each distinct touchable
+/// position ("how many tuples correspond to each touch", Section 2.5).
+/// `positions_per_cm` comes from the device. Always >= 1.
+double TuplesPerPosition(std::int64_t n, double extent_cm,
+                         double positions_per_cm);
+
+}  // namespace dbtouch::touch
+
+#endif  // DBTOUCH_TOUCH_TOUCH_MAPPER_H_

@@ -1,0 +1,69 @@
+#include "touch/view.h"
+
+#include "common/macros.h"
+
+namespace dbtouch::touch {
+
+View::View(std::string name, RectCm frame)
+    : name_(std::move(name)), frame_(frame) {}
+
+View* View::AddChild(std::unique_ptr<View> child) {
+  DBTOUCH_CHECK(child != nullptr);
+  DBTOUCH_CHECK(child->parent_ == nullptr);
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+std::unique_ptr<View> View::RemoveChild(View* child) {
+  for (auto it = children_.begin(); it != children_.end(); ++it) {
+    if (it->get() == child) {
+      std::unique_ptr<View> out = std::move(*it);
+      children_.erase(it);
+      out->parent_ = nullptr;
+      return out;
+    }
+  }
+  return nullptr;
+}
+
+View* View::HitTest(const PointCm& point) {
+  const RectCm self{0.0, 0.0, frame_.width, frame_.height};
+  if (!self.Contains(point)) {
+    return nullptr;
+  }
+  // Topmost (last added) child wins.
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+    View* child = it->get();
+    if (View* hit = child->HitTest(ToChild(*child, point))) {
+      return hit;
+    }
+  }
+  return this;
+}
+
+PointCm View::ToChild(const View& child, const PointCm& point) const {
+  DBTOUCH_CHECK(child.parent_ == this);
+  return PointCm{point.x - child.frame_.x, point.y - child.frame_.y};
+}
+
+PointCm View::ScreenToLocal(const PointCm& screen_point) const {
+  if (parent_ == nullptr) {
+    return screen_point;
+  }
+  const PointCm in_parent = parent_->ScreenToLocal(screen_point);
+  return PointCm{in_parent.x - frame_.x, in_parent.y - frame_.y};
+}
+
+PointCm View::LocalToScreen(const PointCm& local_point) const {
+  PointCm p = local_point;
+  const View* v = this;
+  while (v->parent_ != nullptr) {
+    p.x += v->frame_.x;
+    p.y += v->frame_.y;
+    v = v->parent_;
+  }
+  return p;
+}
+
+}  // namespace dbtouch::touch

@@ -1,0 +1,87 @@
+// View system: "dbTouch exploits the view concept of modern touch-based
+// operating systems. Views are placeholders for visual objects ... each
+// view can be placed in a master view, forming hierarchies" (paper
+// Section 2.4 "Object Views").
+//
+// Frames are expressed in the parent's coordinate space, in centimetres
+// (x right, y down). The root view's space is the screen.
+
+#ifndef DBTOUCH_TOUCH_VIEW_H_
+#define DBTOUCH_TOUCH_VIEW_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/touch_event.h"
+
+namespace dbtouch::touch {
+
+using sim::PointCm;
+
+/// Axis-aligned rectangle in cm. `x`/`y` is the top-left corner.
+struct RectCm {
+  double x = 0.0;
+  double y = 0.0;
+  double width = 0.0;
+  double height = 0.0;
+
+  bool Contains(const PointCm& p) const {
+    return p.x >= x && p.x <= x + width && p.y >= y && p.y <= y + height;
+  }
+
+  PointCm center() const { return PointCm{x + width / 2.0, y + height / 2.0}; }
+
+  friend bool operator==(const RectCm&, const RectCm&) = default;
+};
+
+/// A node in the view hierarchy. Owns its children.
+class View {
+ public:
+  View(std::string name, RectCm frame);
+  virtual ~View() = default;
+
+  View(const View&) = delete;
+  View& operator=(const View&) = delete;
+
+  const std::string& name() const { return name_; }
+  const RectCm& frame() const { return frame_; }
+  void set_frame(const RectCm& frame) { frame_ = frame; }
+
+  View* parent() const { return parent_; }
+  const std::vector<std::unique_ptr<View>>& children() const {
+    return children_;
+  }
+
+  /// Adds `child` (frame in this view's coordinates); returns a borrowed
+  /// pointer for convenience.
+  View* AddChild(std::unique_ptr<View> child);
+
+  /// Removes and returns the child, or nullptr if not a direct child.
+  std::unique_ptr<View> RemoveChild(View* child);
+
+  /// Deepest descendant (or this view) containing `point`, expressed in
+  /// this view's own coordinate space; nullptr when outside. Later-added
+  /// siblings sit on top and win ties, matching UIKit.
+  View* HitTest(const PointCm& point);
+
+  /// Converts a point in this view's space to the child's local space.
+  PointCm ToChild(const View& child, const PointCm& point) const;
+
+  /// Converts a point in root (screen) space to this view's local space by
+  /// walking the ancestor chain.
+  PointCm ScreenToLocal(const PointCm& screen_point) const;
+
+  /// Converts a local point to root (screen) space.
+  PointCm LocalToScreen(const PointCm& local_point) const;
+
+ private:
+  std::string name_;
+  RectCm frame_;
+  View* parent_ = nullptr;
+  std::vector<std::unique_ptr<View>> children_;
+};
+
+}  // namespace dbtouch::touch
+
+#endif  // DBTOUCH_TOUCH_VIEW_H_

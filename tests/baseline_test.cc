@@ -1,0 +1,112 @@
+// Unit tests for the monolithic DBMS baseline.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/monolithic.h"
+#include "storage/catalog.h"
+#include "storage/datagen.h"
+
+namespace dbtouch::baseline {
+namespace {
+
+using storage::Catalog;
+using storage::Column;
+using storage::Table;
+
+class BaselineTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<Column> cols;
+    cols.push_back(Column::FromInt32("k", {1, 2, 3, 2, 1}));
+    cols.push_back(Column::FromDouble("v", {10.0, 20.0, 30.0, 40.0, 50.0}));
+    ASSERT_TRUE(catalog_.Register(*Table::FromColumns("t", std::move(cols)))
+                    .ok());
+    std::vector<Column> other;
+    other.push_back(Column::FromInt32("k2", {2, 3, 9}));
+    ASSERT_TRUE(
+        catalog_.Register(*Table::FromColumns("u", std::move(other))).ok());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(BaselineTest, AggregateFullColumn) {
+  const MonolithicExecutor exec(&catalog_);
+  const auto r = exec.Aggregate("t", "v", exec::AggKind::kSum);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_DOUBLE_EQ(r->value, 150.0);
+  EXPECT_EQ(r->rows_scanned, 5);
+  EXPECT_GE(r->wall_ms, 0.0);
+}
+
+TEST_F(BaselineTest, AggregateWithPredicate) {
+  const MonolithicExecutor exec(&catalog_);
+  const auto r = exec.Aggregate("t", "v", exec::AggKind::kCount,
+                                exec::Predicate(exec::CompareOp::kGt, 25.0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->value, 3.0);  // 30, 40, 50.
+  EXPECT_EQ(r->rows_scanned, 5);    // Monolithic: scans everything anyway.
+}
+
+TEST_F(BaselineTest, FindExtreme) {
+  const MonolithicExecutor exec(&catalog_);
+  const auto max = exec.FindExtreme("t", "v", /*find_max=*/true);
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(max->row, 4);
+  EXPECT_DOUBLE_EQ(max->value, 50.0);
+  const auto min = exec.FindExtreme("t", "v", /*find_max=*/false);
+  ASSERT_TRUE(min.ok());
+  EXPECT_EQ(min->row, 0);
+}
+
+TEST_F(BaselineTest, HashJoinCountsMatches) {
+  const MonolithicExecutor exec(&catalog_);
+  const auto r = exec.HashJoin("t", "k", "u", "k2");
+  ASSERT_TRUE(r.ok()) << r.status();
+  // t.k = {1,2,3,2,1}; u.k2 = {2,3,9}: matches = 2 (k=2) x2 rows + 1 (k=3).
+  EXPECT_EQ(r->matches, 3);
+  EXPECT_EQ(r->rows_scanned, 8);
+  EXPECT_GE(r->total_ms, r->build_ms);
+}
+
+TEST_F(BaselineTest, JoinRejectsFloatKeys) {
+  const MonolithicExecutor exec(&catalog_);
+  EXPECT_TRUE(
+      exec.HashJoin("t", "v", "u", "k2").status().IsInvalidArgument());
+}
+
+TEST_F(BaselineTest, MissingTableOrColumn) {
+  const MonolithicExecutor exec(&catalog_);
+  EXPECT_TRUE(exec.Aggregate("ghost", "v", exec::AggKind::kSum)
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(exec.Aggregate("t", "ghost", exec::AggKind::kSum)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(BaselineTest, CountWhere) {
+  const MonolithicExecutor exec(&catalog_);
+  const auto r = exec.CountWhere("t", "v", exec::Predicate(15.0, 45.0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->value, 3.0);  // 20, 30, 40.
+}
+
+TEST(BaselineScaleTest, MonolithicScansEverything) {
+  Catalog catalog;
+  std::vector<Column> cols;
+  cols.push_back(storage::MakePaperEvalColumn(200'000));
+  ASSERT_TRUE(
+      catalog.Register(*Table::FromColumns("big", std::move(cols))).ok());
+  const MonolithicExecutor exec(&catalog);
+  const auto r = exec.Aggregate("big", "values", exec::AggKind::kAvg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows_scanned, 200'000);
+  // Uniform [0, 10^6]: mean near 500k.
+  EXPECT_NEAR(r->value, 500'000.0, 5'000.0);
+}
+
+}  // namespace
+}  // namespace dbtouch::baseline

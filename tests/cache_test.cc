@@ -1,0 +1,179 @@
+// Unit tests for the gesture-aware block cache and the hash-table cache.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/block_cache.h"
+#include "cache/hash_table_cache.h"
+#include "storage/column.h"
+
+namespace dbtouch::cache {
+namespace {
+
+using storage::Column;
+
+BlockCache::Config SmallCache(bool gesture_aware) {
+  BlockCache::Config config;
+  config.capacity_blocks = 4;
+  config.gesture_aware = gesture_aware;
+  config.scan_run_length = 4;
+  return config;
+}
+
+TEST(BlockCacheTest, MissThenHit) {
+  BlockCache cache(SmallCache(false));
+  EXPECT_FALSE(cache.Access(1, 100));
+  EXPECT_TRUE(cache.Access(1, 101));
+  EXPECT_EQ(cache.stats().lookups, 2);
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(BlockCacheTest, LruEvictsOldest) {
+  BlockCache cache(SmallCache(false));
+  for (std::int64_t b = 0; b < 5; ++b) {
+    cache.Access(b, b);  // Blocks 0..4; capacity 4 evicts block 0.
+  }
+  EXPECT_FALSE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(4));
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(BlockCacheTest, TouchRefreshesLruPosition) {
+  BlockCache cache(SmallCache(false));
+  for (std::int64_t b = 0; b < 4; ++b) {
+    cache.Access(b, b * 10);
+  }
+  cache.Access(0, 100);  // Refresh block 0.
+  cache.Access(9, 200);  // Evicts block 1, not 0.
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_FALSE(cache.Contains(1));
+}
+
+TEST(BlockCacheTest, SteadyScanBypassesAdmission) {
+  BlockCache cache(SmallCache(true));
+  // A long one-directional slide: rows strictly increasing.
+  for (std::int64_t i = 0; i < 20; ++i) {
+    cache.Access(i, i * 1000);
+  }
+  EXPECT_TRUE(cache.in_scan_mode());
+  EXPECT_GT(cache.stats().bypasses, 0);
+  // The cache did not fill with scan blocks.
+  EXPECT_LE(cache.size(), 5);
+}
+
+TEST(BlockCacheTest, ReversalReenablesAdmission) {
+  BlockCache cache(SmallCache(true));
+  for (std::int64_t i = 0; i < 20; ++i) {
+    cache.Access(i, i * 1000);
+  }
+  ASSERT_TRUE(cache.in_scan_mode());
+  // Reverse direction: user is re-examining.
+  cache.Access(19, 18'500);
+  EXPECT_FALSE(cache.in_scan_mode());
+  cache.Access(18, 18'000);
+  EXPECT_TRUE(cache.Contains(18));
+}
+
+TEST(BlockCacheTest, PauseReenablesAdmission) {
+  BlockCache cache(SmallCache(true));
+  for (std::int64_t i = 0; i < 20; ++i) {
+    cache.Access(i, i * 1000);
+  }
+  ASSERT_TRUE(cache.in_scan_mode());
+  cache.OnGesturePause();
+  EXPECT_FALSE(cache.in_scan_mode());
+}
+
+TEST(BlockCacheTest, GestureAwarePolicyRetainsRegionAcrossScan) {
+  // Workload: the user studies a small region (ping-pong), then a long
+  // scan passes through, then they return to the region. Plain LRU admits
+  // every scan block and evicts the region; the gesture-aware policy
+  // bypasses the scan so the region survives.
+  const auto run = [](bool aware) {
+    BlockCache::Config config;
+    config.capacity_blocks = 10;
+    config.gesture_aware = aware;
+    config.scan_run_length = 3;
+    BlockCache cache(config);
+    // Phase 1: establish interest in blocks 50..52 (alternating
+    // direction keeps admission on).
+    for (int round = 0; round < 3; ++round) {
+      for (std::int64_t b = 50; b < 53; ++b) {
+        cache.Access(b, b * 1000 + round);
+      }
+      for (std::int64_t b = 52; b >= 50; --b) {
+        cache.Access(b, b * 1000 - round);
+      }
+    }
+    // Phase 2: a long one-directional scan over 40 other blocks.
+    for (std::int64_t i = 0; i < 40; ++i) {
+      cache.Access(i, i * 1000);
+    }
+    int retained = 0;
+    for (std::int64_t b = 50; b < 53; ++b) {
+      retained += cache.Contains(b) ? 1 : 0;
+    }
+    return retained;
+  };
+  EXPECT_EQ(run(true), 3);   // Scan bypassed: region intact.
+  EXPECT_EQ(run(false), 0);  // LRU: scan evicted everything.
+}
+
+TEST(HashTableCacheTest, KeyEncodesJoinAndLevel) {
+  EXPECT_EQ(HashTableCache::MakeKey("a=b", 3), "a=b@L3");
+}
+
+TEST(HashTableCacheTest, PutGetRoundTrip) {
+  const Column l = Column::FromInt32("l", {1, 2});
+  const Column r = Column::FromInt32("r", {2, 3});
+  HashTableCache cache(2);
+  auto join = std::make_shared<exec::SymmetricHashJoin>(l.View(), r.View());
+  join->Feed(exec::JoinSide::kLeft, 1);
+  cache.Put("j@L0", join);
+  const auto got = cache.Get("j@L0");
+  ASSERT_NE(got, nullptr);
+  // The cached join resumes with its fed state intact.
+  EXPECT_EQ(got->left_fed(), 1);
+  EXPECT_EQ(got->Feed(exec::JoinSide::kRight, 0).size(), 1u);
+}
+
+TEST(HashTableCacheTest, MissReturnsNull) {
+  HashTableCache cache(2);
+  EXPECT_EQ(cache.Get("nope"), nullptr);
+  EXPECT_EQ(cache.stats().lookups, 1);
+  EXPECT_EQ(cache.stats().hits, 0);
+}
+
+TEST(HashTableCacheTest, EvictsLeastRecentlyUsed) {
+  const Column l = Column::FromInt32("l", {1});
+  const Column r = Column::FromInt32("r", {1});
+  HashTableCache cache(2);
+  const auto mk = [&] {
+    return std::make_shared<exec::SymmetricHashJoin>(l.View(), r.View());
+  };
+  cache.Put("a", mk());
+  cache.Put("b", mk());
+  cache.Get("a");      // a most recent.
+  cache.Put("c", mk());  // Evicts b.
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(HashTableCacheTest, PutSameKeyReplaces) {
+  const Column l = Column::FromInt32("l", {1});
+  const Column r = Column::FromInt32("r", {1});
+  HashTableCache cache(2);
+  auto first = std::make_shared<exec::SymmetricHashJoin>(l.View(), r.View());
+  first->Feed(exec::JoinSide::kLeft, 0);
+  cache.Put("k", first);
+  auto fresh = std::make_shared<exec::SymmetricHashJoin>(l.View(), r.View());
+  cache.Put("k", fresh);
+  EXPECT_EQ(cache.Get("k")->left_fed(), 0);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dbtouch::cache

@@ -1,0 +1,251 @@
+// Unit tests for src/common: Status, Result, macros, Rng, string utils.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace dbtouch {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) {
+    return Status::InvalidArgument("negative");
+  }
+  return Status::OK();
+}
+
+Status UseReturnIfError(int x) {
+  DBTOUCH_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(MacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UseReturnIfError(1).ok());
+  EXPECT_TRUE(UseReturnIfError(-1).IsInvalidArgument());
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) {
+    return Status::InvalidArgument("odd");
+  }
+  return x / 2;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  DBTOUCH_ASSIGN_OR_RETURN(const int half, HalveEven(x));
+  *out = half;
+  return Status::OK();
+}
+
+TEST(MacrosTest, AssignOrReturnAssignsAndPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_TRUE(UseAssignOrReturn(3, &out).IsInvalidArgument());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, IntRangeInclusive) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.NextInt64(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // All 7 values hit in 2000 draws.
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(5);
+  Rng b(5);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(fa.NextUint64(), fb.NextUint64());
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesMass) {
+  Rng rng(17);
+  ZipfDistribution zipf(1000, 1.0);
+  int rank0 = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    if (zipf.Sample(rng) == 0) {
+      ++rank0;
+    }
+  }
+  // Under Zipf(1.0) over 1000 ranks, rank 0 has ~13% mass; uniform would
+  // give 0.1%.
+  EXPECT_GT(rank0, draws / 20);
+}
+
+TEST(ZipfTest, ZeroSkewIsUniformish) {
+  Rng rng(19);
+  ZipfDistribution zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    counts[zipf.Sample(rng)]++;
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, "|"), "a|b|c");
+}
+
+TEST(StringUtilTest, Split) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1536), "1.5 KiB");
+  EXPECT_EQ(HumanBytes(40'000'000), "38.1 MiB");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("dbtouch", "db"));
+  EXPECT_FALSE(StartsWith("db", "dbtouch"));
+  EXPECT_TRUE(EndsWith("trace.txt", ".txt"));
+  EXPECT_FALSE(EndsWith("trace.txt", ".csv"));
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \n"), "x y");
+  EXPECT_EQ(StripWhitespace("\t\r\n "), "");
+}
+
+}  // namespace
+}  // namespace dbtouch
