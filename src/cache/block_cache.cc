@@ -1,74 +1,131 @@
 #include "cache/block_cache.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
 
 namespace dbtouch::cache {
 
 BlockCache::BlockCache(const Config& config) : config_(config) {
   DBTOUCH_CHECK(config.capacity_blocks > 0);
+  DBTOUCH_CHECK(config.shards > 0);
+  // Never more shards than capacity (a zero-capacity shard could hold
+  // nothing), and spread the remainder so the shard capacities sum to
+  // exactly capacity_blocks.
+  const int shards = static_cast<int>(std::min<std::int64_t>(
+      config.shards, config.capacity_blocks));
+  const std::int64_t base = config.capacity_blocks / shards;
+  const std::int64_t remainder = config.capacity_blocks % shards;
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (i < remainder ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
 }
 
 bool BlockCache::Access(std::int64_t block, storage::RowId row) {
-  ++stats_.lookups;
-
-  // Direction tracking.
-  if (last_row_ >= 0 && row != last_row_) {
-    const int dir = row > last_row_ ? 1 : -1;
-    if (dir == direction_) {
-      ++scan_run_;
-    } else {
-      direction_ = dir;
-      scan_run_ = 0;  // Reversal: user re-examining — cache again.
+  bool bypassing = false;
+  bool working_buffer_hit = false;
+  {
+    const std::lock_guard<std::mutex> lock(gesture_mu_);
+    // Direction tracking.
+    if (last_row_ >= 0 && row != last_row_) {
+      const int dir = row > last_row_ ? 1 : -1;
+      if (dir == direction_) {
+        ++scan_run_;
+      } else {
+        direction_ = dir;
+        scan_run_ = 0;  // Reversal: user re-examining — cache again.
+      }
     }
-  }
-  last_row_ = row;
+    last_row_ = row;
 
-  // Working buffer: the block under the finger is always resident.
-  if (block == current_block_) {
-    ++stats_.hits;
+    // Working buffer: the block under the finger is always resident.
+    if (block == current_block_) {
+      working_buffer_hit = true;
+    } else {
+      current_block_ = block;
+    }
+    bypassing = config_.gesture_aware && scan_run_ >= config_.scan_run_length;
+  }
+
+  Shard& shard = ShardFor(block);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.stats.lookups;
+  if (working_buffer_hit) {
+    ++shard.stats.hits;
     return true;
   }
-  current_block_ = block;
-
-  const auto it = map_.find(block);
-  if (it != map_.end()) {
-    ++stats_.hits;
-    TouchLru(block);
+  const auto it = shard.map.find(block);
+  if (it != shard.map.end()) {
+    ++shard.stats.hits;
+    TouchLru(shard, block);
     return true;
   }
-  if (config_.gesture_aware && in_scan_mode()) {
-    ++stats_.bypasses;
+  if (bypassing) {
+    ++shard.stats.bypasses;
     return false;
   }
-  Admit(block);
+  Admit(shard, block);
   return false;
 }
 
 void BlockCache::OnGesturePause() {
+  const std::lock_guard<std::mutex> lock(gesture_mu_);
   scan_run_ = 0;
 }
 
 bool BlockCache::Contains(std::int64_t block) const {
-  return map_.count(block) > 0;
+  Shard& shard = ShardFor(block);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.map.count(block) > 0;
 }
 
-void BlockCache::Admit(std::int64_t block) {
-  if (static_cast<std::int64_t>(lru_.size()) >= config_.capacity_blocks) {
-    const std::int64_t victim = lru_.back();
-    lru_.pop_back();
-    map_.erase(victim);
-    ++stats_.evictions;
+std::int64_t BlockCache::size() const {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    total += static_cast<std::int64_t>(shard->lru.size());
   }
-  lru_.push_front(block);
-  map_[block] = lru_.begin();
-  ++stats_.admissions;
+  return total;
 }
 
-void BlockCache::TouchLru(std::int64_t block) {
-  const auto it = map_.find(block);
-  DBTOUCH_CHECK(it != map_.end());
-  lru_.splice(lru_.begin(), lru_, it->second);
-  it->second = lru_.begin();
+BlockCacheStats BlockCache::stats() const {
+  BlockCacheStats total;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    total.lookups += shard->stats.lookups;
+    total.hits += shard->stats.hits;
+    total.admissions += shard->stats.admissions;
+    total.bypasses += shard->stats.bypasses;
+    total.evictions += shard->stats.evictions;
+  }
+  return total;
+}
+
+bool BlockCache::in_scan_mode() const {
+  const std::lock_guard<std::mutex> lock(gesture_mu_);
+  return scan_run_ >= config_.scan_run_length;
+}
+
+void BlockCache::Admit(Shard& shard, std::int64_t block) {
+  if (static_cast<std::int64_t>(shard.lru.size()) >= shard.capacity) {
+    const std::int64_t victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.map.erase(victim);
+    ++shard.stats.evictions;
+  }
+  shard.lru.push_front(block);
+  shard.map[block] = shard.lru.begin();
+  ++shard.stats.admissions;
+}
+
+void BlockCache::TouchLru(Shard& shard, std::int64_t block) {
+  const auto it = shard.map.find(block);
+  DBTOUCH_CHECK(it != shard.map.end());
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  it->second = shard.lru.begin();
 }
 
 }  // namespace dbtouch::cache

@@ -9,13 +9,23 @@
 // bypassed while the gesture is in "scan" mode and re-enabled when the
 // gesture reverses or pauses (both signals that the user is interested in
 // the current region).
+//
+// Concurrency: the LRU state is split across `Config::shards` shards, each
+// guarded by its own mutex, so server workers touching different blocks
+// rarely contend. The gesture/direction detector is inherently sequential
+// (it models one finger) and lives under its own small mutex. With the
+// default single shard the eviction order is exactly the classic LRU the
+// unit tests pin down.
 
 #ifndef DBTOUCH_CACHE_BLOCK_CACHE_H_
 #define DBTOUCH_CACHE_BLOCK_CACHE_H_
 
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "storage/types.h"
 
@@ -44,6 +54,12 @@ class BlockCache {
     /// Consecutive same-direction accesses after which the stream is
     /// treated as a scan.
     int scan_run_length = 8;
+    /// Number of independently locked LRU shards. 1 (the default) keeps
+    /// the exact global-LRU eviction order; the touch server raises it so
+    /// concurrent sessions touching different blocks do not contend.
+    /// Clamped to capacity_blocks; shard capacities sum to exactly
+    /// capacity_blocks.
+    int shards = 1;
   };
 
   explicit BlockCache(const Config& config);
@@ -60,20 +76,33 @@ class BlockCache {
   void OnGesturePause();
 
   bool Contains(std::int64_t block) const;
-  std::int64_t size() const {
-    return static_cast<std::int64_t>(lru_.size());
-  }
-  const BlockCacheStats& stats() const { return stats_; }
-  bool in_scan_mode() const { return scan_run_ >= config_.scan_run_length; }
+  std::int64_t size() const;
+  /// Aggregated over all shards; a coherent snapshot, not a live reference.
+  BlockCacheStats stats() const;
+  bool in_scan_mode() const;
 
  private:
-  void Admit(std::int64_t block);
-  void TouchLru(std::int64_t block);
+  struct Shard {
+    mutable std::mutex mu;
+    std::int64_t capacity = 0;
+    std::list<std::int64_t> lru;  // Front = most recent.
+    std::unordered_map<std::int64_t, std::list<std::int64_t>::iterator> map;
+    BlockCacheStats stats;
+  };
+
+  Shard& ShardFor(std::int64_t block) const {
+    return *shards_[static_cast<std::size_t>(block) % shards_.size()];
+  }
+  /// Caller holds the shard mutex.
+  void Admit(Shard& shard, std::int64_t block);
+  void TouchLru(Shard& shard, std::int64_t block);
 
   Config config_;
-  std::list<std::int64_t> lru_;  // Front = most recent.
-  std::unordered_map<std::int64_t, std::list<std::int64_t>::iterator> map_;
-  BlockCacheStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Gesture/direction state: models the (single) finger driving the
+  /// cache, so it is one small critical section, not per-shard.
+  mutable std::mutex gesture_mu_;
   storage::RowId last_row_ = -1;
   /// The block currently under the finger (working buffer).
   std::int64_t current_block_ = -1;

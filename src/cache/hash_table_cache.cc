@@ -14,6 +14,7 @@ std::string HashTableCache::MakeKey(const std::string& join_id, int level) {
 
 std::shared_ptr<exec::SymmetricHashJoin> HashTableCache::Get(
     const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
   ++stats_.lookups;
   const auto it = map_.find(key);
   if (it == map_.end()) {
@@ -26,6 +27,7 @@ std::shared_ptr<exec::SymmetricHashJoin> HashTableCache::Get(
 
 void HashTableCache::Put(const std::string& key,
                          std::shared_ptr<exec::SymmetricHashJoin> join) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = map_.find(key);
   if (it != map_.end()) {
     it->second.join = std::move(join);

@@ -4,6 +4,11 @@
 // Keyed by (join identity, sample level); holds live SymmetricHashJoin
 // instances so a re-opened join session at the same granularity resumes
 // with all previously fed tuples already in its tables.
+//
+// Concurrency: Get/Put are serialised by an internal mutex so sessions on
+// different server workers can share one cache. The cache hands out
+// shared_ptrs; feeding a join concurrently from two sessions is the
+// caller's problem (the touch server keys joins per session).
 
 #ifndef DBTOUCH_CACHE_HASH_TABLE_CACHE_H_
 #define DBTOUCH_CACHE_HASH_TABLE_CACHE_H_
@@ -11,6 +16,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -39,12 +45,20 @@ class HashTableCache {
   void Put(const std::string& key,
            std::shared_ptr<exec::SymmetricHashJoin> join);
 
-  const HashTableCacheStats& stats() const { return stats_; }
-  std::size_t size() const { return map_.size(); }
+  HashTableCacheStats stats() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
 
  private:
+  /// Caller holds mu_.
   void TouchLru(const std::string& key);
 
+  mutable std::mutex mu_;
   std::size_t capacity_;
   std::list<std::string> lru_;  // Front = most recent.
   struct Entry {

@@ -2,11 +2,20 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace dbtouch {
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+/// Serialises writes to the sink so concurrent server workers never
+/// interleave partial lines. Each LogMessage formats into its own buffer
+/// first; the lock covers only the final fputs.
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -53,7 +62,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (enabled_) {
     stream_ << "\n";
-    std::fputs(stream_.str().c_str(), stderr);
+    const std::string line = stream_.str();
+    const std::lock_guard<std::mutex> lock(SinkMutex());
+    std::fputs(line.c_str(), stderr);
   }
 }
 

@@ -1,7 +1,9 @@
 // Minimal leveled logging for dbTouch.
 //
 // Logging goes to stderr and is off below the global threshold; benchmarks
-// set the threshold to kWarning so hot paths stay quiet.
+// set the threshold to kWarning so hot paths stay quiet. Emission is
+// thread-safe: each message is formatted privately and the sink write is
+// serialised, so server workers can log concurrently without interleaving.
 
 #ifndef DBTOUCH_COMMON_LOGGING_H_
 #define DBTOUCH_COMMON_LOGGING_H_

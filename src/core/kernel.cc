@@ -53,8 +53,9 @@ struct Kernel::ObjectState {
   std::shared_ptr<storage::Table> table;
   /// Column index for column objects.
   std::optional<std::size_t> column;
-  /// Sample hierarchy over the bound column (column objects only).
-  std::unique_ptr<sampling::SampleHierarchy> hierarchy;
+  /// Sample hierarchy over the bound column (column objects only). Owned
+  /// by the SharedState; possibly shared with other sessions' kernels.
+  std::shared_ptr<sampling::SampleHierarchy> hierarchy;
   ActionConfig action;
   /// Per-action operator state (reset on SetAction).
   std::unique_ptr<exec::TouchedAggregateOp> agg_op;
@@ -62,8 +63,10 @@ struct Kernel::ObjectState {
   std::unique_ptr<exec::IncrementalGroupBy> groupby_op;
   /// In-flight incremental layout rotation.
   std::unique_ptr<layout::IncrementalRotator> rotator;
-  /// Per-sample-level indexes, built lazily when an action wants them.
-  std::unique_ptr<index::LevelIndexSet> indexes;
+  /// Base-level zone map, fetched once from the SharedState when a
+  /// filtered scan asks for index support; immutable and lock-free after.
+  /// The aliasing shared_ptr pins the owning index set.
+  std::shared_ptr<const index::ZoneMap> base_zone_map;
   ObjectStats stats;
   /// Rotation gesture latch: fire once per gesture.
   bool rotation_fired_this_gesture = false;
@@ -76,10 +79,14 @@ struct Kernel::ObjectState {
   }
 };
 
-Kernel::Kernel(const KernelConfig& config)
+Kernel::Kernel(const KernelConfig& config, std::shared_ptr<SharedState> shared)
     : config_(config),
       device_(config.device),
       recognizer_(config.recognizer),
+      shared_(shared != nullptr
+                  ? std::move(shared)
+                  : std::make_shared<SharedState>(config.sampling,
+                                                  /*force_eager=*/false)),
       root_view_("screen",
                  touch::RectCm{0.0, 0.0, config.device.screen_width_cm,
                                config.device.screen_height_cm}),
@@ -89,14 +96,14 @@ Kernel::Kernel(const KernelConfig& config)
 Kernel::~Kernel() = default;
 
 Status Kernel::RegisterTable(std::shared_ptr<storage::Table> table) {
-  return catalog_.Register(std::move(table));
+  return shared_->RegisterTable(std::move(table));
 }
 
 Result<ObjectId> Kernel::CreateColumnObject(const std::string& table,
                                             const std::string& column,
                                             const touch::RectCm& frame) {
   DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> t,
-                           catalog_.Get(table));
+                           shared_->catalog().Get(table));
   DBTOUCH_ASSIGN_OR_RETURN(const std::size_t col,
                            t->schema().FieldIndex(column));
   auto state = std::make_unique<ObjectState>();
@@ -110,8 +117,8 @@ Result<ObjectId> Kernel::CreateColumnObject(const std::string& table,
   state->view =
       static_cast<DataObjectView*>(root_view_.AddChild(std::move(view)));
 
-  state->hierarchy = std::make_unique<sampling::SampleHierarchy>(
-      t->ColumnViewAt(col), config_.sampling);
+  DBTOUCH_ASSIGN_OR_RETURN(state->hierarchy,
+                           shared_->GetOrBuildHierarchy(table, col));
 
   const ObjectId id = state->id;
   objects_.emplace(id, std::move(state));
@@ -121,7 +128,7 @@ Result<ObjectId> Kernel::CreateColumnObject(const std::string& table,
 Result<ObjectId> Kernel::CreateTableObject(const std::string& table,
                                            const touch::RectCm& frame) {
   DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> t,
-                           catalog_.Get(table));
+                           shared_->catalog().Get(table));
   auto state = std::make_unique<ObjectState>();
   state->id = next_object_id_++;
   state->table = t;
@@ -570,14 +577,16 @@ std::int64_t Kernel::ExecuteAction(ObjectState* obj,
       // Index-assisted slide (Section 2.6): if this touch's zone cannot
       // contain a matching value, answer without reading the data.
       if (obj->action.use_zone_map && obj->hierarchy != nullptr) {
-        if (obj->indexes == nullptr) {
-          obj->indexes =
-              std::make_unique<index::LevelIndexSet>(obj->hierarchy.get());
+        if (obj->base_zone_map == nullptr) {
+          // Keyed by the object's own hierarchy, so the map always
+          // matches the data this object scans — even if the table name
+          // was re-registered with new contents since binding.
+          obj->base_zone_map =
+              shared_->GetOrBuildBaseZoneMap(obj->hierarchy);
         }
         const exec::Predicate::Interval window =
             obj->action.predicate->ValueInterval();
-        if (!obj->indexes->ZoneMapAt(0).MayMatch(base_row, window.lo,
-                                                 window.hi)) {
+        if (!obj->base_zone_map->MayMatch(base_row, window.lo, window.hi)) {
           ++stats_.rows_pruned;
           return 0;
         }

@@ -6,10 +6,19 @@
 //
 // "This flow is not per query as it is in database systems; instead,
 // dbTouch goes through these steps for every touch input on a data
-// object." The kernel owns the catalog binding, the view hierarchy, the
-// sample hierarchies, per-object operator state, the result stream and the
-// session tracker. It is the public API of the library: examples and
-// benchmarks drive everything through it.
+// object." The kernel owns the per-user half of the system: the view
+// hierarchy, per-object operator state, the result stream and the session
+// tracker. The data half — catalog, sample hierarchies, base zone maps —
+// lives in a SharedState that many kernels may share (one per connected
+// session in the touch server); a kernel constructed without one gets a
+// private SharedState and behaves exactly like the paper's single-user
+// system. It is the public API of the library: examples and benchmarks
+// drive everything through it.
+//
+// Thread-safety: one kernel serves one session and is not internally
+// synchronised — the touch server serialises each session's touches.
+// Kernels sharing a SharedState may run on different threads because all
+// shared artefacts are immutable after construction.
 
 #ifndef DBTOUCH_CORE_KERNEL_H_
 #define DBTOUCH_CORE_KERNEL_H_
@@ -25,6 +34,7 @@
 #include "core/action.h"
 #include "core/result_stream.h"
 #include "core/session.h"
+#include "core/shared_state.h"
 #include "exec/groupby.h"
 #include "exec/join.h"
 #include "gesture/recognizer.h"
@@ -96,7 +106,12 @@ struct ObjectStats {
 
 class Kernel {
  public:
-  explicit Kernel(const KernelConfig& config = {});
+  /// `shared`: the data context this kernel explores. Omitted (nullptr), a
+  /// private SharedState is created from `config.sampling` — the classic
+  /// single-user setup. The touch server passes one SharedState to every
+  /// session's kernel.
+  explicit Kernel(const KernelConfig& config = {},
+                  std::shared_ptr<SharedState> shared = nullptr);
   ~Kernel();
 
   Kernel(const Kernel&) = delete;
@@ -104,10 +119,13 @@ class Kernel {
 
   // ---- Catalog & data objects -------------------------------------------
 
-  storage::Catalog& catalog() { return catalog_; }
+  storage::Catalog& catalog() { return shared_->catalog(); }
   const sim::TouchDevice& device() const { return device_; }
   sim::VirtualClock& clock() { return clock_; }
   const KernelConfig& config() const { return config_; }
+  const std::shared_ptr<SharedState>& shared_state() const {
+    return shared_;
+  }
 
   /// Registers a table and is the usual way data enters the kernel.
   Status RegisterTable(std::shared_ptr<storage::Table> table);
@@ -164,6 +182,15 @@ class Kernel {
   /// input, e.g. while the device is idle.
   void PumpMaintenance();
 
+  /// Load shedding hook for the touch server's frame scheduler: summary
+  /// reads drop `levels` extra sample levels until reset to 0. Precision
+  /// degrades, per-touch cost shrinks — the paper's speed/precision trade,
+  /// driven by server load instead of gesture speed.
+  void set_shed_levels(int levels) {
+    config_.level_policy.shed_levels = levels;
+  }
+  int shed_levels() const { return config_.level_policy.shed_levels; }
+
  private:
   struct ObjectState;
 
@@ -193,7 +220,7 @@ class Kernel {
   sim::TouchDevice device_;
   sim::VirtualClock clock_;
   gesture::GestureRecognizer recognizer_;
-  storage::Catalog catalog_;
+  std::shared_ptr<SharedState> shared_;
   touch::View root_view_;
   ResultStream results_;
   SessionTracker sessions_;

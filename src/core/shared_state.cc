@@ -1,0 +1,77 @@
+#include "core/shared_state.h"
+
+#include "common/macros.h"
+
+namespace dbtouch::core {
+
+SharedState::SharedState(sampling::SampleHierarchyConfig sampling,
+                         bool force_eager)
+    : sampling_(sampling) {
+  if (force_eager) {
+    // Lazy materialisation mutates level storage on first read; under
+    // sharing every level must exist before the hierarchy is handed out.
+    sampling_.eager = true;
+  }
+}
+
+Result<std::shared_ptr<sampling::SampleHierarchy>>
+SharedState::GetOrBuildHierarchy(const std::string& table,
+                                 std::size_t column) {
+  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> t,
+                           catalog_.Get(table));
+  if (column >= t->schema().num_fields()) {
+    return Status::OutOfRange("column " + std::to_string(column) +
+                              " out of range for table '" + table + "'");
+  }
+  const ColumnKey key{table, column};
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = hierarchies_.find(key);
+  if (it != hierarchies_.end() && it->second.table == t) {
+    return it->second.hierarchy;
+  }
+  // First build, or the name was re-registered with a different table:
+  // (re)build and retire any index set over the stale hierarchy.
+  auto hierarchy = std::make_shared<sampling::SampleHierarchy>(
+      t->ColumnViewAt(column), sampling_);
+  if (it != hierarchies_.end()) {
+    indexes_.erase(it->second.hierarchy.get());
+  }
+  hierarchies_[key] = HierarchyEntry{t, hierarchy};
+  return hierarchy;
+}
+
+std::shared_ptr<const index::ZoneMap> SharedState::GetOrBuildBaseZoneMap(
+    const std::shared_ptr<sampling::SampleHierarchy>& hierarchy) {
+  DBTOUCH_CHECK(hierarchy != nullptr);
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = indexes_[hierarchy.get()];
+  if (slot == nullptr) {
+    // The index set captures the hierarchy shared_ptr in its deleter so
+    // the raw pointer it holds — and this map's key — stay valid for the
+    // set's whole life.
+    slot = std::shared_ptr<index::LevelIndexSet>(
+        new index::LevelIndexSet(hierarchy.get()),
+        [hierarchy](index::LevelIndexSet* set) { delete set; });
+    // Build now, under the lock; afterwards the zone map is read-only.
+    slot->ZoneMapAt(0);
+  }
+  // Aliasing: the ZoneMap pointer keeps the whole index set (and through
+  // it the hierarchy) alive for as long as any caller holds it.
+  return std::shared_ptr<const index::ZoneMap>(slot, &slot->ZoneMapAt(0));
+}
+
+std::size_t SharedState::hierarchy_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return hierarchies_.size();
+}
+
+std::size_t SharedState::sample_bytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [key, entry] : hierarchies_) {
+    total += entry.hierarchy->sample_bytes();
+  }
+  return total;
+}
+
+}  // namespace dbtouch::core

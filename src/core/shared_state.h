@@ -1,0 +1,109 @@
+// SharedState: the read-only half of the kernel, factored out so many
+// concurrent sessions can explore one dataset.
+//
+// The single-user kernel of the paper owns everything: catalog, sample
+// hierarchies, indexes, views, operator state. Serving many users forces a
+// split: state that is a pure function of the data (catalog, sample
+// hierarchies, base zone maps) is immutable once built and safe to share;
+// state that depends on what one user is doing (views, operator state,
+// result stream, session tracker) stays inside the per-session Kernel.
+//
+// Thread-safety contract: construction of shared artefacts (hierarchies,
+// zone maps) happens under an internal mutex; everything handed out is
+// immutable afterwards, so per-touch reads take no locks. Sample
+// hierarchies are always built eagerly here — lazy materialisation is a
+// single-user optimisation that would race under sharing.
+
+#ifndef DBTOUCH_CORE_SHARED_STATE_H_
+#define DBTOUCH_CORE_SHARED_STATE_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "index/level_index_set.h"
+#include "sampling/sample_hierarchy.h"
+#include "storage/catalog.h"
+
+namespace dbtouch::core {
+
+class SharedState {
+ public:
+  /// `force_eager`: build every hierarchy level up front. Required when
+  /// the state is shared across sessions (lazy materialisation would
+  /// race); a Kernel's private SharedState passes false to honour the
+  /// user's sampling config exactly as the single-user system did.
+  explicit SharedState(sampling::SampleHierarchyConfig sampling = {},
+                       bool force_eager = true);
+
+  SharedState(const SharedState&) = delete;
+  SharedState& operator=(const SharedState&) = delete;
+
+  storage::Catalog& catalog() { return catalog_; }
+  const storage::Catalog& catalog() const { return catalog_; }
+
+  Status RegisterTable(std::shared_ptr<storage::Table> table) {
+    return catalog_.Register(std::move(table));
+  }
+
+  /// The sample hierarchy over `table.column`, built eagerly on first
+  /// request and shared by every session thereafter. The hierarchy is
+  /// immutable once returned; concurrent LevelView reads are safe.
+  Result<std::shared_ptr<sampling::SampleHierarchy>> GetOrBuildHierarchy(
+      const std::string& table, std::size_t column);
+
+  /// The base-level (level 0) zone map over `hierarchy`, built on first
+  /// request and shared by every object bound to that hierarchy. Keyed by
+  /// hierarchy identity — not table name — so an object always prunes
+  /// with a map over exactly the data it scans, even after its table's
+  /// name is re-registered with new contents. The returned (aliasing)
+  /// shared_ptr pins the owning index set (and through it the hierarchy);
+  /// the map itself is immutable, so per-touch MayMatch probes take no
+  /// locks.
+  std::shared_ptr<const index::ZoneMap> GetOrBuildBaseZoneMap(
+      const std::shared_ptr<sampling::SampleHierarchy>& hierarchy);
+
+  /// Number of distinct (table, column) hierarchies built so far.
+  std::size_t hierarchy_count() const;
+
+  /// Bytes held by all shared sample copies.
+  std::size_t sample_bytes() const;
+
+  const sampling::SampleHierarchyConfig& sampling_config() const {
+    return sampling_;
+  }
+
+ private:
+  using ColumnKey = std::pair<std::string, std::size_t>;
+
+  storage::Catalog catalog_;
+  sampling::SampleHierarchyConfig sampling_;
+
+  /// Cached artefacts pin the Table they were built over: the pin keeps
+  /// the hierarchy's base ColumnView alive even if the catalog drops the
+  /// table, and identity-checking it detects a name being re-registered
+  /// with new data (the stale entry is then rebuilt).
+  struct HierarchyEntry {
+    std::shared_ptr<storage::Table> table;
+    std::shared_ptr<sampling::SampleHierarchy> hierarchy;
+  };
+
+  mutable std::mutex mu_;
+  std::map<ColumnKey, HierarchyEntry> hierarchies_;
+  /// Index sets piggy-back on the hierarchies, keyed by hierarchy
+  /// identity; only their level-0 zone maps are exposed (built under mu_,
+  /// then read-only). Each set's deleter pins its hierarchy, so the raw
+  /// key pointer stays valid for the entry's whole life.
+  std::map<const sampling::SampleHierarchy*,
+           std::shared_ptr<index::LevelIndexSet>>
+      indexes_;
+};
+
+}  // namespace dbtouch::core
+
+#endif  // DBTOUCH_CORE_SHARED_STATE_H_

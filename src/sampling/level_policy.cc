@@ -11,6 +11,7 @@ int ChooseLevel(std::int64_t base_rows, std::int64_t distinct_positions,
   if (base_rows <= 0 || distinct_positions <= 0 || num_levels <= 1) {
     return 0;
   }
+  const int shed = std::max(config.shed_levels, 0);
   // Base rows between adjacent touch positions.
   double rows_per_position = static_cast<double>(base_rows) /
                              static_cast<double>(distinct_positions);
@@ -21,10 +22,12 @@ int ChooseLevel(std::int64_t base_rows, std::int64_t distinct_positions,
       rows_per_position * (1.0 + config.speed_weight * (speed - 1.0));
   target_stride *= config.max_overshoot;
   if (target_stride <= 1.0) {
-    return 0;
+    // Shedding coarsens even when positions resolve individual tuples:
+    // under overload a cheaper approximate answer beats a late exact one.
+    return std::clamp(shed, 0, num_levels - 1);
   }
   const int level = static_cast<int>(std::floor(std::log2(target_stride)));
-  return std::clamp(level, 0, num_levels - 1);
+  return std::clamp(level + shed, 0, num_levels - 1);
 }
 
 }  // namespace dbtouch::sampling

@@ -22,6 +22,12 @@ struct LevelPolicyConfig {
   /// Extra coarsening per unit of gesture speed, in positions skipped per
   /// registered event. 0 disables speed-based coarsening.
   double speed_weight = 1.0;
+  /// Load shedding: extra levels dropped on top of the speed-derived
+  /// choice. The touch server raises this for a session that is running
+  /// behind its frame deadlines, trading precision for latency (the same
+  /// trade the paper makes for fast gestures), and lowers it back to 0
+  /// once the session catches up.
+  int shed_levels = 0;
 };
 
 /// Chooses the sample level for a data object of `base_rows` tuples whose

@@ -1,0 +1,112 @@
+// FrameScheduler: earliest-deadline-first dispatch of touch work quanta
+// across sessions.
+//
+// dbTouch's contract is per-touch: "the speed of the gesture dictates the
+// amount of data processed", and every touch must be answered within an
+// interactive bound. Multiplexed over many sessions, that bound becomes a
+// frame deadline per queued touch. The scheduler keeps one FIFO queue per
+// session (a session's touches must execute in gesture order — the
+// recognizer and virtual clock are stateful) and picks, among sessions
+// that are not currently executing and whose head task is released, the
+// one whose head has the earliest deadline. EDF is optimal for meeting
+// deadlines on a uniprocessor and degrades gracefully with a pool.
+//
+// A task's `release_us` models the touch's scheduled arrival (paced trace
+// replay releases events on the gesture's own timeline); a task is never
+// handed to a worker before it. Tasks marked `droppable` (mid-gesture
+// move quanta) may be shed by the caller when hopelessly late; gesture
+// begin/end events are never droppable because dropping them would wedge
+// the session's recognizer state machine.
+
+#ifndef DBTOUCH_SERVER_FRAME_SCHEDULER_H_
+#define DBTOUCH_SERVER_FRAME_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+
+#include "sim/touch_event.h"
+#include "sim/virtual_clock.h"
+
+namespace dbtouch::server {
+
+/// One bounded work quantum: a single touch event for one session. The
+/// per-touch row budget (`max_rows_per_touch`) bounds its execution cost,
+/// so a quantum is the natural shedding and scheduling unit.
+struct TouchTask {
+  std::int64_t session_id = 0;
+  sim::TouchEvent event;
+  /// Steady-clock micros of the scheduled arrival; not runnable before.
+  sim::Micros release_us = 0;
+  /// Steady-clock micros by which the touch should have completed.
+  sim::Micros deadline_us = 0;
+  /// deadline - release: the frame budget this task was given.
+  sim::Micros budget_us = 0;
+  /// Mid-gesture move quantum: may be shed under overload.
+  bool droppable = false;
+};
+
+class FrameScheduler {
+ public:
+  FrameScheduler() = default;
+
+  FrameScheduler(const FrameScheduler&) = delete;
+  FrameScheduler& operator=(const FrameScheduler&) = delete;
+
+  /// Enqueues a task on its session's FIFO queue.
+  void Push(TouchTask task);
+
+  /// Blocks until a task is runnable (released, session not executing) and
+  /// returns the earliest-deadline one; nullopt once Shutdown() is called.
+  /// The session is marked busy until OnTaskDone(session_id).
+  std::optional<TouchTask> PopRunnable();
+
+  /// Re-arms `session_id` after a popped task was executed or shed.
+  void OnTaskDone(std::int64_t session_id);
+
+  /// Discards all queued tasks of a closing session. Returns how many.
+  std::size_t DropSession(std::int64_t session_id);
+
+  /// Queued tasks for one session (admission control input).
+  std::size_t PendingOf(std::int64_t session_id) const;
+
+  /// Queued tasks across all sessions (excludes the one in flight).
+  std::size_t pending() const;
+
+  /// Blocks until no task is queued or in flight (or shutdown).
+  void WaitIdle();
+
+  /// Wakes all waiters; PopRunnable returns nullopt from now on.
+  void Shutdown();
+
+  /// Clears the shutdown flag and discards any leftover queue state so a
+  /// stopped server can start again. Only call with no workers running.
+  void Restart();
+
+  /// Enqueues only if the session's queue holds fewer than `bound` tasks
+  /// (check and push under one lock — the admission-control primitive).
+  /// Returns false if the task was rejected.
+  bool PushIfUnder(TouchTask task, std::size_t bound);
+
+ private:
+  bool IdleLocked() const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::int64_t, std::deque<TouchTask>> queues_;
+  /// Sessions with a popped task not yet reported done.
+  std::set<std::int64_t> busy_;
+  bool shutdown_ = false;
+};
+
+/// Steady-clock micros since an arbitrary epoch; the time base for
+/// release/deadline fields.
+sim::Micros SteadyNowUs();
+
+}  // namespace dbtouch::server
+
+#endif  // DBTOUCH_SERVER_FRAME_SCHEDULER_H_

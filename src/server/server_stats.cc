@@ -1,0 +1,39 @@
+#include "server/server_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbtouch::server {
+
+sim::Micros LatencyPercentile(std::vector<sim::Micros> samples, double p) {
+  if (samples.empty()) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  const std::size_t rank = static_cast<std::size_t>(
+      p * static_cast<double>(samples.size() - 1));
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(rank),
+                   samples.end());
+  return samples[rank];
+}
+
+double JainFairness(const std::vector<std::int64_t>& executed_per_session) {
+  if (executed_per_session.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const std::int64_t x : executed_per_session) {
+    const double v = static_cast<double>(x);
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) {
+    return 1.0;
+  }
+  return (sum * sum) /
+         (static_cast<double>(executed_per_session.size()) * sum_sq);
+}
+
+}  // namespace dbtouch::server

@@ -1,0 +1,66 @@
+// Server-wide observability for the multi-session touch server: per-touch
+// latency percentiles, deadline accounting, load-shedding counters and a
+// cross-session fairness figure. Snapshots are coherent copies; nothing
+// here hands out live references into worker state.
+
+#ifndef DBTOUCH_SERVER_SERVER_STATS_H_
+#define DBTOUCH_SERVER_SERVER_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/virtual_clock.h"
+
+namespace dbtouch::server {
+
+using SessionId = std::int64_t;
+
+/// Per-session roll-up inside a ServerStatsSnapshot.
+struct SessionStatsSnapshot {
+  std::int64_t submitted = 0;
+  std::int64_t executed = 0;
+  std::int64_t dropped_quanta = 0;
+  std::int64_t deadline_misses = 0;
+  /// Sample levels currently being shed for this session (0 = healthy).
+  int shed_levels = 0;
+  /// Mirrored from the session kernel under its lock.
+  std::int64_t touch_events = 0;
+  std::int64_t entries_returned = 0;
+  std::int64_t rows_scanned = 0;
+};
+
+struct ServerStatsSnapshot {
+  std::int64_t sessions_opened = 0;
+  std::int64_t sessions_active = 0;
+  std::int64_t submitted = 0;
+  std::int64_t executed = 0;
+  /// Quanta discarded outright (admission overflow or hopelessly late).
+  std::int64_t dropped_quanta = 0;
+  /// Touches that executed but completed after their frame deadline.
+  std::int64_t deadline_misses = 0;
+  /// Latency = completion - scheduled arrival, steady-clock micros.
+  sim::Micros p50_latency_us = 0;
+  sim::Micros p99_latency_us = 0;
+  sim::Micros max_latency_us = 0;
+  /// Jain's fairness index over per-session executed touches: 1.0 =
+  /// perfectly even service, 1/n = one session starving the rest.
+  double fairness = 1.0;
+  std::map<SessionId, SessionStatsSnapshot> per_session;
+
+  double miss_rate() const {
+    return executed == 0 ? 0.0
+                         : static_cast<double>(deadline_misses) /
+                               static_cast<double>(executed);
+  }
+};
+
+/// Percentile over a scratch copy (nth_element reorders it).
+sim::Micros LatencyPercentile(std::vector<sim::Micros> samples, double p);
+
+/// Jain's index (sum x)^2 / (n * sum x^2); 1.0 for empty/uniform input.
+double JainFairness(const std::vector<std::int64_t>& executed_per_session);
+
+}  // namespace dbtouch::server
+
+#endif  // DBTOUCH_SERVER_SERVER_STATS_H_

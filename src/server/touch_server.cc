@@ -1,0 +1,342 @@
+#include "server/touch_server.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace dbtouch::server {
+
+namespace {
+
+/// Clamp helper for shed level updates.
+int ClampShed(int value, int max_shed) {
+  return std::clamp(value, 0, max_shed);
+}
+
+}  // namespace
+
+TouchServer::TouchServer(const TouchServerConfig& config)
+    : config_(config),
+      shared_(std::make_shared<core::SharedState>(
+          config.session_defaults.sampling)),
+      sessions_(shared_) {}
+
+TouchServer::~TouchServer() { (void)Stop(); }
+
+Status TouchServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already running");
+  }
+  int workers = config_.num_workers;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers <= 0) {
+      workers = 1;
+    }
+  }
+  // A restart after Stop(): clear the scheduler's shutdown latch (and any
+  // quanta abandoned by the previous run) before workers spawn.
+  scheduler_.Restart();
+  running_.store(true, std::memory_order_release);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  DBTOUCH_LOG(kInfo) << "touch server started with " << workers
+                     << " workers";
+  return Status::OK();
+}
+
+Status TouchServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) {
+    return Status::OK();
+  }
+  running_.store(false, std::memory_order_release);
+  scheduler_.Shutdown();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+  return Status::OK();
+}
+
+Result<SessionId> TouchServer::OpenSession() {
+  core::KernelConfig config = config_.session_defaults;
+  if (!config_.allow_layout_rotation) {
+    // Rotation rewrites the shared table's physical layout; an effectively
+    // unreachable trigger angle disables it without a special kernel mode.
+    config.rotation_trigger_rad = 1e9;
+  }
+  return sessions_.Open(config);
+}
+
+Status TouchServer::CloseSession(SessionId id) {
+  const std::size_t dropped = scheduler_.DropSession(id);
+  if (dropped > 0) {
+    total_dropped_.fetch_add(static_cast<std::int64_t>(dropped),
+                             std::memory_order_relaxed);
+  }
+  return sessions_.Close(id);
+}
+
+Result<core::ObjectId> TouchServer::CreateColumnObject(
+    SessionId session, const std::string& table, const std::string& column,
+    const touch::RectCm& frame) {
+  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<ServerSession> s,
+                           sessions_.Get(session));
+  const std::lock_guard<std::mutex> lock(s->exec_mu());
+  return s->kernel().CreateColumnObject(table, column, frame);
+}
+
+Result<core::ObjectId> TouchServer::CreateTableObject(
+    SessionId session, const std::string& table,
+    const touch::RectCm& frame) {
+  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<ServerSession> s,
+                           sessions_.Get(session));
+  const std::lock_guard<std::mutex> lock(s->exec_mu());
+  return s->kernel().CreateTableObject(table, frame);
+}
+
+Status TouchServer::SetAction(SessionId session, core::ObjectId object,
+                              const core::ActionConfig& action) {
+  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<ServerSession> s,
+                           sessions_.Get(session));
+  const std::lock_guard<std::mutex> lock(s->exec_mu());
+  return s->kernel().SetAction(object, action);
+}
+
+Status TouchServer::WithSession(
+    SessionId session, const std::function<void(core::Kernel&)>& fn) {
+  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<ServerSession> s,
+                           sessions_.Get(session));
+  const std::lock_guard<std::mutex> lock(s->exec_mu());
+  fn(s->kernel());
+  return Status::OK();
+}
+
+sim::Micros TouchServer::BaseBudgetUs() const {
+  if (config_.base_frame_budget_us > 0) {
+    return config_.base_frame_budget_us;
+  }
+  const double hz = config_.session_defaults.device.touch_event_hz;
+  return hz > 0.0 ? static_cast<sim::Micros>(1e6 / hz) : 66'667;
+}
+
+sim::Micros TouchServer::BudgetForSpeed(double speed_cm_s) const {
+  const double base = static_cast<double>(BaseBudgetUs());
+  double budget =
+      base / (1.0 + config_.speed_budget_weight * std::max(speed_cm_s, 0.0));
+  // Explicit ordering instead of std::clamp: a configured floor above the
+  // base must not invert the bounds (clamp with lo > hi is UB).
+  const double floor_us = std::min(
+      static_cast<double>(config_.min_frame_budget_us), base);
+  budget = std::max(std::min(budget, base), floor_us);
+  // A deadline below the cost of one full row budget is unmeetable; the
+  // floor keeps "miss" meaning "overloaded", not "misconfigured".
+  const double cost_floor_us =
+      static_cast<double>(config_.session_defaults.max_rows_per_touch) *
+      config_.est_row_ns / 1'000.0;
+  return static_cast<sim::Micros>(std::max(budget, cost_floor_us));
+}
+
+Status TouchServer::Enqueue(SessionId session, const sim::TouchEvent& event,
+                            sim::Micros release_us, sim::Micros deadline_us,
+                            sim::Micros budget_us, bool droppable) {
+  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<ServerSession> s,
+                           sessions_.Get(session));
+  if (!running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server not running");
+  }
+  s->submitted.fetch_add(1, std::memory_order_relaxed);
+  total_submitted_.fetch_add(1, std::memory_order_relaxed);
+  TouchTask task;
+  task.session_id = session;
+  task.event = event;
+  task.release_us = release_us;
+  task.deadline_us = deadline_us;
+  task.budget_us = budget_us;
+  task.droppable = droppable;
+  if (droppable) {
+    // Admission shed: bound checked and enforced under the scheduler's
+    // own lock so concurrent submitters cannot overshoot it.
+    if (!scheduler_.PushIfUnder(std::move(task),
+                                config_.max_session_queue)) {
+      s->dropped_quanta.fetch_add(1, std::memory_order_relaxed);
+      total_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Status::OK();
+  }
+  scheduler_.Push(std::move(task));
+  return Status::OK();
+}
+
+Status TouchServer::Submit(SessionId session, const sim::TouchEvent& event) {
+  const sim::Micros now = SteadyNowUs();
+  const sim::Micros budget = BudgetForSpeed(0.0);
+  return Enqueue(session, event, now, now + budget, budget,
+                 event.phase == sim::TouchPhase::kMoved);
+}
+
+Status TouchServer::SubmitTrace(SessionId session,
+                                const sim::GestureTrace& trace,
+                                const TraceSubmitOptions& options) {
+  if (trace.events.empty()) {
+    return Status::OK();
+  }
+  const sim::Micros epoch = SteadyNowUs();
+  const sim::Micros t0 = trace.events.front().timestamp_us;
+  const sim::TouchEvent* prev = nullptr;
+  for (const sim::TouchEvent& event : trace.events) {
+    // Gesture speed at this event, from the trace itself (the server sees
+    // raw touches; it cannot wait for the recognizer's smoothed velocity).
+    double speed_cm_s = 0.0;
+    if (prev != nullptr && event.timestamp_us > prev->timestamp_us &&
+        event.finger_id == prev->finger_id) {
+      speed_cm_s = sim::DistanceCm(event.position, prev->position) /
+                   sim::MicrosToSeconds(event.timestamp_us -
+                                        prev->timestamp_us);
+    }
+    prev = &event;
+    const sim::Micros offset = event.timestamp_us - t0;
+    const sim::Micros budget = BudgetForSpeed(speed_cm_s);
+    const sim::Micros arrival = epoch + offset;
+    const sim::Micros release = options.paced ? arrival : epoch;
+    DBTOUCH_RETURN_IF_ERROR(
+        Enqueue(session, event, release, arrival + budget, budget,
+                event.phase == sim::TouchPhase::kMoved));
+  }
+  return Status::OK();
+}
+
+Status TouchServer::Drain() {
+  if (!running_) {
+    return Status::FailedPrecondition("server not running");
+  }
+  scheduler_.WaitIdle();
+  return Status::OK();
+}
+
+void TouchServer::WorkerLoop() {
+  while (auto task = scheduler_.PopRunnable()) {
+    const auto session = sessions_.Get(task->session_id);
+    if (!session.ok()) {
+      // Session closed while its tasks were in flight: purge whatever a
+      // racing submit re-queued and release the busy mark.
+      scheduler_.DropSession(task->session_id);
+      scheduler_.OnTaskDone(task->session_id);
+      continue;
+    }
+    const std::shared_ptr<ServerSession>& s = *session;
+
+    const sim::Micros popped = SteadyNowUs();
+    if (task->droppable &&
+        popped > task->deadline_us + config_.drop_slack_us) {
+      // Hopelessly late: shed the quantum, coarsen the session.
+      s->dropped_quanta.fetch_add(1, std::memory_order_relaxed);
+      s->shed_levels.store(
+          ClampShed(s->shed_levels.load(std::memory_order_relaxed) + 1,
+                    config_.max_shed_levels),
+          std::memory_order_relaxed);
+      total_dropped_.fetch_add(1, std::memory_order_relaxed);
+      scheduler_.OnTaskDone(task->session_id);
+      continue;
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(s->exec_mu());
+      const int shed = s->shed_levels.load(std::memory_order_relaxed);
+      s->kernel().set_shed_levels(shed);
+      s->kernel().OnTouch(task->event);
+    }
+    const sim::Micros done = SteadyNowUs();
+
+    // Latency is measured against the scheduled arrival: the time a live
+    // user at the screen would have waited for this touch's answer.
+    const sim::Micros latency = done - task->release_us;
+    const bool missed = done > task->deadline_us;
+    s->executed.fetch_add(1, std::memory_order_relaxed);
+    if (missed) {
+      s->deadline_misses.fetch_add(1, std::memory_order_relaxed);
+      s->shed_levels.store(
+          ClampShed(s->shed_levels.load(std::memory_order_relaxed) + 1,
+                    config_.max_shed_levels),
+          std::memory_order_relaxed);
+    } else {
+      // On-time completion: relax shedding one level at a time.
+      s->shed_levels.store(
+          ClampShed(s->shed_levels.load(std::memory_order_relaxed) - 1,
+                    config_.max_shed_levels),
+          std::memory_order_relaxed);
+    }
+    RecordLatency(latency, missed);
+    scheduler_.OnTaskDone(task->session_id);
+  }
+}
+
+void TouchServer::RecordLatency(sim::Micros latency, bool missed) {
+  total_executed_.fetch_add(1, std::memory_order_relaxed);
+  if (missed) {
+    total_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  // Reservoir sampling: every executed touch has an equal chance of being
+  // retained, so percentiles stay unbiased while memory stays bounded.
+  ++latency_count_;
+  if (latencies_us_.size() < config_.max_latency_samples) {
+    latencies_us_.push_back(latency);
+  } else {
+    const std::uint64_t slot = latency_rng_.NextBounded(
+        static_cast<std::uint64_t>(latency_count_));
+    if (slot < latencies_us_.size()) {
+      latencies_us_[slot] = latency;
+    }
+  }
+}
+
+ServerStatsSnapshot TouchServer::stats() const {
+  ServerStatsSnapshot snapshot;
+  snapshot.sessions_opened = sessions_.opened();
+  snapshot.sessions_active = static_cast<std::int64_t>(sessions_.size());
+  std::vector<sim::Micros> latencies;
+  snapshot.submitted = total_submitted_.load(std::memory_order_relaxed);
+  snapshot.executed = total_executed_.load(std::memory_order_relaxed);
+  snapshot.dropped_quanta = total_dropped_.load(std::memory_order_relaxed);
+  snapshot.deadline_misses = total_misses_.load(std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    latencies = latencies_us_;
+  }
+  if (!latencies.empty()) {
+    snapshot.max_latency_us =
+        *std::max_element(latencies.begin(), latencies.end());
+    snapshot.p50_latency_us = LatencyPercentile(latencies, 0.50);
+    snapshot.p99_latency_us = LatencyPercentile(std::move(latencies), 0.99);
+  }
+  std::vector<std::int64_t> executed_per_session;
+  for (const auto& s : sessions_.Snapshot()) {
+    SessionStatsSnapshot per;
+    per.submitted = s->submitted.load(std::memory_order_relaxed);
+    per.executed = s->executed.load(std::memory_order_relaxed);
+    per.dropped_quanta = s->dropped_quanta.load(std::memory_order_relaxed);
+    per.deadline_misses =
+        s->deadline_misses.load(std::memory_order_relaxed);
+    per.shed_levels = s->shed_levels.load(std::memory_order_relaxed);
+    {
+      const std::lock_guard<std::mutex> lock(s->exec_mu());
+      const core::KernelStats& k = s->kernel().stats();
+      per.touch_events = k.touch_events;
+      per.entries_returned = k.entries_returned;
+      per.rows_scanned = k.rows_scanned;
+    }
+    if (per.submitted > 0) {
+      executed_per_session.push_back(per.executed);
+    }
+    snapshot.per_session.emplace(s->id(), per);
+  }
+  snapshot.fairness = JainFairness(executed_per_session);
+  return snapshot;
+}
+
+}  // namespace dbtouch::server

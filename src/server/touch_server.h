@@ -1,0 +1,199 @@
+// TouchServer: many concurrent dbTouch sessions over one shared dataset.
+//
+// The paper's system is one user, one thread. The server keeps the
+// per-touch contract — every touch answered within an interactive bound —
+// while multiplexing many sessions over a worker pool:
+//
+//   client traces --SubmitTrace--> per-session FIFO of work quanta
+//                                   |  (one touch event = one quantum,
+//                                   |   cost bounded by max_rows_per_touch)
+//                              FrameScheduler (EDF across sessions)
+//                                   |
+//                              worker pool --> session kernel (serial per
+//                                              session, shared SharedState)
+//
+// Deadline model. Each quantum gets a frame budget
+//
+//   budget = clamp(base / (1 + w_v * v),  min_budget,  base)
+//   budget = max(budget, max_rows_per_touch * est_row_ns / 1000)
+//
+// where `base` is the device's inter-event interval (a touch should be
+// served before the next one arrives), `v` the gesture speed in cm/s at
+// that event (fast gestures expect snappier, coarser feedback — the
+// paper's speed/precision trade) and the second line keeps deadlines
+// honest: a budget below the cost of one full per-touch row budget would
+// be unmeetable by construction. deadline = scheduled arrival + budget.
+//
+// Load shedding. A session that finishes a quantum late has its
+// `shed_levels` raised, which makes sampling::ChooseLevel pick coarser
+// sample-hierarchy levels for subsequent summaries (less data per touch);
+// finishing on time decays it back. Quanta that are already hopelessly
+// late (`drop_slack_us` past their deadline) or that overflow a session's
+// admission bound are dropped outright — but only mid-gesture move quanta:
+// gesture begin/end events always execute so recognizer state stays sound.
+
+#ifndef DBTOUCH_SERVER_TOUCH_SERVER_H_
+#define DBTOUCH_SERVER_TOUCH_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/kernel.h"
+#include "core/shared_state.h"
+#include "server/frame_scheduler.h"
+#include "server/server_stats.h"
+#include "server/session_manager.h"
+#include "sim/touch_event.h"
+#include "storage/table.h"
+#include "touch/view.h"
+
+namespace dbtouch::server {
+
+struct TouchServerConfig {
+  /// Worker threads. 0 = hardware concurrency.
+  int num_workers = 0;
+  /// Kernel configuration applied to every opened session.
+  core::KernelConfig session_defaults;
+  /// Base frame budget per touch (us). 0 = the device's inter-event
+  /// interval from session_defaults.device.
+  sim::Micros base_frame_budget_us = 0;
+  /// Floor of the speed-scaled budget.
+  sim::Micros min_frame_budget_us = 4'000;
+  /// Budget shrink per cm/s of gesture speed (w_v above).
+  double speed_budget_weight = 0.05;
+  /// Estimated per-row execution cost used for the budget floor.
+  double est_row_ns = 2.0;
+  /// A droppable quantum popped more than this past its deadline is shed
+  /// instead of executed.
+  sim::Micros drop_slack_us = 50'000;
+  /// Ceiling for per-session level shedding.
+  int max_shed_levels = 4;
+  /// Per-session queue bound; droppable quanta beyond it are rejected at
+  /// admission (overload protection for a client flooding the server).
+  std::size_t max_session_queue = 4'096;
+  /// Layout rotation physically rewrites the (shared) table, so it is
+  /// disabled in server sessions unless explicitly allowed.
+  bool allow_layout_rotation = false;
+  /// Cap on retained latency samples. Beyond it, reservoir sampling keeps
+  /// an unbiased subset, so percentiles stay honest on long-lived servers
+  /// with bounded memory.
+  std::size_t max_latency_samples = 65'536;
+};
+
+struct TraceSubmitOptions {
+  /// true: release each touch at its position on the gesture's own
+  /// timeline (replay at gesture speed — deadline misses then mean the
+  /// server fell behind a live user). false: release everything
+  /// immediately (flood/saturation mode; deadlines keep their
+  /// timeline-relative values, so EDF still orders work sensibly and
+  /// shedding engages under the backlog).
+  bool paced = true;
+};
+
+class TouchServer {
+ public:
+  explicit TouchServer(const TouchServerConfig& config = {});
+  ~TouchServer();
+
+  TouchServer(const TouchServer&) = delete;
+  TouchServer& operator=(const TouchServer&) = delete;
+
+  /// Spawns the worker pool. Tables may be registered before or after.
+  Status Start();
+
+  /// Drains nothing: pending quanta are abandoned. Call Drain() first for
+  /// a graceful stop. Idempotent.
+  Status Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // ---- Shared data -------------------------------------------------------
+
+  core::SharedState& shared() { return *shared_; }
+  Status RegisterTable(std::shared_ptr<storage::Table> table) {
+    return shared_->RegisterTable(std::move(table));
+  }
+
+  // ---- Session lifecycle -------------------------------------------------
+
+  Result<SessionId> OpenSession();
+  Status CloseSession(SessionId id);
+  std::size_t session_count() const { return sessions_.size(); }
+
+  // ---- Session-scoped setup (serialised against that session's worker) --
+
+  Result<core::ObjectId> CreateColumnObject(SessionId session,
+                                            const std::string& table,
+                                            const std::string& column,
+                                            const touch::RectCm& frame);
+  Result<core::ObjectId> CreateTableObject(SessionId session,
+                                           const std::string& table,
+                                           const touch::RectCm& frame);
+  Status SetAction(SessionId session, core::ObjectId object,
+                   const core::ActionConfig& action);
+
+  /// Runs `fn` with the session's kernel under the session lock — the
+  /// inspection door for tests and result readers.
+  Status WithSession(SessionId session,
+                     const std::function<void(core::Kernel&)>& fn);
+
+  // ---- The feed ----------------------------------------------------------
+
+  /// Queues one touch, due one frame budget from now.
+  Status Submit(SessionId session, const sim::TouchEvent& event);
+
+  /// Splits a gesture trace into per-touch work quanta with
+  /// speed-derived frame deadlines and queues them.
+  Status SubmitTrace(SessionId session, const sim::GestureTrace& trace,
+                     const TraceSubmitOptions& options = {});
+
+  /// Blocks until every queued quantum has executed or been shed.
+  Status Drain();
+
+  // ---- Observability -----------------------------------------------------
+
+  ServerStatsSnapshot stats() const;
+
+ private:
+  void WorkerLoop();
+  sim::Micros BaseBudgetUs() const;
+  sim::Micros BudgetForSpeed(double speed_cm_s) const;
+  Status Enqueue(SessionId session, const sim::TouchEvent& event,
+                 sim::Micros release_us, sim::Micros deadline_us,
+                 sim::Micros budget_us, bool droppable);
+
+  void RecordLatency(sim::Micros latency, bool missed);
+
+  TouchServerConfig config_;
+  std::shared_ptr<core::SharedState> shared_;
+  SessionManager sessions_;
+  FrameScheduler scheduler_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+
+  /// Latency samples (completion - scheduled arrival, reservoir-bounded
+  /// at config_.max_latency_samples). Only the reservoir needs the mutex;
+  /// counters are atomics so submits and completions never contend on it.
+  mutable std::mutex stats_mu_;
+  std::vector<sim::Micros> latencies_us_;
+  std::int64_t latency_count_ = 0;
+  Rng latency_rng_{0x5eed};
+  std::atomic<std::int64_t> total_submitted_{0};
+  std::atomic<std::int64_t> total_executed_{0};
+  std::atomic<std::int64_t> total_dropped_{0};
+  std::atomic<std::int64_t> total_misses_{0};
+};
+
+}  // namespace dbtouch::server
+
+#endif  // DBTOUCH_SERVER_TOUCH_SERVER_H_

@@ -7,6 +7,7 @@ Status Catalog::Register(std::shared_ptr<Table> table) {
     return Status::InvalidArgument("null table");
   }
   const std::string& name = table->name();
+  const std::lock_guard<std::mutex> lock(mu_);
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table '" + name + "' already registered");
   }
@@ -15,6 +16,7 @@ Status Catalog::Register(std::shared_ptr<Table> table) {
 }
 
 Status Catalog::Drop(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (tables_.erase(name) == 0) {
     return Status::NotFound("table '" + name + "' not in catalog");
   }
@@ -22,6 +24,7 @@ Status Catalog::Drop(const std::string& name) {
 }
 
 Result<std::shared_ptr<Table>> Catalog::Get(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' not in catalog");
@@ -30,6 +33,7 @@ Result<std::shared_ptr<Table>> Catalog::Get(const std::string& name) const {
 }
 
 std::vector<std::string> Catalog::List() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) {

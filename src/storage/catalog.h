@@ -2,12 +2,18 @@
 // catalog is what the user "sees" on screen — every registered table can be
 // bound to a data-object view (paper Section 2.2 "Schema-less Querying":
 // glancing at the screen reveals how many tables and columns exist).
+//
+// The catalog is internally synchronised: the touch server shares one
+// catalog across all sessions, so registrations and lookups may race.
+// Table contents themselves are treated as read-only while shared (the
+// server disables layout rotation on shared tables).
 
 #ifndef DBTOUCH_STORAGE_CATALOG_H_
 #define DBTOUCH_STORAGE_CATALOG_H_
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,15 +36,20 @@ class Catalog {
   Result<std::shared_ptr<Table>> Get(const std::string& name) const;
 
   bool Contains(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(mu_);
     return tables_.count(name) > 0;
   }
 
   /// Table names in lexicographic order.
   std::vector<std::string> List() const;
 
-  std::size_t size() const { return tables_.size(); }
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return tables_.size();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Table>> tables_;
 };
 

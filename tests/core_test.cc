@@ -363,6 +363,66 @@ TEST(SessionTrackerTest, AccountingOnlyWhileActive) {
   EXPECT_EQ(tracker.completed().size(), 1u);
 }
 
+TEST(SessionTrackerTest, GestureExactlyAtIdleGapSharesSession) {
+  // The gap check is strict: a gesture arriving exactly idle_gap_us after
+  // the last activity still belongs to the same session; one microsecond
+  // later opens a new one.
+  SessionTracker tracker(/*idle_gap_us=*/1'000'000);
+  tracker.OnGestureBegin(0);
+  tracker.OnTouch(100'000);
+  tracker.OnGestureBegin(1'100'000);  // Exactly at the boundary.
+  tracker.EndSession(1'200'000);
+  ASSERT_EQ(tracker.completed().size(), 1u);
+  EXPECT_EQ(tracker.completed()[0].gestures, 2);
+
+  SessionTracker split(/*idle_gap_us=*/1'000'000);
+  split.OnGestureBegin(0);
+  split.OnTouch(100'000);
+  split.OnGestureBegin(1'100'001);  // One microsecond past the boundary.
+  split.EndSession(1'200'000);
+  EXPECT_EQ(split.completed().size(), 2u);
+}
+
+TEST(SessionTrackerTest, EndSessionWithNoActiveSessionIsANoOp) {
+  SessionTracker tracker;
+  tracker.EndSession(5);  // Nothing active: must not record anything.
+  EXPECT_TRUE(tracker.completed().empty());
+  EXPECT_FALSE(tracker.active());
+  tracker.OnTouch(10);  // Touch without a session: also dropped.
+  EXPECT_FALSE(tracker.active());
+  EXPECT_EQ(tracker.current().touches, 0);
+}
+
+TEST(SessionTrackerTest, BackToBackSessionsAccountSeparately) {
+  SessionTracker tracker(/*idle_gap_us=*/1'000'000);
+  tracker.OnGestureBegin(0);
+  tracker.OnTouch(10);
+  tracker.AddEntries(2);
+  tracker.AddRowsScanned(9);
+  tracker.EndSession(20);
+  tracker.OnGestureBegin(30);  // Immediately reopens.
+  tracker.OnTouch(40);
+  tracker.OnTouch(50);
+  tracker.AddRowsScanned(7);
+  tracker.EndSession(60);
+  ASSERT_EQ(tracker.completed().size(), 2u);
+  const SessionSummary& first = tracker.completed()[0];
+  const SessionSummary& second = tracker.completed()[1];
+  EXPECT_EQ(first.id, 1);
+  EXPECT_EQ(second.id, 2);
+  // No accounting bleeds between sessions.
+  EXPECT_EQ(first.entries_returned, 2);
+  EXPECT_EQ(first.rows_scanned, 9);
+  EXPECT_EQ(first.touches, 1);
+  EXPECT_EQ(second.entries_returned, 0);
+  EXPECT_EQ(second.rows_scanned, 7);
+  EXPECT_EQ(second.touches, 2);
+  EXPECT_EQ(first.started_us, 0);
+  EXPECT_EQ(first.ended_us, 20);
+  EXPECT_EQ(second.started_us, 30);
+  EXPECT_EQ(second.ended_us, 60);
+}
+
 TEST(ActionConfigTest, FactoriesSetKindAndParameters) {
   EXPECT_EQ(ActionConfig::Scan().kind, ActionKind::kScan);
   const auto agg = ActionConfig::Aggregate(exec::AggKind::kMax);

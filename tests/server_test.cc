@@ -1,0 +1,567 @@
+// Tests for the multi-session touch server: scheduler EDF semantics,
+// session isolation (zero cross-session leakage), deadline accounting,
+// load shedding and stats roll-up. Patterns are ThreadSanitizer-friendly:
+// every cross-thread assertion happens after Drain()/Stop() joins, and
+// in-flight state is only inspected through the locked WithSession door.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/kernel.h"
+#include "sampling/level_policy.h"
+#include "server/frame_scheduler.h"
+#include "server/session_manager.h"
+#include "server/server_stats.h"
+#include "server/touch_server.h"
+#include "sim/motion_profile.h"
+#include "sim/trace_builder.h"
+#include "storage/datagen.h"
+
+namespace dbtouch::server {
+namespace {
+
+using core::ActionConfig;
+using core::Kernel;
+using core::KernelConfig;
+using sim::MotionProfile;
+using sim::PointCm;
+using sim::TraceBuilder;
+using storage::Column;
+using storage::Table;
+using touch::RectCm;
+
+constexpr std::int64_t kRows = 20'000;
+/// Disjoint value ranges per session table: any value observed outside a
+/// session's own range is cross-session leakage.
+constexpr std::int64_t kRangeStride = 1'000'000;
+
+std::shared_ptr<Table> SequenceTable(const std::string& name,
+                                     std::int64_t start) {
+  std::vector<Column> cols;
+  cols.push_back(storage::GenSequenceInt64("v", kRows, start, 1));
+  auto table = Table::FromColumns(name, std::move(cols));
+  EXPECT_TRUE(table.ok());
+  return *table;
+}
+
+/// A generous config: budgets far above any realistic execution time, so
+/// nothing sheds or drops and behaviour is deterministic.
+TouchServerConfig RelaxedConfig(int workers) {
+  TouchServerConfig config;
+  config.num_workers = workers;
+  config.base_frame_budget_us = 10'000'000;  // 10 s.
+  config.min_frame_budget_us = 10'000'000;
+  config.est_row_ns = 0.0;
+  config.drop_slack_us = 3'600'000'000;  // Effectively never drop.
+  return config;
+}
+
+sim::GestureTrace SlideOver(const TouchServer& /*server*/,
+                            const Kernel& reference, double duration_s) {
+  TraceBuilder builder(reference.device());
+  return builder.Slide("slide", PointCm{3.0, 1.0}, PointCm{3.0, 11.0},
+                       MotionProfile::Constant(duration_s));
+}
+
+// ---- FrameScheduler unit tests --------------------------------------------
+
+TouchTask MakeTask(std::int64_t session, sim::Micros deadline,
+                   sim::Micros release = 0, bool droppable = false) {
+  TouchTask task;
+  task.session_id = session;
+  task.release_us = release;
+  task.deadline_us = deadline;
+  task.droppable = droppable;
+  return task;
+}
+
+TEST(FrameSchedulerTest, PopsEarliestDeadlineFirst) {
+  FrameScheduler scheduler;
+  const sim::Micros now = SteadyNowUs();
+  scheduler.Push(MakeTask(1, now + 300));
+  scheduler.Push(MakeTask(2, now + 100));
+  scheduler.Push(MakeTask(3, now + 200));
+  const auto first = scheduler.PopRunnable();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->session_id, 2);
+  scheduler.OnTaskDone(2);
+  const auto second = scheduler.PopRunnable();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->session_id, 3);
+  scheduler.OnTaskDone(3);
+}
+
+TEST(FrameSchedulerTest, SessionOrderIsFifoEvenWithDeadlineInversion) {
+  FrameScheduler scheduler;
+  const sim::Micros now = SteadyNowUs();
+  // Session 1 queues a late-deadline task before an early-deadline one;
+  // FIFO within the session must win (gesture order is sacred).
+  scheduler.Push(MakeTask(1, now + 500));
+  auto second_task = MakeTask(1, now + 10);
+  second_task.event.finger_id = 42;  // Marker.
+  scheduler.Push(second_task);
+  const auto first = scheduler.PopRunnable();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->event.finger_id, 0);
+  scheduler.OnTaskDone(1);
+  const auto second = scheduler.PopRunnable();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->event.finger_id, 42);
+  scheduler.OnTaskDone(1);
+}
+
+TEST(FrameSchedulerTest, BusySessionIsSkipped) {
+  FrameScheduler scheduler;
+  const sim::Micros now = SteadyNowUs();
+  scheduler.Push(MakeTask(1, now + 10));
+  scheduler.Push(MakeTask(1, now + 20));
+  scheduler.Push(MakeTask(2, now + 500));
+  const auto first = scheduler.PopRunnable();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->session_id, 1);
+  // Session 1 is busy; its earlier-deadline second task must not run, so
+  // session 2 is next despite the later deadline.
+  const auto second = scheduler.PopRunnable();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->session_id, 2);
+  scheduler.OnTaskDone(1);
+  scheduler.OnTaskDone(2);
+  const auto third = scheduler.PopRunnable();
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->session_id, 1);
+  scheduler.OnTaskDone(1);
+}
+
+TEST(FrameSchedulerTest, ReleaseTimeGatesRunnability) {
+  FrameScheduler scheduler;
+  const sim::Micros now = SteadyNowUs();
+  scheduler.Push(MakeTask(1, now + 100'000, now + 20'000));  // Future.
+  scheduler.Push(MakeTask(2, now + 500'000, now));           // Released.
+  const auto first = scheduler.PopRunnable();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->session_id, 2);
+  scheduler.OnTaskDone(2);
+  // Blocks until session 1's release time passes, then returns it.
+  const auto second = scheduler.PopRunnable();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->session_id, 1);
+  EXPECT_GE(SteadyNowUs(), second->release_us);
+  scheduler.OnTaskDone(1);
+}
+
+TEST(FrameSchedulerTest, DropSessionDiscardsQueue) {
+  FrameScheduler scheduler;
+  const sim::Micros now = SteadyNowUs();
+  scheduler.Push(MakeTask(7, now + 10));
+  scheduler.Push(MakeTask(7, now + 20));
+  EXPECT_EQ(scheduler.PendingOf(7), 2u);
+  EXPECT_EQ(scheduler.DropSession(7), 2u);
+  EXPECT_EQ(scheduler.PendingOf(7), 0u);
+  EXPECT_EQ(scheduler.pending(), 0u);
+}
+
+TEST(FrameSchedulerTest, ShutdownUnblocksPop) {
+  FrameScheduler scheduler;
+  std::thread closer([&scheduler] { scheduler.Shutdown(); });
+  EXPECT_FALSE(scheduler.PopRunnable().has_value());
+  closer.join();
+}
+
+// ---- Stats helpers ---------------------------------------------------------
+
+TEST(ServerStatsTest, PercentilesAndFairness) {
+  std::vector<sim::Micros> samples;
+  for (sim::Micros v = 1; v <= 100; ++v) {
+    samples.push_back(v);
+  }
+  EXPECT_EQ(LatencyPercentile(samples, 0.5), 50);
+  EXPECT_EQ(LatencyPercentile(samples, 0.99), 99);
+  EXPECT_EQ(LatencyPercentile({}, 0.99), 0);
+  EXPECT_DOUBLE_EQ(JainFairness({5, 5, 5, 5}), 1.0);
+  EXPECT_NEAR(JainFairness({10, 0, 0, 0}), 0.25, 1e-9);
+  EXPECT_DOUBLE_EQ(JainFairness({}), 1.0);
+}
+
+// ---- TouchServer integration ----------------------------------------------
+
+TEST(TouchServerTest, SessionsShareOneHierarchyPerColumn) {
+  TouchServer server(RelaxedConfig(2));
+  ASSERT_TRUE(server.RegisterTable(SequenceTable("t", 0)).ok());
+  ASSERT_TRUE(server.Start().ok());
+  for (int i = 0; i < 4; ++i) {
+    const auto session = server.OpenSession();
+    ASSERT_TRUE(session.ok());
+    const auto object = server.CreateColumnObject(
+        *session, "t", "v", RectCm{2.0, 1.0, 2.0, 10.0});
+    ASSERT_TRUE(object.ok());
+  }
+  // Four sessions, one shared sample hierarchy: the memory story of the
+  // server — samples are paid for once, not per user.
+  EXPECT_EQ(server.shared().hierarchy_count(), 1u);
+  EXPECT_GT(server.shared().sample_bytes(), 0u);
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(TouchServerTest, NoCrossSessionLeakageAndResultsMatchSingleUser) {
+  constexpr int kSessions = 6;
+  TouchServer server(RelaxedConfig(4));
+  for (int i = 0; i < kSessions; ++i) {
+    ASSERT_TRUE(server
+                    .RegisterTable(SequenceTable("t" + std::to_string(i),
+                                                 i * kRangeStride))
+                    .ok());
+  }
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<SessionId> ids;
+  for (int i = 0; i < kSessions; ++i) {
+    const auto session = server.OpenSession();
+    ASSERT_TRUE(session.ok());
+    ids.push_back(*session);
+    const auto object = server.CreateColumnObject(
+        *session, "t" + std::to_string(i), "v",
+        RectCm{2.0, 1.0, 2.0, 10.0});
+    ASSERT_TRUE(object.ok());
+  }
+
+  // Golden: the identical exploration in a single-user kernel.
+  KernelConfig golden_config;
+  Kernel golden(golden_config);
+  ASSERT_TRUE(golden.RegisterTable(SequenceTable("g", 0)).ok());
+  ASSERT_TRUE(
+      golden.CreateColumnObject("g", "v", RectCm{2.0, 1.0, 2.0, 10.0})
+          .ok());
+  const sim::GestureTrace trace = SlideOver(server, golden, 1.0);
+  golden.Replay(trace);
+
+  for (const SessionId id : ids) {
+    ASSERT_TRUE(server.SubmitTrace(id, trace, {/*paced=*/false}).ok());
+  }
+  ASSERT_TRUE(server.Drain().ok());
+
+  for (int i = 0; i < kSessions; ++i) {
+    ASSERT_TRUE(server
+                    .WithSession(ids[i],
+                                 [&](Kernel& kernel) {
+                                   const auto& items =
+                                       kernel.results().items();
+                                   ASSERT_EQ(
+                                       items.size(),
+                                       golden.results().items().size());
+                                   const std::int64_t lo =
+                                       i * kRangeStride;
+                                   for (std::size_t j = 0;
+                                        j < items.size(); ++j) {
+                                     // Same rows as the single-user run,
+                                     // values offset into this session's
+                                     // private range — any value outside
+                                     // it would be leakage.
+                                     EXPECT_EQ(
+                                         items[j].row,
+                                         golden.results().items()[j].row);
+                                     EXPECT_EQ(items[j].value.AsInt(),
+                                               golden.results()
+                                                       .items()[j]
+                                                       .value.AsInt() +
+                                                   lo);
+                                     EXPECT_GE(items[j].value.AsInt(), lo);
+                                     EXPECT_LT(items[j].value.AsInt(),
+                                               lo + kRows);
+                                   }
+                                   EXPECT_EQ(
+                                       kernel.stats().entries_returned,
+                                       golden.stats().entries_returned);
+                                   EXPECT_EQ(kernel.stats().rows_scanned,
+                                             golden.stats().rows_scanned);
+                                 })
+                    .ok());
+  }
+
+  const ServerStatsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.dropped_quanta, 0);
+  EXPECT_EQ(stats.executed, stats.submitted);
+  EXPECT_EQ(stats.sessions_active, kSessions);
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(TouchServerTest, StatsRollUpAndFairness) {
+  constexpr int kSessions = 4;
+  TouchServer server(RelaxedConfig(2));
+  ASSERT_TRUE(server.RegisterTable(SequenceTable("t", 0)).ok());
+  ASSERT_TRUE(server.Start().ok());
+  Kernel reference;  // Only for the device geometry in trace building.
+  const sim::GestureTrace trace = SlideOver(server, reference, 1.0);
+
+  std::vector<SessionId> ids;
+  for (int i = 0; i < kSessions; ++i) {
+    const auto session = server.OpenSession();
+    ASSERT_TRUE(session.ok());
+    const auto object = server.CreateColumnObject(
+        *session, "t", "v", RectCm{2.0, 1.0, 2.0, 10.0});
+    ASSERT_TRUE(object.ok());
+    ids.push_back(*session);
+    ASSERT_TRUE(server.SubmitTrace(*session, trace, {/*paced=*/false}).ok());
+  }
+  ASSERT_TRUE(server.Drain().ok());
+  const ServerStatsSnapshot stats = server.stats();
+
+  EXPECT_EQ(stats.submitted,
+            static_cast<std::int64_t>(kSessions * trace.events.size()));
+  EXPECT_EQ(stats.executed + stats.dropped_quanta, stats.submitted);
+  std::int64_t executed_sum = 0;
+  for (const auto& [id, per] : stats.per_session) {
+    executed_sum += per.executed;
+    EXPECT_EQ(per.submitted,
+              static_cast<std::int64_t>(trace.events.size()));
+    EXPECT_GT(per.touch_events, 0);
+  }
+  EXPECT_EQ(executed_sum, stats.executed);
+  // Identical workloads, relaxed deadlines: service must be even.
+  EXPECT_GT(stats.fairness, 0.99);
+  EXPECT_GE(stats.p99_latency_us, stats.p50_latency_us);
+  EXPECT_GE(stats.max_latency_us, stats.p99_latency_us);
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(TouchServerTest, ImpossibleDeadlinesAreCountedAndShed) {
+  TouchServerConfig config;
+  config.num_workers = 1;
+  config.base_frame_budget_us = 1;  // Unmeetable on purpose.
+  config.min_frame_budget_us = 1;
+  config.est_row_ns = 0.0;
+  config.drop_slack_us = 0;  // Late droppable quanta are shed.
+  TouchServer server(config);
+  ASSERT_TRUE(server.RegisterTable(SequenceTable("t", 0)).ok());
+  ASSERT_TRUE(server.Start().ok());
+  const auto session = server.OpenSession();
+  ASSERT_TRUE(session.ok());
+  const auto object = server.CreateColumnObject(
+      *session, "t", "v", RectCm{2.0, 1.0, 2.0, 10.0});
+  ASSERT_TRUE(object.ok());
+  ASSERT_TRUE(
+      server.SetAction(*session, *object, ActionConfig::Summary(10)).ok());
+
+  Kernel reference;
+  const sim::GestureTrace trace = SlideOver(server, reference, 2.0);
+  // Submit touch-by-touch: each deadline is one microsecond after its
+  // submission, so every executed touch misses and queued move quanta
+  // exceed the drop slack.
+  for (const sim::TouchEvent& event : trace.events) {
+    ASSERT_TRUE(server.Submit(*session, event).ok());
+  }
+  ASSERT_TRUE(server.Drain().ok());
+  const ServerStatsSnapshot stats = server.stats();
+
+  EXPECT_EQ(stats.executed + stats.dropped_quanta, stats.submitted);
+  EXPECT_GT(stats.deadline_misses, 0);
+  // Begin/end quanta always execute — a session can fall behind but its
+  // recognizer state machine never wedges.
+  EXPECT_GE(stats.executed, 2);
+  const SessionStatsSnapshot& per = stats.per_session.at(*session);
+  EXPECT_GT(per.deadline_misses + per.dropped_quanta, 0);
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(TouchServerTest, CloseSessionDropsPendingWork) {
+  TouchServer server(RelaxedConfig(1));
+  ASSERT_TRUE(server.RegisterTable(SequenceTable("t", 0)).ok());
+  ASSERT_TRUE(server.Start().ok());
+  const auto session = server.OpenSession();
+  ASSERT_TRUE(session.ok());
+  const auto object = server.CreateColumnObject(
+      *session, "t", "v", RectCm{2.0, 1.0, 2.0, 10.0});
+  ASSERT_TRUE(object.ok());
+
+  Kernel reference;
+  const sim::GestureTrace trace = SlideOver(server, reference, 1.0);
+  // Paced far into the future: tasks sit queued, then the session closes.
+  ASSERT_TRUE(server.SubmitTrace(*session, trace, {/*paced=*/true}).ok());
+  ASSERT_TRUE(server.CloseSession(*session).ok());
+  EXPECT_TRUE(server.CloseSession(*session).IsNotFound());
+  EXPECT_TRUE(
+      server.WithSession(*session, [](Kernel&) {}).IsNotFound());
+  ASSERT_TRUE(server.Drain().ok());
+  const ServerStatsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.sessions_active, 0);
+  EXPECT_EQ(stats.executed + stats.dropped_quanta, stats.submitted);
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(TouchServerTest, LifecycleGuards) {
+  TouchServer server(RelaxedConfig(1));
+  ASSERT_TRUE(server.RegisterTable(SequenceTable("t", 0)).ok());
+  const auto session = server.OpenSession();
+  ASSERT_TRUE(session.ok());
+  sim::TouchEvent event;
+  EXPECT_TRUE(server.Submit(*session, event).IsFailedPrecondition());
+  EXPECT_TRUE(server.Drain().IsFailedPrecondition());
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.Start().IsFailedPrecondition());
+  ASSERT_TRUE(server.Stop().ok());
+  ASSERT_TRUE(server.Stop().ok());  // Idempotent.
+}
+
+TEST(TouchServerTest, RestartAfterStopServesAgain) {
+  TouchServer server(RelaxedConfig(1));
+  ASSERT_TRUE(server.RegisterTable(SequenceTable("t", 0)).ok());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(server.Stop().ok());
+  // Second run: the scheduler's shutdown latch must clear, or workers
+  // would exit immediately and the server would silently serve nothing.
+  ASSERT_TRUE(server.Start().ok());
+  const auto session = server.OpenSession();
+  ASSERT_TRUE(session.ok());
+  const auto object = server.CreateColumnObject(
+      *session, "t", "v", RectCm{2.0, 1.0, 2.0, 10.0});
+  ASSERT_TRUE(object.ok());
+  Kernel reference;
+  TraceBuilder builder(reference.device());
+  ASSERT_TRUE(
+      server
+          .SubmitTrace(*session, builder.Tap("tap", PointCm{3.0, 6.0}),
+                       {/*paced=*/false})
+          .ok());
+  ASSERT_TRUE(server.Drain().ok());
+  const ServerStatsSnapshot stats = server.stats();
+  EXPECT_GT(stats.executed, 0);
+  std::int64_t results = 0;
+  ASSERT_TRUE(server
+                  .WithSession(*session,
+                               [&results](Kernel& kernel) {
+                                 results = kernel.results().size();
+                               })
+                  .ok());
+  EXPECT_EQ(results, 1);
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(SharedStateTest, ReRegisteredTableRebuildsHierarchy) {
+  core::SharedState shared;
+  ASSERT_TRUE(shared.RegisterTable(SequenceTable("t", 0)).ok());
+  const auto first = shared.GetOrBuildHierarchy("t", 0);
+  ASSERT_TRUE(first.ok());
+  const auto first_again = shared.GetOrBuildHierarchy("t", 0);
+  ASSERT_TRUE(first_again.ok());
+  EXPECT_EQ(first->get(), first_again->get());  // Cached.
+  const auto zone_map = shared.GetOrBuildBaseZoneMap(*first);
+  ASSERT_NE(zone_map, nullptr);
+  EXPECT_EQ(shared.GetOrBuildBaseZoneMap(*first).get(),
+            zone_map.get());  // Cached by hierarchy identity.
+  // Drop and re-register the name with different data: the cache must
+  // rebuild instead of serving the stale (and, without the table pin,
+  // dangling) hierarchy.
+  ASSERT_TRUE(shared.catalog().Drop("t").ok());
+  ASSERT_TRUE(shared.RegisterTable(SequenceTable("t", 500)).ok());
+  const auto rebuilt = shared.GetOrBuildHierarchy("t", 0);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_NE(first->get(), rebuilt->get());
+  // The old zone map handle stays valid (aliasing pin) and still answers
+  // for the old data: rows of value < 500 existed only there.
+  EXPECT_TRUE(zone_map->MayMatch(0, 0.0, 10.0));
+  // An object bound to the new hierarchy prunes with a map over the new
+  // data, never the old table that happens to share the name.
+  const auto new_zone_map = shared.GetOrBuildBaseZoneMap(*rebuilt);
+  ASSERT_NE(new_zone_map, nullptr);
+  EXPECT_NE(new_zone_map.get(), zone_map.get());
+  EXPECT_FALSE(new_zone_map->MayMatch(0, 0.0, 10.0));
+  EXPECT_TRUE(new_zone_map->MayMatch(0, 500.0, 510.0));
+}
+
+TEST(TouchServerTest, ConcurrentSubmittersAreSafe) {
+  constexpr int kSessions = 8;
+  TouchServer server(RelaxedConfig(4));
+  ASSERT_TRUE(server.RegisterTable(SequenceTable("t", 0)).ok());
+  ASSERT_TRUE(server.Start().ok());
+  Kernel reference;
+  const sim::GestureTrace trace = SlideOver(server, reference, 0.5);
+
+  std::vector<SessionId> ids(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    const auto session = server.OpenSession();
+    ASSERT_TRUE(session.ok());
+    ids[i] = *session;
+    const auto object = server.CreateColumnObject(
+        *session, "t", "v", RectCm{2.0, 1.0, 2.0, 10.0});
+    ASSERT_TRUE(object.ok());
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    submitters.emplace_back([&, i] {
+      if (!server.SubmitTrace(ids[i], trace, {/*paced=*/false}).ok()) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : submitters) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_TRUE(server.Drain().ok());
+  const ServerStatsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.submitted,
+            static_cast<std::int64_t>(kSessions * trace.events.size()));
+  EXPECT_EQ(stats.executed + stats.dropped_quanta, stats.submitted);
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+// ---- Kernel-level shedding semantics ---------------------------------------
+
+TEST(ShedLevelsTest, LevelPolicyAppliesShed) {
+  sampling::LevelPolicyConfig config;
+  // 1M rows over 4000 positions, finger on adjacent positions: a middling
+  // level with headroom above it.
+  const int base = sampling::ChooseLevel(1'000'000, 4'000, 1.0, 12, config);
+  ASSERT_GT(base, 0);
+  ASSERT_LT(base, 9);
+  config.shed_levels = 2;
+  EXPECT_EQ(sampling::ChooseLevel(1'000'000, 4'000, 1.0, 12, config),
+            base + 2);
+  // Shedding coarsens even when positions resolve individual tuples.
+  EXPECT_EQ(sampling::ChooseLevel(100, 521, 1.0, 5, config), 2);
+  // And clamps at the top of the hierarchy.
+  config.shed_levels = 50;
+  EXPECT_EQ(sampling::ChooseLevel(1'000'000, 521, 1.0, 12, config), 11);
+}
+
+TEST(ShedLevelsTest, CoarsensSummaryLevelAndWidensBands) {
+  // A very slow slide (no speed coarsening) over a large column leaves
+  // headroom above the policy's normal level choice, so shedding is
+  // visible in the executed touches.
+  auto run = [](int shed) {
+    KernelConfig config;
+    Kernel kernel(config);
+    std::vector<Column> cols;
+    cols.push_back(storage::GenSequenceInt64("v", 1'000'000, 0, 1));
+    EXPECT_TRUE(
+        kernel.RegisterTable(*Table::FromColumns("t", std::move(cols)))
+            .ok());
+    const auto object = kernel.CreateColumnObject(
+        "t", "v", RectCm{2.0, 1.0, 2.0, 10.0});
+    EXPECT_TRUE(object.ok());
+    EXPECT_TRUE(
+        kernel.SetAction(*object, ActionConfig::Summary(10)).ok());
+    kernel.set_shed_levels(shed);
+    TraceBuilder builder(kernel.device());
+    // 2cm in 8s: ~0.25 cm/s, under one position per registered event.
+    kernel.Replay(builder.Slide("s", PointCm{3.0, 5.0}, PointCm{3.0, 7.0},
+                                MotionProfile::Constant(8.0)));
+    const auto stats = kernel.object_stats(*object);
+    EXPECT_TRUE(stats.ok());
+    const auto& back = kernel.results().back();
+    return std::pair<int, std::int64_t>(
+        (*stats)->last_level_used, back.band_last - back.band_first + 1);
+  };
+  const auto [level_normal, band_normal] = run(0);
+  const auto [level_shed, band_shed] = run(1);
+  EXPECT_EQ(level_shed, level_normal + 1);
+  EXPECT_GT(band_shed, band_normal);
+}
+
+}  // namespace
+}  // namespace dbtouch::server
