@@ -92,9 +92,13 @@ RunResult RunSessions(int sessions, bool paced) {
     }
     const auto object = server.CreateColumnObject(
         *session, "t", "v", RectCm{2.0, 1.0, 2.0, 10.0});
+    // Mixed fleet: even sessions slide-scan base data (every touch pins a
+    // block of the shared BufferManager), odd sessions run the classic
+    // sampled summary (reads shared sample copies instead).
+    const ActionConfig action =
+        i % 2 == 0 ? ActionConfig::Scan() : ActionConfig::Summary(10);
     if (!object.ok() ||
-        !server.SetAction(*session, *object, ActionConfig::Summary(10))
-             .ok()) {
+        !server.SetAction(*session, *object, action).ok()) {
       return {};
     }
     ids.push_back(*session);
@@ -126,7 +130,8 @@ void PrintRegime(const char* name, const std::vector<int>& sweep,
                  bool paced) {
   std::printf("\n[%s]\n", name);
   dbtouch::bench::Table table({"sessions", "touches/s", "speedup", "p50_ms",
-                               "p99_ms", "misses", "dropped", "fairness"});
+                               "p99_ms", "misses", "dropped", "fairness",
+                               "buf_hit", "buf_faults", "buf_res_KiB"});
   double base_throughput = 0.0;
   for (const int sessions : sweep) {
     const RunResult r = RunSessions(sessions, paced);
@@ -145,7 +150,11 @@ void PrintRegime(const char* name, const std::vector<int>& sweep,
                    static_cast<double>(r.stats.p99_latency_us) / 1e3, 2),
                dbtouch::bench::Fmt(r.stats.deadline_misses),
                dbtouch::bench::Fmt(r.stats.dropped_quanta),
-               dbtouch::bench::Fmt(r.stats.fairness, 3)});
+               dbtouch::bench::Fmt(r.stats.fairness, 3),
+               dbtouch::bench::Fmt(r.stats.buffer.hit_rate(), 3),
+               dbtouch::bench::Fmt(r.stats.buffer.faulted_blocks),
+               dbtouch::bench::Fmt(r.stats.buffer.peak_resident_bytes /
+                                   1024)});
   }
 }
 
@@ -168,7 +177,9 @@ void PrintReport(int max_sessions) {
       "sessions while p99 stays inside the frame budget (the deadline\n"
       "contract holds). Flood throughput is capacity: it scales with\n"
       "cores until sessions contend, after which EDF sheds late move\n"
-      "quanta instead of stalling gesture streams.\n\n");
+      "quanta instead of stalling gesture streams. buf_* columns track\n"
+      "the shared BufferManager: every session's base-data reads pin\n"
+      "blocks of one bounded pool (buf_res_KiB <= its byte budget).\n\n");
 }
 
 // Micro-benchmark: scheduler push/pop round trip, the per-quantum

@@ -7,79 +7,128 @@
 namespace dbtouch::cache {
 
 BlockCache::BlockCache(const Config& config) : config_(config) {
-  DBTOUCH_CHECK(config.capacity_blocks > 0);
+  DBTOUCH_CHECK(config.capacity_bytes >= 0);
   DBTOUCH_CHECK(config.shards > 0);
-  // Never more shards than capacity (a zero-capacity shard could hold
-  // nothing), and spread the remainder so the shard capacities sum to
-  // exactly capacity_blocks.
-  const int shards = static_cast<int>(std::min<std::int64_t>(
-      config.shards, config.capacity_blocks));
-  const std::int64_t base = config.capacity_blocks / shards;
-  const std::int64_t remainder = config.capacity_blocks % shards;
+  const int shards = config.shards;
+  const std::int64_t base = config.capacity_bytes / shards;
+  const std::int64_t remainder = config.capacity_bytes % shards;
   shards_.reserve(static_cast<std::size_t>(shards));
   for (int i = 0; i < shards; ++i) {
     auto shard = std::make_unique<Shard>();
-    shard->capacity = base + (i < remainder ? 1 : 0);
+    shard->capacity_bytes = base + (i < remainder ? 1 : 0);
     shards_.push_back(std::move(shard));
   }
 }
 
-bool BlockCache::Access(std::int64_t block, storage::RowId row) {
-  bool bypassing = false;
-  bool working_buffer_hit = false;
-  {
-    const std::lock_guard<std::mutex> lock(gesture_mu_);
-    // Direction tracking.
-    if (last_row_ >= 0 && row != last_row_) {
-      const int dir = row > last_row_ ? 1 : -1;
-      if (dir == direction_) {
-        ++scan_run_;
+bool BlockCache::UpdateGesture(const BlockKey& key, storage::RowId row) {
+  const std::lock_guard<std::mutex> lock(gesture_mu_);
+  Detector& d = detectors_[key.owner];
+  if (row >= 0) {
+    if (d.last_row >= 0 && row != d.last_row) {
+      const int dir = row > d.last_row ? 1 : -1;
+      if (dir == d.direction) {
+        ++d.scan_run;
       } else {
-        direction_ = dir;
-        scan_run_ = 0;  // Reversal: user re-examining — cache again.
+        d.direction = dir;
+        d.scan_run = 0;  // Reversal: user re-examining — cache again.
       }
     }
-    last_row_ = row;
-
-    // Working buffer: the block under the finger is always resident.
-    if (block == current_block_) {
-      working_buffer_hit = true;
-    } else {
-      current_block_ = block;
-    }
-    bypassing = config_.gesture_aware && scan_run_ >= config_.scan_run_length;
+    d.last_row = row;
   }
+  return config_.gesture_aware && d.scan_run >= config_.scan_run_length;
+}
 
-  Shard& shard = ShardFor(block);
+Result<BlockCache::Pinned> BlockCache::Pin(const BlockKey& key,
+                                           storage::RowId row,
+                                           const Filler& fill) {
+  const bool bypassing = UpdateGesture(key, row);
+
+  Shard& shard = ShardFor(key);
   const std::lock_guard<std::mutex> lock(shard.mu);
   ++shard.stats.lookups;
-  if (working_buffer_hit) {
-    ++shard.stats.hits;
-    return true;
-  }
-  const auto it = shard.map.find(block);
+  const auto it = shard.map.find(key);
   if (it != shard.map.end()) {
+    Entry& entry = it->second;
     ++shard.stats.hits;
-    TouchLru(shard, block);
-    return true;
+    if (entry.pins++ == 0) {
+      ++shard.pinned_blocks;
+    }
+    if (entry.retained) {
+      TouchLru(shard, key, entry);
+    }
+    return Pinned{entry.payload.data(), entry.payload.size(), true,
+                  entry.retained};
   }
-  if (bypassing) {
+
+  // Miss: materialise under the shard lock (concurrent faults of one
+  // block serialise into a single fetch).
+  ++shard.stats.faults;
+  DBTOUCH_ASSIGN_OR_RETURN(std::vector<std::byte> payload, fill());
+  const auto size = static_cast<std::int64_t>(payload.size());
+
+  Entry entry;
+  entry.payload = std::move(payload);
+  entry.pins = 1;
+  ++shard.pinned_blocks;
+  if (!bypassing && MakeRoom(shard, size)) {
+    entry.retained = true;
+    shard.lru.push_front(key);
+    entry.lru_it = shard.lru.begin();
+    shard.resident_bytes += size;
+    shard.stats.peak_resident_bytes =
+        std::max(shard.stats.peak_resident_bytes, shard.resident_bytes);
+    ++shard.stats.admissions;
+  } else if (bypassing) {
     ++shard.stats.bypasses;
-    return false;
+  } else {
+    ++shard.stats.budget_rejections;
   }
-  Admit(shard, block);
-  return false;
+  const auto [ins, ok] = shard.map.emplace(key, std::move(entry));
+  DBTOUCH_CHECK(ok);
+  Entry& stored = ins->second;
+  return Pinned{stored.payload.data(), stored.payload.size(), false,
+                stored.retained};
+}
+
+void BlockCache::Unpin(const BlockKey& key) {
+  Shard& shard = ShardFor(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  DBTOUCH_CHECK(it != shard.map.end());
+  Entry& entry = it->second;
+  DBTOUCH_CHECK(entry.pins > 0);
+  if (--entry.pins == 0) {
+    --shard.pinned_blocks;
+    if (!entry.retained) {
+      shard.map.erase(it);  // Transient: freed with its last pin.
+    }
+  }
 }
 
 void BlockCache::OnGesturePause() {
   const std::lock_guard<std::mutex> lock(gesture_mu_);
-  scan_run_ = 0;
+  for (auto& [owner, detector] : detectors_) {
+    detector.scan_run = 0;
+  }
 }
 
-bool BlockCache::Contains(std::int64_t block) const {
-  Shard& shard = ShardFor(block);
+void BlockCache::OnGesturePause(std::uint64_t owner) {
+  const std::lock_guard<std::mutex> lock(gesture_mu_);
+  const auto it = detectors_.find(owner);
+  if (it != detectors_.end()) {
+    it->second.scan_run = 0;
+  }
+}
+
+void BlockCache::ForgetOwner(std::uint64_t owner) {
+  const std::lock_guard<std::mutex> lock(gesture_mu_);
+  detectors_.erase(owner);
+}
+
+bool BlockCache::Contains(const BlockKey& key) const {
+  Shard& shard = ShardFor(key);
   const std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.map.count(block) > 0;
+  return shard.map.count(key) > 0;
 }
 
 std::int64_t BlockCache::size() const {
@@ -91,41 +140,75 @@ std::int64_t BlockCache::size() const {
   return total;
 }
 
+std::int64_t BlockCache::resident_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->resident_bytes;
+  }
+  return total;
+}
+
 BlockCacheStats BlockCache::stats() const {
   BlockCacheStats total;
   for (const auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mu);
     total.lookups += shard->stats.lookups;
     total.hits += shard->stats.hits;
+    total.faults += shard->stats.faults;
     total.admissions += shard->stats.admissions;
     total.bypasses += shard->stats.bypasses;
+    total.budget_rejections += shard->stats.budget_rejections;
     total.evictions += shard->stats.evictions;
+    total.pinned_blocks += shard->pinned_blocks;
+    total.resident_blocks += static_cast<std::int64_t>(shard->lru.size());
+    total.resident_bytes += shard->resident_bytes;
+    total.peak_resident_bytes += shard->stats.peak_resident_bytes;
   }
   return total;
 }
 
 bool BlockCache::in_scan_mode() const {
   const std::lock_guard<std::mutex> lock(gesture_mu_);
-  return scan_run_ >= config_.scan_run_length;
+  for (const auto& [owner, detector] : detectors_) {
+    if (detector.scan_run >= config_.scan_run_length) {
+      return true;
+    }
+  }
+  return false;
 }
 
-void BlockCache::Admit(Shard& shard, std::int64_t block) {
-  if (static_cast<std::int64_t>(shard.lru.size()) >= shard.capacity) {
-    const std::int64_t victim = shard.lru.back();
-    shard.lru.pop_back();
-    shard.map.erase(victim);
+bool BlockCache::MakeRoom(Shard& shard, std::int64_t need) {
+  if (need > shard.capacity_bytes) {
+    return false;
+  }
+  while (shard.resident_bytes + need > shard.capacity_bytes) {
+    // Coldest unpinned retained block; pinned entries are skipped (and
+    // re-skipped next round — pins are few and short-lived).
+    auto victim = shard.lru.end();
+    for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
+      if (shard.map.at(*it).pins == 0) {
+        victim = std::prev(it.base());
+        break;
+      }
+    }
+    if (victim == shard.lru.end()) {
+      return false;  // Everything left is pinned.
+    }
+    const auto it = shard.map.find(*victim);
+    shard.resident_bytes -=
+        static_cast<std::int64_t>(it->second.payload.size());
+    shard.lru.erase(victim);
+    shard.map.erase(it);
     ++shard.stats.evictions;
   }
-  shard.lru.push_front(block);
-  shard.map[block] = shard.lru.begin();
-  ++shard.stats.admissions;
+  return true;
 }
 
-void BlockCache::TouchLru(Shard& shard, std::int64_t block) {
-  const auto it = shard.map.find(block);
-  DBTOUCH_CHECK(it != shard.map.end());
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  it->second = shard.lru.begin();
+void BlockCache::TouchLru(Shard& shard, const BlockKey& /*key*/,
+                          Entry& entry) {
+  shard.lru.splice(shard.lru.begin(), shard.lru, entry.lru_it);
+  entry.lru_it = shard.lru.begin();
 }
 
 }  // namespace dbtouch::cache

@@ -1,0 +1,116 @@
+#include "cache/block_provider.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace dbtouch::cache {
+
+TableBlockProvider::TableBlockProvider(
+    std::shared_ptr<const storage::Table> table, std::size_t column,
+    std::int64_t rows_per_block)
+    : table_(std::move(table)), column_(column) {
+  DBTOUCH_CHECK(table_ != nullptr);
+  DBTOUCH_CHECK(column_ < table_->schema().num_fields());
+  DBTOUCH_CHECK(rows_per_block > 0);
+  geometry_.type = table_->schema().field(column_).type;
+  geometry_.row_count = table_->row_count();
+  geometry_.rows_per_block = rows_per_block;
+}
+
+Result<std::vector<std::byte>> TableBlockProvider::Fetch(std::int64_t block) {
+  if (block < 0 || block >= geometry_.num_blocks()) {
+    return Status::OutOfRange("block " + std::to_string(block) +
+                              " out of range");
+  }
+  const storage::ColumnView view = table_->ColumnViewAt(column_);
+  const std::size_t width = geometry_.width();
+  const storage::RowId first = block * geometry_.rows_per_block;
+  const std::int64_t count = geometry_.BlockRowCount(block);
+  std::vector<std::byte> payload(static_cast<std::size_t>(count) * width);
+  if (view.stride() == width) {
+    // Column-major storage: the block is one contiguous run.
+    std::memcpy(payload.data(),
+                view.data() + static_cast<std::size_t>(first) * width,
+                payload.size());
+  } else {
+    // Row-major storage: gather the strided fields into a dense block.
+    const std::byte* src =
+        view.data() + static_cast<std::size_t>(first) * view.stride();
+    std::byte* dst = payload.data();
+    for (std::int64_t r = 0; r < count; ++r) {
+      std::memcpy(dst, src, width);
+      src += view.stride();
+      dst += width;
+    }
+  }
+  return payload;
+}
+
+RemoteBlockProvider::RemoteBlockProvider(
+    remote::RemoteServer* server, storage::DataType type,
+    std::int64_t rows_per_block, const storage::Dictionary* dictionary)
+    : server_(server), dictionary_(dictionary) {
+  DBTOUCH_CHECK(server_ != nullptr);
+  DBTOUCH_CHECK(rows_per_block > 0);
+  geometry_.type = type;
+  geometry_.row_count = server_->hierarchy().LevelView(0).row_count();
+  geometry_.rows_per_block = rows_per_block;
+}
+
+Result<std::vector<std::byte>> RemoteBlockProvider::Fetch(
+    std::int64_t block) {
+  if (block < 0 || block >= geometry_.num_blocks()) {
+    return Status::OutOfRange("block " + std::to_string(block) +
+                              " out of range");
+  }
+  const storage::RowId first = block * geometry_.rows_per_block;
+  const std::int64_t count = geometry_.BlockRowCount(block);
+  std::int64_t response_bytes = 0;
+  std::vector<double> values;
+  {
+    const std::lock_guard<std::mutex> lock(server_mu_);
+    values = server_->ReadRange(0, first, count, &response_bytes);
+  }
+  // geometry_ is derived from this same server's hierarchy, so a short
+  // read means the server's data changed underneath us — an invariant
+  // violation under the PinBlock error contract, not a data error. (A
+  // real lossy transport belongs behind the async-fetch seam; see
+  // ROADMAP "Async block fetch".)
+  DBTOUCH_CHECK(static_cast<std::int64_t>(values.size()) == count);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  bytes_fetched_.fetch_add(response_bytes, std::memory_order_relaxed);
+
+  const std::size_t width = geometry_.width();
+  std::vector<std::byte> payload(static_cast<std::size_t>(count) * width);
+  std::byte* dst = payload.data();
+  for (std::int64_t r = 0; r < count; ++r, dst += width) {
+    const double v = values[static_cast<std::size_t>(r)];
+    switch (geometry_.type) {
+      case storage::DataType::kInt32:
+      case storage::DataType::kString: {
+        const auto x = static_cast<std::int32_t>(std::llround(v));
+        std::memcpy(dst, &x, sizeof(x));
+        break;
+      }
+      case storage::DataType::kInt64: {
+        const std::int64_t x = std::llround(v);
+        std::memcpy(dst, &x, sizeof(x));
+        break;
+      }
+      case storage::DataType::kFloat: {
+        const auto x = static_cast<float>(v);
+        std::memcpy(dst, &x, sizeof(x));
+        break;
+      }
+      case storage::DataType::kDouble:
+        std::memcpy(dst, &v, sizeof(v));
+        break;
+    }
+  }
+  return payload;
+}
+
+}  // namespace dbtouch::cache

@@ -1,0 +1,123 @@
+// BlockProvider: the backing-store seam behind the BufferManager. A
+// provider materialises one fixed-size block of a column as densely packed
+// native-width fields; the BufferManager decides which blocks stay
+// resident. Two tiers ship today:
+//
+//   - TableBlockProvider: copies blocks out of an in-memory base table
+//     (the fast tier — a fault costs one memcpy).
+//   - RemoteBlockProvider: faults blocks in from a remote::RemoteServer
+//     via level-0 range reads (paper Section 4's slow tier: "the server
+//     may store the base data ... while the touch device may store only
+//     small samples").
+//
+// Later tiers (async fetch, spill-to-disk, NUMA-partitioned replicas) plug
+// in behind the same interface without touching the read path.
+
+#ifndef DBTOUCH_CACHE_BLOCK_PROVIDER_H_
+#define DBTOUCH_CACHE_BLOCK_PROVIDER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "remote/remote_store.h"
+#include "storage/dictionary.h"
+#include "storage/table.h"
+#include "storage/types.h"
+
+namespace dbtouch::cache {
+
+/// Shape of the column a provider serves.
+struct BlockGeometry {
+  storage::DataType type = storage::DataType::kInt32;
+  std::int64_t row_count = 0;
+  std::int64_t rows_per_block = 0;
+
+  std::size_t width() const { return storage::TypeWidth(type); }
+  std::int64_t num_blocks() const {
+    return rows_per_block == 0
+               ? 0
+               : (row_count + rows_per_block - 1) / rows_per_block;
+  }
+  std::int64_t BlockRowCount(std::int64_t block) const {
+    const std::int64_t first = block * rows_per_block;
+    return std::min<std::int64_t>(rows_per_block, row_count - first);
+  }
+};
+
+class BlockProvider {
+ public:
+  virtual ~BlockProvider() = default;
+
+  virtual const BlockGeometry& geometry() const = 0;
+  /// Dictionary to attach to views over fetched blocks (string columns).
+  virtual const storage::Dictionary* dictionary() const { return nullptr; }
+
+  /// Materialises block `block` as geometry().BlockRowCount(block) densely
+  /// packed fields of geometry().width() bytes. Must be thread-safe: the
+  /// BufferManager may fault different blocks concurrently.
+  virtual Result<std::vector<std::byte>> Fetch(std::int64_t block) = 0;
+};
+
+/// Fast tier: blocks copied out of an in-memory table column. Reads the
+/// column view at fetch time, so a layout rotation between faults changes
+/// the copy path, never the values.
+class TableBlockProvider final : public BlockProvider {
+ public:
+  TableBlockProvider(std::shared_ptr<const storage::Table> table,
+                     std::size_t column, std::int64_t rows_per_block);
+
+  const BlockGeometry& geometry() const override { return geometry_; }
+  const storage::Dictionary* dictionary() const override {
+    return table_->dictionary(column_).get();
+  }
+  Result<std::vector<std::byte>> Fetch(std::int64_t block) override;
+
+ private:
+  std::shared_ptr<const storage::Table> table_;
+  std::size_t column_;
+  BlockGeometry geometry_;
+};
+
+/// Slow tier: blocks faulted in from a RemoteServer's base level through
+/// ranged reads. The wire format is doubles (the server's numeric view),
+/// re-encoded into the declared type on arrival — exact for int32/float/
+/// double and for int64 magnitudes below 2^53; string columns round-trip
+/// their dictionary codes.
+class RemoteBlockProvider final : public BlockProvider {
+ public:
+  RemoteBlockProvider(remote::RemoteServer* server, storage::DataType type,
+                      std::int64_t rows_per_block,
+                      const storage::Dictionary* dictionary = nullptr);
+
+  const BlockGeometry& geometry() const override { return geometry_; }
+  const storage::Dictionary* dictionary() const override {
+    return dictionary_;
+  }
+  Result<std::vector<std::byte>> Fetch(std::int64_t block) override;
+
+  std::int64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  std::int64_t bytes_fetched() const {
+    return bytes_fetched_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  remote::RemoteServer* server_;  // Not owned.
+  /// RemoteServer models one synchronous endpoint and is not itself
+  /// thread-safe; faults from concurrent cache shards serialise here.
+  std::mutex server_mu_;
+  const storage::Dictionary* dictionary_;
+  BlockGeometry geometry_;
+  std::atomic<std::int64_t> requests_{0};
+  std::atomic<std::int64_t> bytes_fetched_{0};
+};
+
+}  // namespace dbtouch::cache
+
+#endif  // DBTOUCH_CACHE_BLOCK_PROVIDER_H_

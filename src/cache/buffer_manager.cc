@@ -1,0 +1,137 @@
+#include "cache/buffer_manager.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dbtouch::cache {
+
+namespace {
+
+BlockCache::Config CacheConfigFrom(const BufferManagerConfig& config) {
+  BlockCache::Config out;
+  out.capacity_bytes = config.budget_bytes;
+  out.gesture_aware = config.gesture_aware;
+  out.scan_run_length = config.scan_run_length;
+  // Never shard so finely that one shard cannot retain a handful of
+  // blocks — a shard whose budget is below one block rejects every
+  // admission and the cache silently degrades to transient-only service.
+  // Sized for the widest (8-byte) field.
+  const std::int64_t block_bytes = config.rows_per_block * 8;
+  const std::int64_t max_shards =
+      std::max<std::int64_t>(config.budget_bytes / (4 * block_bytes), 1);
+  out.shards = static_cast<int>(
+      std::min<std::int64_t>(config.shards, max_shards));
+  return out;
+}
+
+}  // namespace
+
+/// PagedColumnSource pinning blocks in the shared BlockCache and faulting
+/// from one provider. Cheap to create; one per bound data object.
+class BufferManager::Source final : public storage::PagedColumnSource {
+ public:
+  Source(BufferManager* manager, std::uint64_t owner,
+         std::shared_ptr<BlockProvider> provider)
+      : manager_(manager), owner_(owner), provider_(std::move(provider)) {}
+
+  storage::DataType type() const override {
+    return provider_->geometry().type;
+  }
+  const storage::Dictionary* dictionary() const override {
+    return provider_->dictionary();
+  }
+  std::int64_t row_count() const override {
+    return provider_->geometry().row_count;
+  }
+  std::int64_t rows_per_block() const override {
+    return provider_->geometry().rows_per_block;
+  }
+
+  void OnGesturePause() override {
+    manager_->cache_.OnGesturePause(owner_);
+  }
+
+  Result<storage::BlockPin> PinBlock(std::int64_t block,
+                                     storage::RowId row_hint) override {
+    if (block < 0 || block >= num_blocks()) {
+      return Status::OutOfRange("block " + std::to_string(block) +
+                                " out of range");
+    }
+    const BlockKey key{owner_, block};
+    DBTOUCH_ASSIGN_OR_RETURN(
+        const BlockCache::Pinned pinned,
+        manager_->cache_.Pin(key, row_hint,
+                             [&] { return provider_->Fetch(block); }));
+    const storage::ColumnView view(
+        type(), pinned.data, provider_->geometry().width(),
+        provider_->geometry().BlockRowCount(block), dictionary());
+    return storage::BlockPin(this, block, view, BlockFirstRow(block));
+  }
+
+ protected:
+  void UnpinBlock(std::int64_t block) override {
+    manager_->cache_.Unpin(BlockKey{owner_, block});
+  }
+
+ private:
+  BufferManager* manager_;  // Not owned; outlives the source.
+  std::uint64_t owner_;
+  std::shared_ptr<BlockProvider> provider_;
+};
+
+BufferManager::BufferManager(const BufferManagerConfig& config)
+    : config_(config), cache_(CacheConfigFrom(config)) {
+  DBTOUCH_CHECK(config.rows_per_block > 0);
+}
+
+BufferManager::Binding BufferManager::BindOwner(
+    const std::string& name, std::size_t column, const void* identity,
+    const std::function<std::shared_ptr<BlockProvider>()>& make_provider) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Binding& binding = bindings_[{name, column}];
+  if (binding.identity != identity) {
+    // First bind, or the name now denotes different data: a fresh owner id
+    // gives it a clean block namespace (stale blocks age out via LRU; the
+    // retired owner's gesture detector is dropped eagerly).
+    if (binding.owner != 0) {
+      cache_.ForgetOwner(binding.owner);
+    }
+    binding.identity = identity;
+    binding.owner = next_owner_++;
+    binding.provider = make_provider();
+  }
+  return binding;
+}
+
+Result<std::shared_ptr<storage::PagedColumnSource>>
+BufferManager::ColumnSource(const std::shared_ptr<storage::Table>& table,
+                            std::size_t column) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("null table");
+  }
+  if (column >= table->schema().num_fields()) {
+    return Status::OutOfRange("column " + std::to_string(column) +
+                              " out of range for table '" + table->name() +
+                              "'");
+  }
+  const Binding binding = BindOwner(table->name(), column, table.get(), [&] {
+    return std::make_shared<TableBlockProvider>(table, column,
+                                                config_.rows_per_block);
+  });
+  // Explicit upcast: Result<T> will not chain the derived-to-base
+  // shared_ptr conversion with its own converting constructor.
+  return std::shared_ptr<storage::PagedColumnSource>(
+      std::make_shared<Source>(this, binding.owner, binding.provider));
+}
+
+std::shared_ptr<storage::PagedColumnSource> BufferManager::SourceFor(
+    const std::string& name, std::size_t column,
+    std::shared_ptr<BlockProvider> provider) {
+  DBTOUCH_CHECK(provider != nullptr);
+  const Binding binding = BindOwner(name, column, provider.get(),
+                                    [&] { return provider; });
+  return std::make_shared<Source>(this, binding.owner, binding.provider);
+}
+
+}  // namespace dbtouch::cache

@@ -1,0 +1,110 @@
+// BufferManager: the server-wide buffer pool the touch read path runs
+// through. Column data lives in fixed-size blocks owned by a payload-
+// holding BlockCache (pin/unpin, byte budget, gesture-aware scan-bypass
+// admission), keyed by (table, column, block) and faulted in from a
+// pluggable BlockProvider — the in-memory base table by default, a
+// remote::RemoteStore adapter for cold tiers.
+//
+// One BufferManager serves every session of a SharedState, so concurrent
+// sessions share one bounded memory footprint; per-object access goes
+// through storage::PagedColumnSource handles this class hands out, which
+// kernels and exec operators consume without knowing whether the bytes
+// are cached copies or zero-copy views.
+//
+// Thread-safety: the binding registry is mutex-guarded; pins go to the
+// sharded BlockCache. Handed-out sources must not outlive the manager
+// (the SharedState owns both the manager and, transitively, the kernels
+// holding sources).
+
+#ifndef DBTOUCH_CACHE_BUFFER_MANAGER_H_
+#define DBTOUCH_CACHE_BUFFER_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "cache/block_cache.h"
+#include "cache/block_provider.h"
+#include "common/result.h"
+#include "storage/paged_column.h"
+#include "storage/table.h"
+
+namespace dbtouch::cache {
+
+struct BufferManagerConfig {
+  /// Byte budget for resident (retained) block payloads.
+  std::int64_t budget_bytes = 64ll << 20;
+  /// Rows per block. 16K rows of an 8-byte column = 128 KiB blocks.
+  std::int64_t rows_per_block = 16'384;
+  /// Gesture-aware scan-bypass admission (see BlockCache).
+  bool gesture_aware = true;
+  int scan_run_length = 8;
+  /// BlockCache shards; the touch server raises this so workers pinning
+  /// different blocks do not contend.
+  int shards = 1;
+};
+
+class BufferManager {
+ public:
+  explicit BufferManager(const BufferManagerConfig& config = {});
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  /// A paged source reading `table.column` through this pool, faulting
+  /// from an (auto-created) TableBlockProvider. Binding is by table name +
+  /// column and pinned to the table's identity: re-registering the name
+  /// with new contents rebinds under a fresh block namespace, so stale
+  /// cached blocks can never serve the new data. The provider (and its
+  /// row-count snapshot) is shared by every source of the binding —
+  /// registered tables are treated as frozen for exploration, like the
+  /// sample hierarchies do.
+  Result<std::shared_ptr<storage::PagedColumnSource>> ColumnSource(
+      const std::shared_ptr<storage::Table>& table, std::size_t column);
+
+  /// A paged source over an explicit provider registered under
+  /// `name.column` — the remote cold-tier path and the test seam. Repeat
+  /// calls with the same (name, column, provider) share cached blocks;
+  /// a different provider rebinds.
+  std::shared_ptr<storage::PagedColumnSource> SourceFor(
+      const std::string& name, std::size_t column,
+      std::shared_ptr<BlockProvider> provider);
+
+  /// Gesture pause: interest in the current region, admission resumes.
+  void OnGesturePause() { cache_.OnGesturePause(); }
+
+  BlockCacheStats stats() const { return cache_.stats(); }
+  std::int64_t resident_bytes() const { return cache_.resident_bytes(); }
+  bool in_scan_mode() const { return cache_.in_scan_mode(); }
+  const BufferManagerConfig& config() const { return config_; }
+
+ private:
+  class Source;
+
+  struct Binding {
+    const void* identity = nullptr;
+    std::uint64_t owner = 0;
+    std::shared_ptr<BlockProvider> provider;
+  };
+
+  /// The binding for (name, column): reused while `identity` (provider or
+  /// table) is unchanged; rebound with a fresh owner id — and a provider
+  /// from `make_provider` — when it changed.
+  Binding BindOwner(
+      const std::string& name, std::size_t column, const void* identity,
+      const std::function<std::shared_ptr<BlockProvider>()>& make_provider);
+
+  BufferManagerConfig config_;
+  BlockCache cache_;
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, std::size_t>, Binding> bindings_;
+  std::uint64_t next_owner_ = 1;
+};
+
+}  // namespace dbtouch::cache
+
+#endif  // DBTOUCH_CACHE_BUFFER_MANAGER_H_

@@ -41,6 +41,13 @@ class HashTableCache {
   /// Returns the cached join for `key`, or nullptr.
   std::shared_ptr<exec::SymmetricHashJoin> Get(const std::string& key);
 
+  /// Whether `key` is currently cached; no stats or LRU effect (for
+  /// callers maintaining side state keyed like the cache).
+  bool Contains(const std::string& key) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return map_.count(key) > 0;
+  }
+
   /// Inserts (LRU-evicting) a join state under `key`.
   void Put(const std::string& key,
            std::shared_ptr<exec::SymmetricHashJoin> join);

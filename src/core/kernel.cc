@@ -67,6 +67,13 @@ struct Kernel::ObjectState {
   /// filtered scan asks for index support; immutable and lock-free after.
   /// The aliasing shared_ptr pins the owning index set.
   std::shared_ptr<const index::ZoneMap> base_zone_map;
+  /// Paged source over the bound column through the SharedState's shared
+  /// BufferManager (column objects, use_buffer_manager on). Null = legacy
+  /// raw whole-column reads.
+  std::shared_ptr<storage::PagedColumnSource> paged;
+  /// Working cursor for per-touch point reads; holds the block under the
+  /// finger pinned, so a slide inside one block re-pins nothing.
+  storage::PagedColumnCursor cursor;
   ObjectStats stats;
   /// Rotation gesture latch: fire once per gesture.
   bool rotation_fired_this_gesture = false;
@@ -77,6 +84,15 @@ struct Kernel::ObjectState {
     }
     return table->ColumnViewAt(0);
   }
+
+  /// Point read of the bound column: pinned through the buffer pool when
+  /// paged, a fresh (rotation-safe) raw view otherwise.
+  storage::Value ReadBoundValue(storage::RowId row) {
+    if (cursor.valid()) {
+      return cursor.GetValue(row);
+    }
+    return BaseColumn().GetValue(row);
+  }
 };
 
 Kernel::Kernel(const KernelConfig& config, std::shared_ptr<SharedState> shared)
@@ -86,7 +102,8 @@ Kernel::Kernel(const KernelConfig& config, std::shared_ptr<SharedState> shared)
       shared_(shared != nullptr
                   ? std::move(shared)
                   : std::make_shared<SharedState>(config.sampling,
-                                                  /*force_eager=*/false)),
+                                                  /*force_eager=*/false,
+                                                  config.buffer)),
       root_view_("screen",
                  touch::RectCm{0.0, 0.0, config.device.screen_width_cm,
                                config.device.screen_height_cm}),
@@ -119,6 +136,11 @@ Result<ObjectId> Kernel::CreateColumnObject(const std::string& table,
 
   DBTOUCH_ASSIGN_OR_RETURN(state->hierarchy,
                            shared_->GetOrBuildHierarchy(table, col));
+  if (config_.use_buffer_manager) {
+    DBTOUCH_ASSIGN_OR_RETURN(state->paged,
+                             shared_->GetColumnSource(table, col));
+    state->cursor = storage::PagedColumnCursor(state->paged);
+  }
 
   const ObjectId id = state->id;
   objects_.emplace(id, std::move(state));
@@ -208,13 +230,19 @@ Status Kernel::SetAction(ObjectId id, const ActionConfig& action) {
   obj->groupby_op.reset();
   switch (action.kind) {
     case ActionKind::kAggregate:
-      obj->agg_op = std::make_unique<exec::TouchedAggregateOp>(
-          obj->BaseColumn(), action.agg);
+      obj->agg_op = obj->paged != nullptr
+                        ? std::make_unique<exec::TouchedAggregateOp>(
+                              obj->paged, action.agg)
+                        : std::make_unique<exec::TouchedAggregateOp>(
+                              obj->BaseColumn(), action.agg);
       break;
     case ActionKind::kFilteredScan:
       DBTOUCH_CHECK(action.predicate.has_value());
-      obj->filter_op = std::make_unique<exec::FilteredScanOp>(
-          obj->BaseColumn(), *action.predicate);
+      obj->filter_op = obj->paged != nullptr
+                           ? std::make_unique<exec::FilteredScanOp>(
+                                 obj->paged, *action.predicate)
+                           : std::make_unique<exec::FilteredScanOp>(
+                                 obj->BaseColumn(), *action.predicate);
       break;
     case ActionKind::kGroupBy:
       obj->groupby_op = std::make_unique<exec::IncrementalGroupBy>(
@@ -246,11 +274,37 @@ Status Kernel::EnableJoin(ObjectId left, ObjectId right) {
       rt == storage::DataType::kFloat || rt == storage::DataType::kDouble) {
     return Status::InvalidArgument("join keys must be integer or string");
   }
+  // Hash-table cache (Section 2.9): re-enabling a join over the same two
+  // columns resumes the cached SymmetricHashJoin with every previously fed
+  // tuple still in its tables. Keyed by join identity at base fidelity;
+  // the table pins guard against a name re-registered with new data (and
+  // keep the cached join's column views alive).
+  const std::string join_id =
+      l->table->name() + "." + l->table->schema().field(*l->column).name +
+      "=" + r->table->name() + "." +
+      r->table->schema().field(*r->column).name;
+  const std::string cache_key = cache::HashTableCache::MakeKey(join_id, 0);
+  std::shared_ptr<exec::SymmetricHashJoin> join = join_cache_.Get(cache_key);
+  const auto pins = join_cache_tables_.find(cache_key);
+  if (join != nullptr && pins != join_cache_tables_.end() &&
+      pins->second.first == l->table && pins->second.second == r->table) {
+    ++stats_.join_cache_hits;
+  } else {
+    join = std::make_shared<exec::SymmetricHashJoin>(l->BaseColumn(),
+                                                     r->BaseColumn());
+    join_cache_.Put(cache_key, join);
+    join_cache_tables_[cache_key] = {l->table, r->table};
+    // Drop identity pins for joins the LRU just evicted, so the pin map
+    // stays bounded by the cache capacity and evicted joins' tables can
+    // actually be freed.
+    std::erase_if(join_cache_tables_, [this](const auto& entry) {
+      return !join_cache_.Contains(entry.first);
+    });
+  }
   JoinBinding binding;
   binding.left = left;
   binding.right = right;
-  binding.join = std::make_shared<exec::SymmetricHashJoin>(l->BaseColumn(),
-                                                           r->BaseColumn());
+  binding.join = std::move(join);
   joins_.push_back(std::move(binding));
   return Status::OK();
 }
@@ -337,6 +391,22 @@ void Kernel::OnGesture(const GestureEvent& event) {
   if (event.phase == GesturePhase::kEnded &&
       event.type != GestureType::kTap) {
     gesture_target_ = nullptr;
+    // Finger lifted — the pause signal that re-enables block-cache
+    // admission (Section 2.6: interest in the current region). Scoped to
+    // this object's column so other sessions' scans are untouched. The
+    // working pins drop too: an idle session must not hold buffer-pool
+    // blocks pinned (retained blocks stay cached, so the next touch on
+    // the region is still a hit).
+    if (obj->paged != nullptr) {
+      obj->paged->OnGesturePause();
+      obj->cursor.ReleasePin();
+      if (obj->agg_op != nullptr) {
+        obj->agg_op->ReleasePin();
+      }
+      if (obj->filter_op != nullptr) {
+        obj->filter_op->ReleasePin();
+      }
+    }
   }
 }
 
@@ -402,7 +472,7 @@ void Kernel::HandleTap(const GestureEvent& event, ObjectState* obj) {
   item.timestamp_us = event.timestamp_us;
   item.screen_position = ResultPosition(*obj, event.position);
   item.row = mapping.row;
-  item.value = obj->BaseColumn().GetValue(mapping.row);
+  item.value = obj->ReadBoundValue(mapping.row);
   results_.Append(std::move(item));
   ++stats_.entries_returned;
   ++stats_.rows_scanned;
@@ -485,7 +555,7 @@ std::int64_t Kernel::ExecuteAction(ObjectState* obj,
       item.attribute = mapping.attribute;
       item.value = obj->view->kind() == ObjectKind::kTable
                        ? obj->table->GetValue(base_row, mapping.attribute)
-                       : obj->BaseColumn().GetValue(base_row);
+                       : obj->ReadBoundValue(base_row);
       results_.Append(std::move(item));
       ++stats_.rows_scanned;
       ++obj->stats.rows_scanned;
@@ -549,8 +619,14 @@ std::int64_t Kernel::ExecuteAction(ObjectState* obj,
                       1);
         std::int64_t k_base = obj->action.summary_k * stride;
         k_base = std::min(k_base, config_.max_rows_per_touch / 2);
-        exec::InteractiveSummaryOp op(obj->BaseColumn(), k_base,
-                                      obj->action.agg);
+        // Paged objects scan the band block-at-a-time through pinned
+        // blocks of the shared pool; unpaged fall back to the raw view.
+        exec::InteractiveSummaryOp op =
+            obj->paged != nullptr
+                ? exec::InteractiveSummaryOp(obj->paged, k_base,
+                                             obj->action.agg)
+                : exec::InteractiveSummaryOp(obj->BaseColumn(), k_base,
+                                             obj->action.agg);
         sr = op.ComputeAt(base_row);
         scanned = op.rows_scanned();
       }
@@ -603,7 +679,7 @@ std::int64_t Kernel::ExecuteAction(ObjectState* obj,
       item.timestamp_us = event.timestamp_us;
       item.screen_position = result_pos;
       item.row = base_row;
-      item.value = obj->BaseColumn().GetValue(base_row);
+      item.value = obj->ReadBoundValue(base_row);
       results_.Append(std::move(item));
       return 1;
     }

@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "cache/buffer_manager.h"
+#include "cache/hash_table_cache.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "core/action.h"
@@ -76,6 +78,15 @@ struct KernelConfig {
   double rotation_trigger_rad = 0.8;
   /// Idle gap that splits query sessions.
   sim::Micros session_idle_gap_us = 3'000'000;
+  /// Buffer pool for paged base-data reads. Applies to this kernel's
+  /// private SharedState; when a SharedState is passed in (the touch
+  /// server), that state's pool — and its budget — win.
+  cache::BufferManagerConfig buffer;
+  /// Route column-object reads through the SharedState's BufferManager:
+  /// block-at-a-time pinned reads under the pool's byte budget, with
+  /// gesture-aware admission. Off = the paper's raw whole-column
+  /// pointers (unbounded residency).
+  bool use_buffer_manager = true;
 };
 
 struct KernelStats {
@@ -91,6 +102,10 @@ struct KernelStats {
   /// without reading the data.
   std::int64_t rows_pruned = 0;
   std::int64_t layout_rotations = 0;
+  /// EnableJoin calls served with previously built hash tables from the
+  /// session's HashTableCache (Section 2.9: "caching of hash tables ...
+  /// can enhance future queries").
+  std::int64_t join_cache_hits = 0;
   /// Wall time spent inside per-touch execution (ns), and its max over
   /// any single touch — the interactivity headline number.
   std::int64_t exec_wall_ns = 0;
@@ -239,6 +254,17 @@ class Kernel {
     std::shared_ptr<exec::SymmetricHashJoin> join;
   };
   std::vector<JoinBinding> joins_;
+  /// Session-scoped hash-table cache: re-enabling a join over the same
+  /// columns resumes with all previously fed tuples (Section 2.9). Keyed
+  /// by join identity; per session because SymmetricHashJoin is not
+  /// internally synchronised.
+  cache::HashTableCache join_cache_{8};
+  /// Table identity pins for cached joins: a name re-registered with new
+  /// data must miss, and the cached join's column views must not dangle.
+  std::map<std::string,
+           std::pair<std::shared_ptr<storage::Table>,
+                     std::shared_ptr<storage::Table>>>
+      join_cache_tables_;
 };
 
 }  // namespace dbtouch::core

@@ -5,8 +5,9 @@
 namespace dbtouch::core {
 
 SharedState::SharedState(sampling::SampleHierarchyConfig sampling,
-                         bool force_eager)
-    : sampling_(sampling) {
+                         bool force_eager,
+                         const cache::BufferManagerConfig& buffer)
+    : sampling_(sampling), buffer_(buffer) {
   if (force_eager) {
     // Lazy materialisation mutates level storage on first read; under
     // sharing every level must exist before the hierarchy is handed out.
@@ -58,6 +59,13 @@ std::shared_ptr<const index::ZoneMap> SharedState::GetOrBuildBaseZoneMap(
   // Aliasing: the ZoneMap pointer keeps the whole index set (and through
   // it the hierarchy) alive for as long as any caller holds it.
   return std::shared_ptr<const index::ZoneMap>(slot, &slot->ZoneMapAt(0));
+}
+
+Result<std::shared_ptr<storage::PagedColumnSource>>
+SharedState::GetColumnSource(const std::string& table, std::size_t column) {
+  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> t,
+                           catalog_.Get(table));
+  return buffer_.ColumnSource(t, column);
 }
 
 std::size_t SharedState::hierarchy_count() const {

@@ -13,6 +13,12 @@
 // immutable afterwards, so per-touch reads take no locks. Sample
 // hierarchies are always built eagerly here — lazy materialisation is a
 // single-user optimisation that would race under sharing.
+//
+// The SharedState also owns the server-wide cache::BufferManager: base
+// column data read by any session flows through one bounded block cache
+// keyed by (table, column, block), so the whole server's resident
+// footprint honours one byte budget. The BufferManager is internally
+// synchronised (sharded); sessions pin blocks concurrently.
 
 #ifndef DBTOUCH_CORE_SHARED_STATE_H_
 #define DBTOUCH_CORE_SHARED_STATE_H_
@@ -24,11 +30,13 @@
 #include <string>
 #include <utility>
 
+#include "cache/buffer_manager.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "index/level_index_set.h"
 #include "sampling/sample_hierarchy.h"
 #include "storage/catalog.h"
+#include "storage/paged_column.h"
 
 namespace dbtouch::core {
 
@@ -39,7 +47,8 @@ class SharedState {
   /// race); a Kernel's private SharedState passes false to honour the
   /// user's sampling config exactly as the single-user system did.
   explicit SharedState(sampling::SampleHierarchyConfig sampling = {},
-                       bool force_eager = true);
+                       bool force_eager = true,
+                       const cache::BufferManagerConfig& buffer = {});
 
   SharedState(const SharedState&) = delete;
   SharedState& operator=(const SharedState&) = delete;
@@ -68,6 +77,15 @@ class SharedState {
   std::shared_ptr<const index::ZoneMap> GetOrBuildBaseZoneMap(
       const std::shared_ptr<sampling::SampleHierarchy>& hierarchy);
 
+  /// The server-wide buffer pool every session's base-data reads share.
+  cache::BufferManager& buffer_manager() { return buffer_; }
+  const cache::BufferManager& buffer_manager() const { return buffer_; }
+
+  /// A paged source reading `table.column` through the shared buffer pool
+  /// (one bounded footprint across sessions). One source per data object.
+  Result<std::shared_ptr<storage::PagedColumnSource>> GetColumnSource(
+      const std::string& table, std::size_t column);
+
   /// Number of distinct (table, column) hierarchies built so far.
   std::size_t hierarchy_count() const;
 
@@ -83,6 +101,7 @@ class SharedState {
 
   storage::Catalog catalog_;
   sampling::SampleHierarchyConfig sampling_;
+  cache::BufferManager buffer_;
 
   /// Cached artefacts pin the Table they were built over: the pin keeps
   /// the hierarchy's base ColumnView alive even if the catalog drops the

@@ -74,22 +74,22 @@ void RunningAggregate::Reset() {
 }
 
 bool TouchedAggregateOp::Feed(storage::RowId row) {
-  if (!column_.InRange(row)) {
+  if (!cursor_.InRange(row)) {
     return false;
   }
   if (!seen_.insert(row).second) {
     return false;
   }
-  agg_.Add(column_.GetAsDouble(row));
+  agg_.Add(cursor_.GetAsDouble(row));
   return true;
 }
 
 double TouchedAggregateOp::coverage() const {
-  if (column_.row_count() == 0) {
+  if (cursor_.row_count() == 0) {
     return 0.0;
   }
   return static_cast<double>(seen_.size()) /
-         static_cast<double>(column_.row_count());
+         static_cast<double>(cursor_.row_count());
 }
 
 void TouchedAggregateOp::Reset() {

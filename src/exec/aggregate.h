@@ -10,10 +10,13 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string_view>
 #include <unordered_set>
+#include <utility>
 
 #include "storage/column.h"
+#include "storage/paged_column.h"
 #include "storage/types.h"
 
 namespace dbtouch::exec {
@@ -60,8 +63,14 @@ class RunningAggregate {
 /// count it twice), tracking coverage for progress reporting.
 class TouchedAggregateOp {
  public:
+  /// Reads go through a paged cursor either way: the ColumnView form wraps
+  /// an unpaged (zero-copy) source; the source form lets the kernel feed
+  /// the op through the shared BufferManager's block cache.
   TouchedAggregateOp(storage::ColumnView column, AggKind kind)
-      : column_(column), agg_(kind) {}
+      : cursor_(column), agg_(kind) {}
+  TouchedAggregateOp(std::shared_ptr<storage::PagedColumnSource> source,
+                     AggKind kind)
+      : cursor_(std::move(source)), agg_(kind) {}
 
   /// Feeds row `row` if within range and unseen. Returns true when the row
   /// contributed (i.e. it was new).
@@ -73,10 +82,14 @@ class TouchedAggregateOp {
   /// Fraction of the column's rows fed so far, in [0, 1].
   double coverage() const;
 
+  /// Drops the cursor's working pin (gesture ended — an idle op must not
+  /// hold buffer-pool blocks pinned). No-op for unpaged sources.
+  void ReleasePin() { cursor_.ReleasePin(); }
+
   void Reset();
 
  private:
-  storage::ColumnView column_;
+  storage::PagedColumnCursor cursor_;
   RunningAggregate agg_;
   std::unordered_set<storage::RowId> seen_;
 };

@@ -76,11 +76,11 @@ std::string Predicate::ToString() const {
 }
 
 bool FilteredScanOp::Feed(storage::RowId row) {
-  if (!column_.InRange(row)) {
+  if (!cursor_.InRange(row)) {
     return false;
   }
   ++rows_fed_;
-  if (predicate_.Matches(column_.GetAsDouble(row))) {
+  if (predicate_.Matches(cursor_.GetAsDouble(row))) {
     ++rows_passed_;
     return true;
   }

@@ -6,9 +6,12 @@
 #define DBTOUCH_EXEC_PREDICATE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
+#include <utility>
 
 #include "storage/column.h"
+#include "storage/paged_column.h"
 #include "storage/types.h"
 
 namespace dbtouch::exec {
@@ -71,8 +74,13 @@ class Predicate {
 /// selectivity.
 class FilteredScanOp {
  public:
+  /// ColumnView form = unpaged zero-copy reads; source form = reads pinned
+  /// through the shared BufferManager (see TouchedAggregateOp).
   FilteredScanOp(storage::ColumnView column, Predicate predicate)
-      : column_(column), predicate_(predicate) {}
+      : cursor_(column), predicate_(predicate) {}
+  FilteredScanOp(std::shared_ptr<storage::PagedColumnSource> source,
+                 Predicate predicate)
+      : cursor_(std::move(source)), predicate_(predicate) {}
 
   /// True when the row is in range and satisfies the predicate.
   bool Feed(storage::RowId row);
@@ -85,8 +93,11 @@ class FilteredScanOp {
                                 static_cast<double>(rows_fed_);
   }
 
+  /// Drops the cursor's working pin (see TouchedAggregateOp::ReleasePin).
+  void ReleasePin() { cursor_.ReleasePin(); }
+
  private:
-  storage::ColumnView column_;
+  storage::PagedColumnCursor cursor_;
   Predicate predicate_;
   std::int64_t rows_fed_ = 0;
   std::int64_t rows_passed_ = 0;

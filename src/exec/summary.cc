@@ -8,13 +8,20 @@ namespace dbtouch::exec {
 
 InteractiveSummaryOp::InteractiveSummaryOp(storage::ColumnView column,
                                            std::int64_t k, AggKind kind)
-    : column_(column), k_(k), kind_(kind) {
+    : cursor_(column), k_(k), kind_(kind) {
+  DBTOUCH_CHECK(k >= 0);
+}
+
+InteractiveSummaryOp::InteractiveSummaryOp(
+    std::shared_ptr<storage::PagedColumnSource> source, std::int64_t k,
+    AggKind kind)
+    : cursor_(std::move(source)), k_(k), kind_(kind) {
   DBTOUCH_CHECK(k >= 0);
 }
 
 SummaryResult InteractiveSummaryOp::ComputeAt(storage::RowId center) const {
   SummaryResult out;
-  const std::int64_t n = column_.row_count();
+  const std::int64_t n = cursor_.row_count();
   if (n == 0) {
     return out;
   }
@@ -22,9 +29,16 @@ SummaryResult InteractiveSummaryOp::ComputeAt(storage::RowId center) const {
   out.first = std::max<storage::RowId>(out.center - k_, 0);
   out.last = std::min<storage::RowId>(out.center + k_, n - 1);
   RunningAggregate agg(kind_);
-  for (storage::RowId r = out.first; r <= out.last; ++r) {
-    agg.Add(column_.GetAsDouble(r));
-  }
+  // Block-at-a-time over the window: each pinned block's slice aggregates
+  // through a tight local loop, rows in ascending order (so the paged and
+  // unpaged paths produce bit-identical floating-point results).
+  cursor_.Scan(out.first, out.last,
+               [&agg](const storage::ColumnView& rows, storage::RowId) {
+                 const std::int64_t count = rows.row_count();
+                 for (std::int64_t i = 0; i < count; ++i) {
+                   agg.Add(rows.GetAsDouble(i));
+                 }
+               });
   out.rows = agg.count();
   out.value = agg.value();
   rows_scanned_ += out.rows;

@@ -7,9 +7,12 @@
 #define DBTOUCH_EXEC_SUMMARY_H_
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "exec/aggregate.h"
 #include "storage/column.h"
+#include "storage/paged_column.h"
 #include "storage/types.h"
 
 namespace dbtouch::exec {
@@ -28,6 +31,11 @@ class InteractiveSummaryOp {
   /// perform an average aggregation" — so kAvg is the default kind.
   InteractiveSummaryOp(storage::ColumnView column, std::int64_t k,
                        AggKind kind = AggKind::kAvg);
+  /// Paged form: the window is scanned block-at-a-time through pinned
+  /// blocks of `source` (the BufferManager read path) instead of a raw
+  /// whole-column pointer. Same results, bounded residency.
+  InteractiveSummaryOp(std::shared_ptr<storage::PagedColumnSource> source,
+                       std::int64_t k, AggKind kind = AggKind::kAvg);
 
   /// Summary of the window centred at `center`, clamped to the column.
   SummaryResult ComputeAt(storage::RowId center) const;
@@ -40,7 +48,7 @@ class InteractiveSummaryOp {
   std::int64_t rows_scanned() const { return rows_scanned_; }
 
  private:
-  storage::ColumnView column_;
+  mutable storage::PagedColumnCursor cursor_;
   std::int64_t k_;
   AggKind kind_;
   mutable std::int64_t rows_scanned_ = 0;

@@ -30,6 +30,29 @@ struct SessionStatsSnapshot {
   std::int64_t rows_scanned = 0;
 };
 
+/// Shared buffer-manager roll-up inside a ServerStatsSnapshot: how the
+/// server-wide block cache (the bounded-memory read path) is behaving.
+struct BufferStatsSnapshot {
+  std::int64_t lookups = 0;
+  std::int64_t hits = 0;
+  /// Blocks faulted in from a backing store (base table or remote tier).
+  std::int64_t faulted_blocks = 0;
+  std::int64_t evictions = 0;
+  /// Admissions skipped by the gesture-aware scan-bypass policy.
+  std::int64_t bypasses = 0;
+  /// Bytes currently retained, the high-water mark, and the budget they
+  /// are bounded by.
+  std::int64_t resident_bytes = 0;
+  std::int64_t peak_resident_bytes = 0;
+  std::int64_t budget_bytes = 0;
+
+  double hit_rate() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
 struct ServerStatsSnapshot {
   std::int64_t sessions_opened = 0;
   std::int64_t sessions_active = 0;
@@ -46,6 +69,8 @@ struct ServerStatsSnapshot {
   /// Jain's fairness index over per-session executed touches: 1.0 =
   /// perfectly even service, 1/n = one session starving the rest.
   double fairness = 1.0;
+  /// The shared BufferManager all sessions read base data through.
+  BufferStatsSnapshot buffer;
   std::map<SessionId, SessionStatsSnapshot> per_session;
 
   double miss_rate() const {

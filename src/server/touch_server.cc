@@ -17,10 +17,25 @@ int ClampShed(int value, int max_shed) {
 
 }  // namespace
 
+namespace {
+
+/// The shared pool serves every worker; widen its lock sharding unless the
+/// configuration already asked for more.
+cache::BufferManagerConfig ServerBufferConfig(
+    const TouchServerConfig& config) {
+  cache::BufferManagerConfig buffer = config.session_defaults.buffer;
+  const auto hw = static_cast<int>(std::thread::hardware_concurrency());
+  buffer.shards = std::max(buffer.shards, std::max(hw, 8));
+  return buffer;
+}
+
+}  // namespace
+
 TouchServer::TouchServer(const TouchServerConfig& config)
     : config_(config),
       shared_(std::make_shared<core::SharedState>(
-          config.session_defaults.sampling)),
+          config.session_defaults.sampling, /*force_eager=*/true,
+          ServerBufferConfig(config))),
       sessions_(shared_) {}
 
 TouchServer::~TouchServer() { (void)Stop(); }
@@ -313,6 +328,18 @@ ServerStatsSnapshot TouchServer::stats() const {
         *std::max_element(latencies.begin(), latencies.end());
     snapshot.p50_latency_us = LatencyPercentile(latencies, 0.50);
     snapshot.p99_latency_us = LatencyPercentile(std::move(latencies), 0.99);
+  }
+  {
+    const cache::BlockCacheStats buffer = shared_->buffer_manager().stats();
+    snapshot.buffer.lookups = buffer.lookups;
+    snapshot.buffer.hits = buffer.hits;
+    snapshot.buffer.faulted_blocks = buffer.faults;
+    snapshot.buffer.evictions = buffer.evictions;
+    snapshot.buffer.bypasses = buffer.bypasses;
+    snapshot.buffer.resident_bytes = buffer.resident_bytes;
+    snapshot.buffer.peak_resident_bytes = buffer.peak_resident_bytes;
+    snapshot.buffer.budget_bytes =
+        shared_->buffer_manager().config().budget_bytes;
   }
   std::vector<std::int64_t> executed_per_session;
   for (const auto& s : sessions_.Snapshot()) {

@@ -128,6 +128,11 @@ class Column {
                       dictionary_.get());
   }
 
+  /// Paged access over this column's storage (see Table::PagedColumnAt).
+  /// Declared here, defined in paged_column.cc to keep headers acyclic.
+  std::shared_ptr<class PagedColumnSource> PagedSource(
+      std::int64_t rows_per_block = 0) const;
+
   Value GetValue(RowId row) const { return View().GetValue(row); }
 
   const std::shared_ptr<Dictionary>& dictionary() const { return dictionary_; }

@@ -1,0 +1,80 @@
+#include "storage/paged_column.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dbtouch::storage {
+
+std::shared_ptr<PagedColumnSource> Column::PagedSource(
+    std::int64_t rows_per_block) const {
+  return std::make_shared<UnpagedColumnSource>(View(), rows_per_block);
+}
+
+void BlockPin::Release() {
+  if (source_ != nullptr) {
+    source_->UnpinBlock(block_);
+    source_ = nullptr;
+  }
+}
+
+std::int64_t PagedColumnSource::BlockRowCount(std::int64_t block) const {
+  const RowId first = BlockFirstRow(block);
+  return std::min<std::int64_t>(rows_per_block(), row_count() - first);
+}
+
+UnpagedColumnSource::UnpagedColumnSource(ColumnView column,
+                                         std::int64_t rows_per_block)
+    : column_(column),
+      rows_per_block_(rows_per_block > 0
+                          ? rows_per_block
+                          : std::max<std::int64_t>(column.row_count(), 1)) {}
+
+Result<BlockPin> UnpagedColumnSource::PinBlock(std::int64_t block,
+                                               RowId /*row_hint*/) {
+  if (block < 0 || block >= num_blocks()) {
+    return Status::OutOfRange("block " + std::to_string(block) +
+                              " out of range");
+  }
+  const RowId first = BlockFirstRow(block);
+  return BlockPin(this, block, column_.Slice(first, BlockRowCount(block)),
+                  first);
+}
+
+void UnpagedColumnSource::UnpinBlock(std::int64_t /*block*/) {}
+
+const ColumnView& PagedColumnCursor::Ensure(RowId row) {
+  if (!pin_.Covers(row)) {
+    auto pin = source_->PinBlock(source_->BlockFor(row), row);
+    DBTOUCH_CHECK(pin.ok());
+    pin_ = std::move(*pin);
+  }
+  return pin_.view();
+}
+
+double PagedColumnCursor::GetAsDouble(RowId row) {
+  return Ensure(row).GetAsDouble(row - pin_.first_row());
+}
+
+Value PagedColumnCursor::GetValue(RowId row) {
+  return Ensure(row).GetValue(row - pin_.first_row());
+}
+
+void PagedColumnCursor::Scan(
+    RowId first, RowId last,
+    const std::function<void(const ColumnView& rows, RowId first_row)>& fn) {
+  const std::int64_t n = source_->row_count();
+  first = std::max<RowId>(first, 0);
+  last = std::min<RowId>(last, n - 1);
+  for (RowId row = first; row <= last;) {
+    const ColumnView& block = Ensure(row);
+    const RowId block_first = pin_.first_row();
+    const RowId begin = row - block_first;
+    const std::int64_t count =
+        std::min<std::int64_t>(block.row_count() - begin, last - row + 1);
+    fn(block.Slice(begin, count), row);
+    row += count;
+  }
+}
+
+}  // namespace dbtouch::storage

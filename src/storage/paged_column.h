@@ -1,0 +1,189 @@
+// Paged column access: the read path for data that may not be resident.
+//
+// The paper's kernel reads columns through raw whole-column pointers, which
+// assumes every column fits in memory. The paged path splits a column into
+// fixed-size blocks and hands out per-block ColumnView slices through an
+// abstract PagedColumnSource, so the same operator code runs against
+//
+//   - UnpagedColumnSource: zero-copy slices of an in-memory column (the
+//     classic single-user setup, no cache involved), or
+//   - cache::BufferManager sources: blocks pinned in a bounded block cache
+//     and faulted in from a BlockProvider (base table or remote store).
+//
+// A BlockPin is the RAII pin token: while it lives, the block's bytes stay
+// valid; its destructor returns the block to the source. PagedColumnCursor
+// wraps a source with a one-block working buffer for row-at-a-time reads —
+// a slide that stays inside one block re-pins nothing.
+
+#ifndef DBTOUCH_STORAGE_PAGED_COLUMN_H_
+#define DBTOUCH_STORAGE_PAGED_COLUMN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/result.h"
+#include "storage/column.h"
+#include "storage/types.h"
+
+namespace dbtouch::storage {
+
+class PagedColumnSource;
+
+/// RAII pin over one block of a paged column. While valid, `view()` reads
+/// the block's fields (rows local to the block); destruction unpins.
+class BlockPin {
+ public:
+  BlockPin() = default;
+  BlockPin(PagedColumnSource* source, std::int64_t block, ColumnView view,
+           RowId first_row)
+      : source_(source), block_(block), view_(view), first_row_(first_row) {}
+
+  BlockPin(const BlockPin&) = delete;
+  BlockPin& operator=(const BlockPin&) = delete;
+  BlockPin(BlockPin&& other) noexcept { *this = std::move(other); }
+  BlockPin& operator=(BlockPin&& other) noexcept {
+    if (this != &other) {
+      Release();
+      source_ = std::exchange(other.source_, nullptr);
+      block_ = other.block_;
+      view_ = other.view_;
+      first_row_ = other.first_row_;
+    }
+    return *this;
+  }
+  ~BlockPin() { Release(); }
+
+  bool valid() const { return source_ != nullptr; }
+  /// Rows in the view are block-local: base row r maps to r - first_row().
+  const ColumnView& view() const { return view_; }
+  std::int64_t block() const { return block_; }
+  RowId first_row() const { return first_row_; }
+  RowId last_row() const { return first_row_ + view_.row_count() - 1; }
+  bool Covers(RowId row) const {
+    return valid() && row >= first_row_ && row <= last_row();
+  }
+
+  void Release();
+
+ private:
+  PagedColumnSource* source_ = nullptr;
+  std::int64_t block_ = 0;
+  ColumnView view_;
+  RowId first_row_ = 0;
+};
+
+/// A column readable block-at-a-time. Implementations decide where block
+/// bytes live (in place, in a buffer pool, behind a network).
+class PagedColumnSource {
+ public:
+  virtual ~PagedColumnSource() = default;
+
+  virtual DataType type() const = 0;
+  virtual const Dictionary* dictionary() const { return nullptr; }
+  virtual std::int64_t row_count() const = 0;
+  virtual std::int64_t rows_per_block() const = 0;
+
+  std::int64_t num_blocks() const {
+    const std::int64_t rpb = rows_per_block();
+    return rpb == 0 ? 0 : (row_count() + rpb - 1) / rpb;
+  }
+  std::int64_t BlockFor(RowId row) const { return row / rows_per_block(); }
+  RowId BlockFirstRow(std::int64_t block) const {
+    return block * rows_per_block();
+  }
+  std::int64_t BlockRowCount(std::int64_t block) const;
+
+  /// Pins `block`. `row_hint` is the base row whose touch caused the pin;
+  /// caching sources feed it to their gesture-aware admission policy
+  /// (pass -1 when no touch drives the read).
+  ///
+  /// Error contract: a non-OK result means the caller broke the source's
+  /// invariants (block out of range, backing data changed underneath) —
+  /// reads of valid blocks must succeed. PagedColumnCursor relies on this
+  /// and treats a pin failure as fatal.
+  virtual Result<BlockPin> PinBlock(std::int64_t block,
+                                    RowId row_hint = -1) = 0;
+
+  /// The gesture driving reads of this column paused — a caching source
+  /// re-enables admission for it. No-op for sources without a policy.
+  virtual void OnGesturePause() {}
+
+ protected:
+  friend class BlockPin;
+  /// Called exactly once when a pin handed out by PinBlock releases.
+  virtual void UnpinBlock(std::int64_t block) = 0;
+};
+
+/// Zero-copy source over an in-memory ColumnView: blocks are slices of the
+/// backing storage, pinning is free. `rows_per_block` 0 = the whole column
+/// as one block.
+class UnpagedColumnSource final : public PagedColumnSource {
+ public:
+  explicit UnpagedColumnSource(ColumnView column,
+                               std::int64_t rows_per_block = 0);
+
+  DataType type() const override { return column_.type(); }
+  const Dictionary* dictionary() const override {
+    return column_.dictionary();
+  }
+  std::int64_t row_count() const override { return column_.row_count(); }
+  std::int64_t rows_per_block() const override { return rows_per_block_; }
+  Result<BlockPin> PinBlock(std::int64_t block, RowId row_hint = -1) override;
+
+ protected:
+  void UnpinBlock(std::int64_t block) override;
+
+ private:
+  ColumnView column_;
+  std::int64_t rows_per_block_;
+};
+
+/// Row-at-a-time reads over a paged source, holding the current block
+/// pinned as a working buffer. Move-only (owns a pin).
+class PagedColumnCursor {
+ public:
+  PagedColumnCursor() = default;
+  explicit PagedColumnCursor(std::shared_ptr<PagedColumnSource> source)
+      : source_(std::move(source)) {}
+  /// Convenience: wraps an in-memory column in an UnpagedColumnSource.
+  explicit PagedColumnCursor(ColumnView column)
+      : source_(std::make_shared<UnpagedColumnSource>(column)) {}
+
+  bool valid() const { return source_ != nullptr; }
+  DataType type() const { return source_->type(); }
+  std::int64_t row_count() const { return source_->row_count(); }
+  bool InRange(RowId row) const {
+    return row >= 0 && row < source_->row_count();
+  }
+
+  /// Point reads; the caller guarantees InRange. Crossing a block boundary
+  /// swaps the working pin.
+  double GetAsDouble(RowId row);
+  Value GetValue(RowId row);
+
+  /// Block-at-a-time scan of base rows [first, last], both clamped to the
+  /// column. `fn` sees each overlapping block's slice (rows local to the
+  /// slice) with the base row its first entry maps to. Rows are visited in
+  /// ascending order, each exactly once.
+  void Scan(RowId first, RowId last,
+            const std::function<void(const ColumnView& rows,
+                                     RowId first_row)>& fn);
+
+  /// Drops the working pin (returns the block to its cache).
+  void ReleasePin() { pin_ = BlockPin(); }
+
+  const std::shared_ptr<PagedColumnSource>& source() const { return source_; }
+
+ private:
+  /// Pins the block covering `row` if the working pin does not already.
+  const ColumnView& Ensure(RowId row);
+
+  std::shared_ptr<PagedColumnSource> source_;
+  BlockPin pin_;
+};
+
+}  // namespace dbtouch::storage
+
+#endif  // DBTOUCH_STORAGE_PAGED_COLUMN_H_

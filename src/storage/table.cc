@@ -99,6 +99,12 @@ Result<ColumnView> Table::ColumnViewByName(const std::string& name) const {
   return ColumnViewAt(idx);
 }
 
+std::shared_ptr<PagedColumnSource> Table::PagedColumnAt(
+    std::size_t col, std::int64_t rows_per_block) const {
+  return std::make_shared<UnpagedColumnSource>(ColumnViewAt(col),
+                                               rows_per_block);
+}
+
 Column Table::ExtractColumn(std::size_t col) const {
   DBTOUCH_CHECK(col < schema_.num_fields());
   const Field& f = schema_.field(col);

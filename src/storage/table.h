@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "storage/column.h"
 #include "storage/matrix.h"
+#include "storage/paged_column.h"
 #include "storage/schema.h"
 
 namespace dbtouch::storage {
@@ -43,6 +44,13 @@ class Table {
   /// Strided view over column `col` with its dictionary attached.
   ColumnView ColumnViewAt(std::size_t col) const;
   Result<ColumnView> ColumnViewByName(const std::string& name) const;
+
+  /// Paged (block-at-a-time) access to column `col`: zero-copy slices of
+  /// the in-memory storage, `rows_per_block` rows each (0 = one block).
+  /// cache::BufferManager provides the bounded-memory equivalent backed by
+  /// a block cache; both satisfy the same PagedColumnSource interface.
+  std::shared_ptr<PagedColumnSource> PagedColumnAt(
+      std::size_t col, std::int64_t rows_per_block = 0) const;
 
   const std::shared_ptr<Dictionary>& dictionary(std::size_t col) const {
     return dictionaries_[col];

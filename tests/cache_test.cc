@@ -1,60 +1,108 @@
-// Unit tests for the gesture-aware block cache and the hash-table cache.
+// Unit tests for the payload-holding gesture-aware block cache, the
+// buffer manager with its pluggable block providers, and the hash-table
+// cache.
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <memory>
+#include <vector>
 
 #include "cache/block_cache.h"
+#include "cache/block_provider.h"
+#include "cache/buffer_manager.h"
 #include "cache/hash_table_cache.h"
+#include "remote/remote_store.h"
 #include "storage/column.h"
+#include "storage/datagen.h"
+#include "storage/paged_column.h"
+#include "storage/table.h"
 
 namespace dbtouch::cache {
 namespace {
 
 using storage::Column;
+using storage::RowId;
 
-BlockCache::Config SmallCache(bool gesture_aware) {
+constexpr std::int64_t kBlockBytes = 64;
+
+/// Deterministic payload so hits can be checked byte-for-byte.
+std::vector<std::byte> PayloadFor(std::int64_t block,
+                                  std::int64_t bytes = kBlockBytes) {
+  std::vector<std::byte> out(static_cast<std::size_t>(bytes));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::byte>((block * 131 + static_cast<std::int64_t>(i)) & 0xff);
+  }
+  return out;
+}
+
+BlockCache::Config SmallCache(bool gesture_aware,
+                              std::int64_t capacity_blocks = 4) {
   BlockCache::Config config;
-  config.capacity_blocks = 4;
+  config.capacity_bytes = capacity_blocks * kBlockBytes;
   config.gesture_aware = gesture_aware;
   config.scan_run_length = 4;
   return config;
 }
 
-TEST(BlockCacheTest, MissThenHit) {
+/// Pin + immediate unpin — the old metadata cache's Access(), with bytes.
+BlockCache::Pinned Touch(BlockCache& cache, std::int64_t block, RowId row) {
+  auto pinned = cache.Pin(BlockKey{0, block}, row,
+                          [block] { return PayloadFor(block); });
+  EXPECT_TRUE(pinned.ok());
+  cache.Unpin(BlockKey{0, block});
+  return *pinned;
+}
+
+bool Resident(const BlockCache& cache, std::int64_t block) {
+  return cache.Contains(BlockKey{0, block});
+}
+
+TEST(BlockCacheTest, MissThenHitServesSamePayload) {
   BlockCache cache(SmallCache(false));
-  EXPECT_FALSE(cache.Access(1, 100));
-  EXPECT_TRUE(cache.Access(1, 101));
+  const auto miss = Touch(cache, 1, 100);
+  EXPECT_FALSE(miss.hit);
+  EXPECT_TRUE(miss.retained);
+  auto hit = cache.Pin(BlockKey{0, 1}, 101,
+                       [] { return PayloadFor(99); });  // Filler unused.
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->hit);
+  const auto expected = PayloadFor(1);
+  EXPECT_EQ(hit->size, expected.size());
+  EXPECT_EQ(std::memcmp(hit->data, expected.data(), expected.size()), 0);
+  cache.Unpin(BlockKey{0, 1});
   EXPECT_EQ(cache.stats().lookups, 2);
   EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().faults, 1);
 }
 
 TEST(BlockCacheTest, LruEvictsOldest) {
   BlockCache cache(SmallCache(false));
   for (std::int64_t b = 0; b < 5; ++b) {
-    cache.Access(b, b);  // Blocks 0..4; capacity 4 evicts block 0.
+    Touch(cache, b, b);  // Blocks 0..4; capacity 4 blocks evicts block 0.
   }
-  EXPECT_FALSE(cache.Contains(0));
-  EXPECT_TRUE(cache.Contains(4));
+  EXPECT_FALSE(Resident(cache, 0));
+  EXPECT_TRUE(Resident(cache, 4));
   EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_LE(cache.resident_bytes(), cache.config().capacity_bytes);
 }
 
 TEST(BlockCacheTest, TouchRefreshesLruPosition) {
   BlockCache cache(SmallCache(false));
   for (std::int64_t b = 0; b < 4; ++b) {
-    cache.Access(b, b * 10);
+    Touch(cache, b, b * 10);
   }
-  cache.Access(0, 100);  // Refresh block 0.
-  cache.Access(9, 200);  // Evicts block 1, not 0.
-  EXPECT_TRUE(cache.Contains(0));
-  EXPECT_FALSE(cache.Contains(1));
+  Touch(cache, 0, 100);  // Refresh block 0.
+  Touch(cache, 9, 200);  // Evicts block 1, not 0.
+  EXPECT_TRUE(Resident(cache, 0));
+  EXPECT_FALSE(Resident(cache, 1));
 }
 
 TEST(BlockCacheTest, SteadyScanBypassesAdmission) {
   BlockCache cache(SmallCache(true));
   // A long one-directional slide: rows strictly increasing.
   for (std::int64_t i = 0; i < 20; ++i) {
-    cache.Access(i, i * 1000);
+    Touch(cache, i, i * 1000);
   }
   EXPECT_TRUE(cache.in_scan_mode());
   EXPECT_GT(cache.stats().bypasses, 0);
@@ -65,20 +113,20 @@ TEST(BlockCacheTest, SteadyScanBypassesAdmission) {
 TEST(BlockCacheTest, ReversalReenablesAdmission) {
   BlockCache cache(SmallCache(true));
   for (std::int64_t i = 0; i < 20; ++i) {
-    cache.Access(i, i * 1000);
+    Touch(cache, i, i * 1000);
   }
   ASSERT_TRUE(cache.in_scan_mode());
   // Reverse direction: user is re-examining.
-  cache.Access(19, 18'500);
+  Touch(cache, 19, 18'500);
   EXPECT_FALSE(cache.in_scan_mode());
-  cache.Access(18, 18'000);
-  EXPECT_TRUE(cache.Contains(18));
+  Touch(cache, 18, 18'000);
+  EXPECT_TRUE(Resident(cache, 18));
 }
 
 TEST(BlockCacheTest, PauseReenablesAdmission) {
   BlockCache cache(SmallCache(true));
   for (std::int64_t i = 0; i < 20; ++i) {
-    cache.Access(i, i * 1000);
+    Touch(cache, i, i * 1000);
   }
   ASSERT_TRUE(cache.in_scan_mode());
   cache.OnGesturePause();
@@ -92,7 +140,7 @@ TEST(BlockCacheTest, GestureAwarePolicyRetainsRegionAcrossScan) {
   // bypasses the scan so the region survives.
   const auto run = [](bool aware) {
     BlockCache::Config config;
-    config.capacity_blocks = 10;
+    config.capacity_bytes = 10 * kBlockBytes;
     config.gesture_aware = aware;
     config.scan_run_length = 3;
     BlockCache cache(config);
@@ -100,25 +148,210 @@ TEST(BlockCacheTest, GestureAwarePolicyRetainsRegionAcrossScan) {
     // direction keeps admission on).
     for (int round = 0; round < 3; ++round) {
       for (std::int64_t b = 50; b < 53; ++b) {
-        cache.Access(b, b * 1000 + round);
+        Touch(cache, b, b * 1000 + round);
       }
       for (std::int64_t b = 52; b >= 50; --b) {
-        cache.Access(b, b * 1000 - round);
+        Touch(cache, b, b * 1000 - round);
       }
     }
     // Phase 2: a long one-directional scan over 40 other blocks.
     for (std::int64_t i = 0; i < 40; ++i) {
-      cache.Access(i, i * 1000);
+      Touch(cache, i, i * 1000);
     }
     int retained = 0;
     for (std::int64_t b = 50; b < 53; ++b) {
-      retained += cache.Contains(b) ? 1 : 0;
+      retained += Resident(cache, b) ? 1 : 0;
     }
     return retained;
   };
   EXPECT_EQ(run(true), 3);   // Scan bypassed: region intact.
   EXPECT_EQ(run(false), 0);  // LRU: scan evicted everything.
 }
+
+TEST(BlockCacheTest, EvictionSkipsPinnedBlocks) {
+  BlockCache cache(SmallCache(false, /*capacity_blocks=*/2));
+  auto a = cache.Pin(BlockKey{0, 1}, 0, [] { return PayloadFor(1); });
+  auto b = cache.Pin(BlockKey{0, 2}, 1, [] { return PayloadFor(2); });
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->retained && b->retained);
+
+  // Budget full of pinned blocks: the next pin must not evict them — it
+  // is served transient and the budget holds.
+  auto c = cache.Pin(BlockKey{0, 3}, 2, [] { return PayloadFor(3); });
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(c->retained);
+  EXPECT_EQ(cache.stats().budget_rejections, 1);
+  EXPECT_EQ(cache.stats().evictions, 0);
+  EXPECT_LE(cache.resident_bytes(), cache.config().capacity_bytes);
+  EXPECT_TRUE(Resident(cache, 1));
+  EXPECT_TRUE(Resident(cache, 2));
+
+  // The transient block frees with its last pin.
+  cache.Unpin(BlockKey{0, 3});
+  EXPECT_FALSE(Resident(cache, 3));
+
+  // Once a pin drops, that block is evictable again.
+  cache.Unpin(BlockKey{0, 1});
+  auto d = cache.Pin(BlockKey{0, 4}, 3, [] { return PayloadFor(4); });
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->retained);
+  EXPECT_FALSE(Resident(cache, 1));  // Evicted (unpinned LRU victim).
+  EXPECT_TRUE(Resident(cache, 2));   // Still pinned, still resident.
+  cache.Unpin(BlockKey{0, 2});
+  cache.Unpin(BlockKey{0, 4});
+}
+
+TEST(BlockCacheTest, PinnedPayloadStableUnderEvictionPressure) {
+  BlockCache cache(SmallCache(false, /*capacity_blocks=*/3));
+  auto pinned = cache.Pin(BlockKey{0, 77}, 0, [] { return PayloadFor(77); });
+  ASSERT_TRUE(pinned.ok());
+  // Churn far more blocks through the cache than the budget holds.
+  for (std::int64_t b = 0; b < 64; ++b) {
+    Touch(cache, b, b);
+  }
+  const auto expected = PayloadFor(77);
+  EXPECT_EQ(std::memcmp(pinned->data, expected.data(), expected.size()), 0);
+  cache.Unpin(BlockKey{0, 77});
+}
+
+TEST(BlockCacheTest, ResidentBytesNeverExceedBudget) {
+  BlockCache cache(SmallCache(false, /*capacity_blocks=*/4));
+  for (std::int64_t i = 0; i < 500; ++i) {
+    Touch(cache, (i * 7919) % 97, i);
+    ASSERT_LE(cache.resident_bytes(), cache.config().capacity_bytes);
+  }
+  EXPECT_LE(cache.stats().peak_resident_bytes,
+            cache.config().capacity_bytes);
+}
+
+TEST(BlockCacheTest, OversizedBlockServedTransient) {
+  BlockCache::Config config;
+  config.capacity_bytes = 100;  // Smaller than one block.
+  config.gesture_aware = false;
+  BlockCache cache(config);
+  auto pinned = cache.Pin(BlockKey{0, 5}, 0,
+                          [] { return PayloadFor(5, 150); });
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_FALSE(pinned->retained);
+  EXPECT_EQ(pinned->size, 150u);
+  EXPECT_EQ(cache.resident_bytes(), 0);
+  cache.Unpin(BlockKey{0, 5});
+  EXPECT_FALSE(Resident(cache, 5));
+}
+
+// ---- BufferManager over block providers -----------------------------------
+
+std::shared_ptr<storage::Table> SequenceTable(std::int64_t rows) {
+  std::vector<Column> cols;
+  cols.push_back(storage::GenSequenceInt64("v", rows, 0, 1));
+  auto table = storage::Table::FromColumns("t", std::move(cols));
+  EXPECT_TRUE(table.ok());
+  return *table;
+}
+
+TEST(BufferManagerTest, TableProviderReadsAreByteIdenticalToViews) {
+  const std::int64_t rows = 257;  // Two full blocks + a 57-row tail.
+  auto table = SequenceTable(rows);
+  BufferManagerConfig config;
+  config.rows_per_block = 100;
+  BufferManager manager(config);
+  auto source = manager.ColumnSource(table, 0);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ((*source)->num_blocks(), 3);
+  EXPECT_EQ((*source)->BlockRowCount(2), 57);
+
+  const storage::ColumnView view = table->ColumnViewAt(0);
+  storage::PagedColumnCursor cursor(*source);
+  for (RowId r = 0; r < rows; ++r) {
+    EXPECT_EQ(cursor.GetAsDouble(r), view.GetAsDouble(r)) << "row " << r;
+  }
+  EXPECT_EQ(manager.stats().faults, 3);
+}
+
+TEST(BufferManagerTest, StringColumnsDecodeThroughDictionary) {
+  std::vector<Column> cols;
+  cols.push_back(Column::FromStrings("s", {"ursa", "lyra", "ursa", "vega"}));
+  auto table = storage::Table::FromColumns("stars", std::move(cols));
+  ASSERT_TRUE(table.ok());
+  BufferManagerConfig config;
+  config.rows_per_block = 2;
+  BufferManager manager(config);
+  auto source = manager.ColumnSource(*table, 0);
+  ASSERT_TRUE(source.ok());
+  storage::PagedColumnCursor cursor(*source);
+  EXPECT_EQ(cursor.GetValue(0).AsString(), "ursa");
+  EXPECT_EQ(cursor.GetValue(3).AsString(), "vega");
+}
+
+TEST(BufferManagerTest, ScanBeyondBudgetStaysBounded) {
+  const std::int64_t rows = 10'000;  // 80 KB of int64.
+  auto table = SequenceTable(rows);
+  BufferManagerConfig config;
+  config.rows_per_block = 512;  // 4 KB blocks.
+  config.budget_bytes = 16 << 10;
+  config.gesture_aware = false;  // Plain LRU: every block admitted.
+  BufferManager manager(config);
+  auto source = manager.ColumnSource(table, 0);
+  ASSERT_TRUE(source.ok());
+  storage::PagedColumnCursor cursor(*source);
+  double sum = 0.0;
+  for (RowId r = 0; r < rows; ++r) {
+    sum += cursor.GetAsDouble(r);
+    ASSERT_LE(manager.resident_bytes(), config.budget_bytes);
+  }
+  EXPECT_EQ(sum, static_cast<double>(rows - 1) * rows / 2);
+  const BlockCacheStats stats = manager.stats();
+  EXPECT_EQ(stats.faults, (*source)->num_blocks());
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_LE(stats.peak_resident_bytes, config.budget_bytes);
+}
+
+TEST(BufferManagerTest, WarmRegionHitsWithoutRefaulting) {
+  auto table = SequenceTable(4'096);
+  BufferManagerConfig config;
+  config.rows_per_block = 256;
+  config.gesture_aware = false;
+  BufferManager manager(config);
+  auto source = manager.ColumnSource(table, 0);
+  ASSERT_TRUE(source.ok());
+  storage::PagedColumnCursor cursor(*source);
+  for (RowId r = 1'000; r < 2'000; ++r) {
+    cursor.GetAsDouble(r);
+  }
+  const std::int64_t cold_faults = manager.stats().faults;
+  cursor.ReleasePin();
+  for (RowId r = 1'000; r < 2'000; ++r) {
+    cursor.GetAsDouble(r);
+  }
+  EXPECT_EQ(manager.stats().faults, cold_faults);  // All warm hits.
+  EXPECT_GT(manager.stats().hits, 0);
+}
+
+TEST(BufferManagerTest, RemoteProviderFaultsColdBlocksOnce) {
+  const Column base = storage::GenSequenceInt64("v", 1 << 12, 0, 1);
+  remote::RemoteServer server(base.View());
+  BufferManagerConfig config;
+  config.rows_per_block = 256;
+  BufferManager manager(config);
+  auto provider = std::make_shared<RemoteBlockProvider>(
+      &server, storage::DataType::kInt64, config.rows_per_block);
+  auto source = manager.SourceFor("cold.v", 0, provider);
+  storage::PagedColumnCursor cursor(source);
+
+  for (RowId r = 0; r < 512; ++r) {
+    EXPECT_EQ(cursor.GetAsDouble(r), static_cast<double>(r));
+  }
+  EXPECT_EQ(provider->requests(), 2);  // Two blocks faulted from the slow tier.
+  cursor.ReleasePin();
+  // Warm re-examination: answered from the cache, no new remote reads.
+  for (RowId r = 0; r < 512; ++r) {
+    cursor.GetAsDouble(r);
+  }
+  EXPECT_EQ(provider->requests(), 2);
+  EXPECT_GT(provider->bytes_fetched(), 0);
+}
+
+// ---- HashTableCache --------------------------------------------------------
 
 TEST(HashTableCacheTest, KeyEncodesJoinAndLevel) {
   EXPECT_EQ(HashTableCache::MakeKey("a=b", 3), "a=b@L3");

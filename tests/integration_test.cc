@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "cache/buffer_manager.h"
 #include "cache/hash_table_cache.h"
 #include "common/macros.h"
 #include "core/ascii_screen.h"
@@ -297,6 +298,117 @@ TEST(IntegrationTest, MultiObjectSessionKeepsStatsSeparate) {
   EXPECT_GT((*stats2)->touches, (*stats1)->touches);  // Slower slide.
   EXPECT_EQ((*stats1)->entries_returned + (*stats2)->entries_returned,
             kernel.stats().entries_returned);
+}
+
+TEST(IntegrationTest, PagedSlideMatchesUnpagedBeyondBudget) {
+  // A column larger than the buffer budget, explored with base-data
+  // summaries (sampling off) plus a back-and-forth slide: the paged path
+  // must return byte-identical results to raw whole-column reads while
+  // resident bytes never exceed the budget.
+  const std::int64_t rows = 262'144;  // 2 MiB of doubles.
+  const auto make_kernel = [&](bool paged) {
+    KernelConfig config;
+    config.use_sampling = false;  // Every summary reads base data.
+    config.use_buffer_manager = paged;
+    config.buffer.budget_bytes = 128 << 10;  // 6% of the column.
+    config.buffer.rows_per_block = 4'096;
+    auto kernel = std::make_unique<Kernel>(config);
+    std::vector<Column> cols;
+    cols.push_back(storage::GenSegmentedDouble(
+        "v", rows, {5.0, -3.0, 12.0, 0.5}, 1.0, 42));
+    DBTOUCH_CHECK_OK(
+        kernel->RegisterTable(*Table::FromColumns("big", std::move(cols))));
+    auto obj = kernel->CreateColumnObject("big", "v",
+                                          RectCm{2.0, 1.0, 2.0, 10.0});
+    DBTOUCH_CHECK_OK(obj.status());
+    DBTOUCH_CHECK_OK(kernel->SetAction(*obj, ActionConfig::Summary(3'000)));
+    return kernel;
+  };
+  const auto make_trace = [](const Kernel& kernel) {
+    TraceBuilder builder(kernel.device());
+    sim::GestureTrace trace =
+        builder.Slide("down", PointCm{3.0, 1.0}, PointCm{3.0, 11.0},
+                      MotionProfile::Constant(4.0));
+    trace.Append(builder.Slide("back", PointCm{3.0, 11.0}, PointCm{3.0, 4.0},
+                               MotionProfile::Constant(2.0)),
+                 150'000);
+    return trace;
+  };
+
+  auto unpaged = make_kernel(false);
+  auto paged = make_kernel(true);
+  unpaged->Replay(make_trace(*unpaged));
+  paged->Replay(make_trace(*paged));
+
+  const auto& expect = unpaged->results().items();
+  const auto& got = paged->results().items();
+  ASSERT_GT(expect.size(), 20u);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(got[i].kind, expect[i].kind);
+    EXPECT_EQ(got[i].row, expect[i].row);
+    EXPECT_EQ(got[i].band_first, expect[i].band_first);
+    EXPECT_EQ(got[i].band_last, expect[i].band_last);
+    EXPECT_EQ(got[i].rows_aggregated, expect[i].rows_aggregated);
+    // Bit-identical: both paths feed the aggregate in ascending row order.
+    EXPECT_EQ(got[i].value.AsDouble(), expect[i].value.AsDouble())
+        << "result " << i;
+  }
+  EXPECT_EQ(paged->stats().rows_scanned, unpaged->stats().rows_scanned);
+
+  const cache::BufferManager& pool =
+      paged->shared_state()->buffer_manager();
+  const cache::BlockCacheStats stats = pool.stats();
+  EXPECT_GT(stats.faults, 0);
+  EXPECT_GT(rows * 8, pool.config().budget_bytes);  // Data exceeds budget.
+  EXPECT_LE(stats.resident_bytes, pool.config().budget_bytes);
+  EXPECT_LE(stats.peak_resident_bytes, pool.config().budget_bytes);
+  // Gesture ended: the session's working pins were released, so nothing
+  // idles pinned in the shared pool.
+  EXPECT_EQ(stats.pinned_blocks, 0);
+}
+
+TEST(IntegrationTest, KernelJoinResumesThroughHashTableCache) {
+  // Slide over the left column object, destroy both objects, recreate
+  // them, re-enable the join: the session's hash-table cache must resume
+  // the old join state, so right-side touches match immediately.
+  Kernel kernel;
+  for (const char* name : {"L", "R"}) {
+    std::vector<Column> cols;
+    cols.push_back(storage::GenSequenceInt64("k", 20'000, 0, 1));
+    ASSERT_TRUE(
+        kernel.RegisterTable(*Table::FromColumns(name, std::move(cols)))
+            .ok());
+  }
+  const RectCm left_frame{1.0, 1.0, 2.0, 10.0};
+  const RectCm right_frame{8.0, 1.0, 2.0, 10.0};
+  auto left = kernel.CreateColumnObject("L", "k", left_frame);
+  auto right = kernel.CreateColumnObject("R", "k", right_frame);
+  ASSERT_TRUE(left.ok() && right.ok());
+  ASSERT_TRUE(kernel.EnableJoin(*left, *right).ok());
+  EXPECT_EQ(kernel.stats().join_cache_hits, 0);
+
+  TraceBuilder builder(kernel.device());
+  kernel.Replay(builder.Slide("feed-left", PointCm{2.0, 1.0},
+                              PointCm{2.0, 11.0},
+                              MotionProfile::Constant(2.0)));
+  ASSERT_GT(kernel.stats().slide_steps, 10);
+  EXPECT_EQ(kernel.results().CountKind(ResultKind::kJoinMatch), 0);
+
+  ASSERT_TRUE(kernel.DestroyObject(*left).ok());
+  ASSERT_TRUE(kernel.DestroyObject(*right).ok());
+  left = kernel.CreateColumnObject("L", "k", left_frame);
+  right = kernel.CreateColumnObject("R", "k", right_frame);
+  ASSERT_TRUE(left.ok() && right.ok());
+  ASSERT_TRUE(kernel.EnableJoin(*left, *right).ok());
+  EXPECT_EQ(kernel.stats().join_cache_hits, 1);
+
+  // Same rows from the right: every touch finds its cached left partner.
+  kernel.Replay(builder.Slide("probe-right", PointCm{9.0, 1.0},
+                              PointCm{9.0, 11.0},
+                              MotionProfile::Constant(2.0),
+                              kernel.clock().now() + 500'000));
+  EXPECT_GT(kernel.results().CountKind(ResultKind::kJoinMatch), 10);
 }
 
 }  // namespace

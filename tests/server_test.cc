@@ -563,5 +563,36 @@ TEST(ShedLevelsTest, CoarsensSummaryLevelAndWidensBands) {
   EXPECT_GT(band_shed, band_normal);
 }
 
+TEST(TouchServerTest, BufferManagerStatsSurfaceInSnapshot) {
+  TouchServerConfig config = RelaxedConfig(2);
+  config.session_defaults.buffer.budget_bytes = 256 << 10;
+  config.session_defaults.buffer.rows_per_block = 1'024;
+  TouchServer server(config);
+  ASSERT_TRUE(server.RegisterTable(SequenceTable("t", 0)).ok());
+  ASSERT_TRUE(server.Start().ok());
+  const auto session = server.OpenSession();
+  ASSERT_TRUE(session.ok());
+  const auto object = server.CreateColumnObject(*session, "t", "v",
+                                                RectCm{2.0, 1.0, 2.0, 10.0});
+  ASSERT_TRUE(object.ok());
+
+  Kernel reference{KernelConfig{}};
+  ASSERT_TRUE(server
+                  .SubmitTrace(*session, SlideOver(server, reference, 1.0),
+                               {.paced = false})
+                  .ok());
+  ASSERT_TRUE(server.Drain().ok());
+
+  // Every scan touch read its row through the shared buffer pool.
+  const ServerStatsSnapshot stats = server.stats();
+  EXPECT_GT(stats.buffer.lookups, 0);
+  EXPECT_GT(stats.buffer.faulted_blocks, 0);
+  EXPECT_EQ(stats.buffer.budget_bytes, 256 << 10);
+  EXPECT_LE(stats.buffer.resident_bytes, stats.buffer.budget_bytes);
+  EXPECT_LE(stats.buffer.peak_resident_bytes, stats.buffer.budget_bytes);
+  EXPECT_GE(stats.buffer.hit_rate(), 0.0);
+  ASSERT_TRUE(server.Stop().ok());
+}
+
 }  // namespace
 }  // namespace dbtouch::server

@@ -14,6 +14,7 @@
 #include "storage/datagen.h"
 #include "storage/dictionary.h"
 #include "storage/matrix.h"
+#include "storage/paged_column.h"
 #include "storage/schema.h"
 #include "storage/table.h"
 #include "storage/types.h"
@@ -469,6 +470,92 @@ TEST(DatagenTest, ZipfSkewsLowRanks) {
   }
   // With skew 1.2 the top 5 of 100 ranks should take well over a third.
   EXPECT_GT(low, v.row_count() / 3);
+}
+
+TEST(PagedColumnTest, GeometryCoversTailBlock) {
+  const Column c = GenSequenceInt64("v", 257, 0, 1);
+  const auto source = c.PagedSource(100);
+  EXPECT_EQ(source->num_blocks(), 3);
+  EXPECT_EQ(source->BlockFirstRow(2), 200);
+  EXPECT_EQ(source->BlockRowCount(0), 100);
+  EXPECT_EQ(source->BlockRowCount(2), 57);
+  EXPECT_EQ(source->BlockFor(199), 1);
+  EXPECT_EQ(source->BlockFor(200), 2);
+}
+
+TEST(PagedColumnTest, PinnedSlicesMatchTheColumn) {
+  const Column c = GenSequenceInt64("v", 257, 10, 3);
+  const auto source = c.PagedSource(100);
+  const ColumnView whole = c.View();
+  for (std::int64_t b = 0; b < source->num_blocks(); ++b) {
+    auto pin = source->PinBlock(b);
+    ASSERT_TRUE(pin.ok());
+    EXPECT_EQ(pin->first_row(), b * 100);
+    for (std::int64_t i = 0; i < pin->view().row_count(); ++i) {
+      EXPECT_EQ(pin->view().GetInt64(i), whole.GetInt64(pin->first_row() + i));
+    }
+  }
+  EXPECT_FALSE(source->PinBlock(3).ok());  // Past the end.
+}
+
+TEST(PagedColumnTest, CursorReadsAcrossBlockBoundaries) {
+  const Column c = GenSequenceInt64("v", 1'000, 0, 1);
+  PagedColumnCursor cursor(c.PagedSource(64));
+  EXPECT_TRUE(cursor.InRange(999));
+  EXPECT_FALSE(cursor.InRange(1'000));
+  // Forward, backward, and random jumps all cross block boundaries.
+  for (RowId r = 0; r < 1'000; r += 7) {
+    EXPECT_EQ(cursor.GetAsDouble(r), static_cast<double>(r));
+  }
+  for (RowId r = 999; r >= 0; r -= 13) {
+    EXPECT_EQ(cursor.GetAsDouble(r), static_cast<double>(r));
+  }
+}
+
+TEST(PagedColumnTest, ScanVisitsEachRowOnceInOrder) {
+  const Column c = GenSequenceInt64("v", 330, 0, 1);
+  PagedColumnCursor cursor(c.PagedSource(100));
+  std::vector<RowId> seen;
+  cursor.Scan(50, 284, [&seen](const ColumnView& rows, RowId first_row) {
+    for (std::int64_t i = 0; i < rows.row_count(); ++i) {
+      seen.push_back(first_row + i);
+      EXPECT_EQ(rows.GetInt64(i), first_row + i);
+    }
+  });
+  ASSERT_EQ(seen.size(), 235u);
+  EXPECT_EQ(seen.front(), 50);
+  EXPECT_EQ(seen.back(), 284);
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], seen[i - 1] + 1);
+  }
+  // Out-of-range bounds clamp instead of faulting.
+  std::int64_t clamped = 0;
+  cursor.Scan(-5, 1'000'000, [&clamped](const ColumnView& rows, RowId) {
+    clamped += rows.row_count();
+  });
+  EXPECT_EQ(clamped, 330);
+}
+
+TEST(PagedColumnTest, TablePagedColumnWorksInBothLayouts) {
+  for (const MajorOrder order :
+       {MajorOrder::kColumnMajor, MajorOrder::kRowMajor}) {
+    std::vector<Column> cols;
+    cols.push_back(GenSequenceInt64("a", 120, 0, 1));
+    cols.push_back(GenSequenceInt64("b", 120, 1'000, 2));
+    auto table = Table::FromColumns("t", std::move(cols), order);
+    ASSERT_TRUE(table.ok());
+    PagedColumnCursor cursor((*table)->PagedColumnAt(1, 32));
+    for (RowId r = 0; r < 120; ++r) {
+      EXPECT_EQ(cursor.GetAsDouble(r), static_cast<double>(1'000 + 2 * r));
+    }
+  }
+}
+
+TEST(PagedColumnTest, CursorDecodesStringsThroughDictionary) {
+  const Column c = Column::FromStrings("s", {"ok", "warn", "ok", "crit"});
+  PagedColumnCursor cursor(c.PagedSource(2));
+  EXPECT_EQ(cursor.GetValue(1).AsString(), "warn");
+  EXPECT_EQ(cursor.GetValue(3).AsString(), "crit");
 }
 
 }  // namespace
