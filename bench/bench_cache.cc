@@ -17,6 +17,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -36,6 +37,9 @@ using dbtouch::storage::RowId;
 
 constexpr std::int64_t kRowsPerBlock = 4096;  // 32 KiB blocks of int64.
 constexpr std::int64_t kTableRows = 1'000'000;
+/// Rows for the report sections; --smoke shrinks it so CI can run the
+/// whole report as a bit-rot check in seconds.
+std::int64_t g_report_rows = kTableRows;
 
 std::shared_ptr<dbtouch::storage::Table> MakeTable(std::int64_t rows) {
   std::vector<dbtouch::storage::Column> cols;
@@ -134,7 +138,7 @@ void PolicyReport(const std::shared_ptr<dbtouch::storage::Table>& table) {
       dbtouch::storage::PagedColumnCursor cursor(source);
 
       // Study a region, scan far past it, then return.
-      const RowId region = 600'000;
+      const RowId region = g_report_rows * 3 / 5;
       const RowId width = 8 * kRowsPerBlock;
       Study(cursor, region, region + width, 2);
       manager.OnGesturePause();
@@ -160,7 +164,7 @@ void PolicyReport(const std::shared_ptr<dbtouch::storage::Table>& table) {
 }
 
 void ColdWarmReport(const std::shared_ptr<dbtouch::storage::Table>& table) {
-  const std::int64_t table_bytes = kTableRows * 8;
+  const std::int64_t table_bytes = g_report_rows * 8;
   dbtouch::bench::Banner(
       "ABL-CACHE-PAGED", "cold vs warm paged scans",
       "Block hit rate and rows/s of paged reads at cache budgets of 10%,\n"
@@ -186,7 +190,7 @@ void ColdWarmReport(const std::shared_ptr<dbtouch::storage::Table>& table) {
     const PassResult warm =
         MeasurePass(manager, cursor, SequentialScan);
     // Study once (cold for the region), then re-examine it warm.
-    const RowId region = 300'000;
+    const RowId region = g_report_rows * 3 / 10;
     const RowId width = 8 * kRowsPerBlock;
     const PassResult study_cold = MeasurePass(
         manager, cursor, [&](dbtouch::storage::PagedColumnCursor& c) {
@@ -249,11 +253,25 @@ BENCHMARK(BM_RawViewScan);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto table = MakeTable(kTableRows);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      g_report_rows = 150'000;
+      for (int j = i; j + 1 < argc; ++j) {
+        argv[j] = argv[j + 1];
+      }
+      --argc;
+      break;
+    }
+  }
+  const auto table = MakeTable(g_report_rows);
   PolicyReport(table);
   ColdWarmReport(table);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) {
+    benchmark::RunSpecifiedBenchmarks();
+  }
   benchmark::Shutdown();
   return 0;
 }

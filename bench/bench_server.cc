@@ -22,12 +22,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "cache/block_provider.h"
 #include "server/frame_scheduler.h"
 #include "server/touch_server.h"
 #include "sim/motion_profile.h"
@@ -53,8 +56,8 @@ using dbtouch::storage::Column;
 using dbtouch::storage::Table;
 using dbtouch::touch::RectCm;
 
-constexpr std::int64_t kRows = 1'000'000;
-constexpr double kSlideSeconds = 2.0;
+std::int64_t g_rows = 1'000'000;
+double g_slide_seconds = 2.0;
 
 struct RunResult {
   double wall_s = 0.0;
@@ -68,7 +71,7 @@ RunResult RunSessions(int sessions, bool paced) {
   TouchServer server(config);
   {
     std::vector<Column> cols;
-    cols.push_back(dbtouch::storage::GenSequenceInt64("v", kRows, 0, 1));
+    cols.push_back(dbtouch::storage::GenSequenceInt64("v", g_rows, 0, 1));
     if (!server.RegisterTable(*Table::FromColumns("t", std::move(cols)))
              .ok()) {
       return {};
@@ -82,7 +85,7 @@ RunResult RunSessions(int sessions, bool paced) {
   TraceBuilder builder(reference.device());
   const auto trace =
       builder.Slide("slide", PointCm{3.0, 1.0}, PointCm{3.0, 11.0},
-                    MotionProfile::Constant(kSlideSeconds));
+                    MotionProfile::Constant(g_slide_seconds));
 
   std::vector<SessionId> ids;
   for (int i = 0; i < sessions; ++i) {
@@ -158,7 +161,138 @@ void PrintRegime(const char* name, const std::vector<int>& sweep,
   }
 }
 
-void PrintReport(int max_sessions) {
+// ---- Cold tier: synchronous faults vs the async fetch pipeline -------------
+
+/// A slow backing store: in-memory blocks served with an injected
+/// per-fetch latency, advertised async() so the server may suspend on it.
+class SlowTierProvider final : public dbtouch::cache::BlockProvider {
+ public:
+  SlowTierProvider(std::shared_ptr<const Table> table, std::size_t column,
+                   std::int64_t rows_per_block, double latency_ms)
+      : inner_(std::move(table), column, rows_per_block),
+        latency_(latency_ms) {}
+
+  const dbtouch::cache::BlockGeometry& geometry() const override {
+    return inner_.geometry();
+  }
+  const dbtouch::storage::Dictionary* dictionary() const override {
+    return inner_.dictionary();
+  }
+  bool async() const override { return true; }
+  dbtouch::Result<std::vector<std::byte>> Fetch(
+      std::int64_t block) override {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(latency_));
+    return inner_.Fetch(block);
+  }
+
+ private:
+  dbtouch::cache::TableBlockProvider inner_;
+  double latency_;
+};
+
+RunResult RunColdTier(int sessions, bool async_fetch, double latency_ms) {
+  TouchServerConfig config;
+  config.num_workers = 2;  // Few workers: a blocking fault hurts.
+  config.async_fetch = async_fetch;
+  config.session_defaults.buffer.rows_per_block = 8'192;
+  config.session_defaults.buffer.fetch.num_fetchers = 4;
+  TouchServer server(config);
+  // One cold table per session: every session faults its own blocks, as
+  // a fleet of users exploring different datasets would.
+  std::vector<SessionId> ids;
+  Kernel reference;
+  TraceBuilder builder(reference.device());
+  for (int i = 0; i < sessions; ++i) {
+    const std::string name = "cold" + std::to_string(i);
+    std::vector<Column> cols;
+    cols.push_back(dbtouch::storage::GenSequenceInt64("v", g_rows, 0, 1));
+    auto table = *Table::FromColumns(name, std::move(cols));
+    if (!server.RegisterTable(table).ok()) {
+      return {};
+    }
+    auto provider = std::make_shared<SlowTierProvider>(
+        table, 0, config.session_defaults.buffer.rows_per_block,
+        latency_ms);
+    if (!server.shared().SetColumnProvider(name, 0, provider).ok()) {
+      return {};
+    }
+  }
+  if (!server.Start().ok()) {
+    return {};
+  }
+  for (int i = 0; i < sessions; ++i) {
+    const auto session = server.OpenSession();
+    if (!session.ok()) {
+      return {};
+    }
+    const auto object = server.CreateColumnObject(
+        *session, "cold" + std::to_string(i), "v",
+        RectCm{2.0, 1.0, 2.0, 10.0});
+    if (!object.ok() ||
+        !server.SetAction(*session, *object, ActionConfig::Scan()).ok()) {
+      return {};
+    }
+    ids.push_back(*session);
+  }
+  // Paced replay: latency measures what a live user would wait for each
+  // touch, so a worker stuck under a synchronous fault shows up as tail
+  // latency for every session it was supposed to serve.
+  const auto start_us = SteadyNowUs();
+  const auto trace =
+      builder.Slide("slide", PointCm{3.0, 1.0}, PointCm{3.0, 11.0},
+                    MotionProfile::Constant(g_slide_seconds));
+  for (const SessionId id : ids) {
+    if (!server.SubmitTrace(id, trace, {/*paced=*/true}).ok()) {
+      return {};
+    }
+  }
+  if (!server.Drain().ok()) {
+    return {};
+  }
+  RunResult result;
+  result.wall_s = static_cast<double>(SteadyNowUs() - start_us) / 1e6;
+  result.stats = server.stats();
+  result.touches_per_s =
+      result.wall_s > 0.0
+          ? static_cast<double>(result.stats.executed) / result.wall_s
+          : 0.0;
+  (void)server.Stop();
+  return result;
+}
+
+void PrintColdTier(const std::vector<int>& sweep, double latency_ms) {
+  std::printf("\n[cold tier: %.1f ms/block backing store, 2 workers]\n",
+              latency_ms);
+  dbtouch::bench::Table table(
+      {"sessions", "mode", "touches/s", "p99_ms", "suspended", "demand",
+       "prefetch", "retries", "errors", "shed"});
+  for (const int sessions : sweep) {
+    for (const bool async_fetch : {false, true}) {
+      const RunResult r = RunColdTier(sessions, async_fetch, latency_ms);
+      table.Row(
+          {dbtouch::bench::Fmt(static_cast<std::int64_t>(sessions)),
+           async_fetch ? "async" : "sync",
+           dbtouch::bench::Fmt(r.touches_per_s, 1),
+           dbtouch::bench::Fmt(
+               static_cast<double>(r.stats.p99_latency_us) / 1e3, 2),
+           dbtouch::bench::Fmt(r.stats.fetch.suspended_quanta),
+           dbtouch::bench::Fmt(r.stats.fetch.demand_fetches),
+           dbtouch::bench::Fmt(r.stats.fetch.prefetch_fetches),
+           dbtouch::bench::Fmt(r.stats.fetch.retries),
+           dbtouch::bench::Fmt(r.stats.fetch.fetch_errors),
+           dbtouch::bench::Fmt(r.stats.fetch.shed_on_fetch_error)});
+    }
+  }
+  std::printf(
+      "\nsync mode faults block the worker under the fetch; async mode\n"
+      "parks the session on the FetchQueue (suspended column) and the\n"
+      "worker serves other sessions, so p99 under cold faults drops and\n"
+      "prefetch warms the extrapolated slide path before the finger\n"
+      "arrives.\n\n");
+}
+
+void PrintReport(int max_sessions, bool smoke) {
   dbtouch::bench::Banner(
       "SERVER", "multi-session touch server",
       "Aggregate touch throughput and tail latency vs. concurrent "
@@ -180,6 +314,7 @@ void PrintReport(int max_sessions) {
       "quanta instead of stalling gesture streams. buf_* columns track\n"
       "the shared BufferManager: every session's base-data reads pin\n"
       "blocks of one bounded pool (buf_res_KiB <= its byte budget).\n\n");
+  PrintColdTier(sweep, smoke ? 1.0 : 5.0);
 }
 
 // Micro-benchmark: scheduler push/pop round trip, the per-quantum
@@ -204,23 +339,35 @@ BENCHMARK(BM_SchedulerRoundTrip);
 
 int main(int argc, char** argv) {
   int max_sessions = 16;
-  for (int i = 1; i < argc; ++i) {
+  bool smoke = false;
+  for (int i = 1; i < argc;) {
     const char* prefix = "--max-sessions=";
     if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
       max_sessions = std::atoi(argv[i] + std::strlen(prefix));
-      for (int j = i; j + 1 < argc; ++j) {
-        argv[j] = argv[j + 1];
-      }
-      --argc;
-      break;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      // CI bit-rot guard: tiny data and sweeps so every regime (incl. the
+      // cold tier) runs in seconds, not minutes.
+      smoke = true;
+      max_sessions = 2;
+      g_rows = 100'000;
+      g_slide_seconds = 0.3;
+    } else {
+      ++i;
+      continue;
     }
+    for (int j = i; j + 1 < argc; ++j) {
+      argv[j] = argv[j + 1];
+    }
+    --argc;
   }
   if (max_sessions < 1) {
     max_sessions = 1;
   }
-  PrintReport(max_sessions);
+  PrintReport(max_sessions, smoke);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) {
+    benchmark::RunSpecifiedBenchmarks();
+  }
   benchmark::Shutdown();
   return 0;
 }

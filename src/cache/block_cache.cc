@@ -12,10 +12,14 @@ BlockCache::BlockCache(const Config& config) : config_(config) {
   const int shards = config.shards;
   const std::int64_t base = config.capacity_bytes / shards;
   const std::int64_t remainder = config.capacity_bytes % shards;
+  const std::int64_t staged_cap = config.staged_cap_bytes > 0
+                                      ? config.staged_cap_bytes
+                                      : config.capacity_bytes / 8;
   shards_.reserve(static_cast<std::size_t>(shards));
   for (int i = 0; i < shards; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->capacity_bytes = base + (i < remainder ? 1 : 0);
+    shard->staged_cap_bytes = std::max<std::int64_t>(staged_cap / shards, 1);
     shards_.push_back(std::move(shard));
   }
 }
@@ -38,6 +42,40 @@ bool BlockCache::UpdateGesture(const BlockKey& key, storage::RowId row) {
   return config_.gesture_aware && d.scan_run >= config_.scan_run_length;
 }
 
+BlockCache::Pinned BlockCache::PinHitLocked(Shard& shard, const BlockKey& key,
+                                            Entry& entry, bool bypassing) {
+  ++shard.stats.hits;
+  if (entry.pins++ == 0) {
+    ++shard.pinned_blocks;
+  }
+  if (entry.staged) {
+    // First claim of an async completion: leave the staging pad and run
+    // normal admission, so an awaited block is retained when room exists.
+    entry.staged = false;
+    entry.staged_demand = false;
+    shard.staged_fifo.erase(entry.staged_it);
+    const auto size = static_cast<std::int64_t>(entry.payload.size());
+    shard.staged_bytes -= size;
+    if (!bypassing && MakeRoom(shard, size)) {
+      entry.retained = true;
+      shard.lru.push_front(key);
+      entry.lru_it = shard.lru.begin();
+      shard.resident_bytes += size;
+      shard.stats.peak_resident_bytes =
+          std::max(shard.stats.peak_resident_bytes, shard.resident_bytes);
+      ++shard.stats.admissions;
+    } else if (bypassing) {
+      ++shard.stats.bypasses;
+    } else {
+      ++shard.stats.budget_rejections;
+    }
+  } else if (entry.retained) {
+    TouchLru(shard, key, entry);
+  }
+  return Pinned{entry.payload.data(), entry.payload.size(), true,
+                entry.retained};
+}
+
 Result<BlockCache::Pinned> BlockCache::Pin(const BlockKey& key,
                                            storage::RowId row,
                                            const Filler& fill) {
@@ -48,16 +86,7 @@ Result<BlockCache::Pinned> BlockCache::Pin(const BlockKey& key,
   ++shard.stats.lookups;
   const auto it = shard.map.find(key);
   if (it != shard.map.end()) {
-    Entry& entry = it->second;
-    ++shard.stats.hits;
-    if (entry.pins++ == 0) {
-      ++shard.pinned_blocks;
-    }
-    if (entry.retained) {
-      TouchLru(shard, key, entry);
-    }
-    return Pinned{entry.payload.data(), entry.payload.size(), true,
-                  entry.retained};
+    return PinHitLocked(shard, key, it->second, bypassing);
   }
 
   // Miss: materialise under the shard lock (concurrent faults of one
@@ -103,6 +132,75 @@ void BlockCache::Unpin(const BlockKey& key) {
       shard.map.erase(it);  // Transient: freed with its last pin.
     }
   }
+}
+
+std::optional<BlockCache::Pinned> BlockCache::TryPin(const BlockKey& key,
+                                                     storage::RowId row) {
+  const bool bypassing = UpdateGesture(key, row);
+
+  Shard& shard = ShardFor(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.stats.lookups;
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.stats.would_block;
+    return std::nullopt;
+  }
+  return PinHitLocked(shard, key, it->second, bypassing);
+}
+
+void BlockCache::Insert(const BlockKey& key, std::vector<std::byte> payload,
+                        bool demand) {
+  Shard& shard = ShardFor(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.count(key) > 0) {
+    // A synchronous fill (or a duplicate completion) beat us to it.
+    ++shard.stats.insert_duplicates;
+    return;
+  }
+  const auto size = static_cast<std::int64_t>(payload.size());
+  // Make room on the staging pad. Oldest prefetch warm-ups go first; a
+  // demand-staged block — some session is parked until it claims it — is
+  // evicted only when warm-ups alone cannot make room, so prefetch churn
+  // cannot force a suspended session to re-fetch its own answer. (Staged
+  // entries are never pinned — a pin claims them off the pad.)
+  const auto evict = [&](bool spare_demand) {
+    for (auto it = shard.staged_fifo.begin();
+         it != shard.staged_fifo.end(); ++it) {
+      const auto vit = shard.map.find(*it);
+      DBTOUCH_CHECK(vit != shard.map.end());
+      if (spare_demand && vit->second.staged_demand) {
+        continue;
+      }
+      shard.staged_bytes -=
+          static_cast<std::int64_t>(vit->second.payload.size());
+      shard.staged_fifo.erase(it);
+      shard.map.erase(vit);
+      ++shard.stats.staged_evictions;
+      return true;
+    }
+    return false;
+  };
+  while (shard.staged_bytes + size > shard.staged_cap_bytes &&
+         !shard.staged_fifo.empty()) {
+    if (!evict(/*spare_demand=*/true) && !evict(/*spare_demand=*/false)) {
+      break;
+    }
+  }
+  ++shard.stats.inserts;
+  // An adopted completion IS the materialisation of an async miss: count
+  // it as a fault so cold-tier fault/hit accounting agrees across the
+  // sync (Pin-filler) and async (FetchQueue) paths.
+  ++shard.stats.faults;
+  Entry entry;
+  entry.payload = std::move(payload);
+  entry.staged = true;
+  entry.staged_demand = demand;
+  shard.staged_fifo.push_back(key);
+  entry.staged_it = std::prev(shard.staged_fifo.end());
+  shard.staged_bytes += size;
+  const auto [ins, ok] = shard.map.emplace(key, std::move(entry));
+  DBTOUCH_CHECK(ok);
 }
 
 void BlockCache::OnGesturePause() {
@@ -160,6 +258,13 @@ BlockCacheStats BlockCache::stats() const {
     total.bypasses += shard->stats.bypasses;
     total.budget_rejections += shard->stats.budget_rejections;
     total.evictions += shard->stats.evictions;
+    total.would_block += shard->stats.would_block;
+    total.inserts += shard->stats.inserts;
+    total.insert_duplicates += shard->stats.insert_duplicates;
+    total.staged_evictions += shard->stats.staged_evictions;
+    total.staged_blocks +=
+        static_cast<std::int64_t>(shard->staged_fifo.size());
+    total.staged_bytes += shard->staged_bytes;
     total.pinned_blocks += shard->pinned_blocks;
     total.resident_blocks += static_cast<std::int64_t>(shard->lru.size());
     total.resident_bytes += shard->resident_bytes;

@@ -34,6 +34,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -67,12 +68,22 @@ struct BlockKeyHash {
 struct BlockCacheStats {
   std::int64_t lookups = 0;
   std::int64_t hits = 0;
-  /// Misses that materialised a payload via the caller's filler.
+  /// Misses that materialised a payload — via the caller's filler (sync
+  /// path) or an adopted async completion (Insert).
   std::int64_t faults = 0;
   std::int64_t admissions = 0;
   std::int64_t bypasses = 0;           // Retention skipped in scan mode.
   std::int64_t budget_rejections = 0;  // Pins left no evictable room.
   std::int64_t evictions = 0;
+  /// TryPin misses — the would-block signal driving async fetches.
+  std::int64_t would_block = 0;
+  /// Async completions adopted via Insert / dropped as already present.
+  std::int64_t inserts = 0;
+  std::int64_t insert_duplicates = 0;
+  /// Staged (unclaimed async) blocks evicted by the staging cap.
+  std::int64_t staged_evictions = 0;
+  std::int64_t staged_blocks = 0;  // Gauge.
+  std::int64_t staged_bytes = 0;   // Gauge.
   /// Gauges (a coherent snapshot at stats() time).
   std::int64_t pinned_blocks = 0;
   std::int64_t resident_blocks = 0;
@@ -104,6 +115,13 @@ class BlockCache {
     /// concurrent sessions touching different blocks do not contend.
     /// Shard budgets sum to exactly capacity_bytes.
     int shards = 1;
+    /// Byte cap (per cache, split across shards) on *staged* payloads:
+    /// async completions parked by Insert until their first pin claims
+    /// them. Staged bytes live outside the resident budget — they are the
+    /// landing pad that makes suspend/resume race-free — so they get their
+    /// own small bound; the oldest unclaimed block is dropped when a new
+    /// completion would exceed it. 0 = capacity_bytes / 8.
+    std::int64_t staged_cap_bytes = 0;
   };
 
   /// Produces a block's payload on a miss. Runs under the shard mutex.
@@ -127,6 +145,24 @@ class BlockCache {
   Result<Pinned> Pin(const BlockKey& key, storage::RowId row,
                      const Filler& fill);
   void Unpin(const BlockKey& key);
+
+  /// Non-blocking pin: returns the pinned block if its payload is resident
+  /// (retained, transient with live pins, or staged by an async
+  /// completion), nullopt on a miss — never runs a filler. The async read
+  /// path probes with this and schedules a FetchQueue fetch on nullopt.
+  std::optional<Pinned> TryPin(const BlockKey& key, storage::RowId row);
+
+  /// Adopts an asynchronously fetched payload. The block is *staged*: kept
+  /// resident outside the LRU until its first pin claims it (the claim
+  /// then runs normal admission, so a claimed demand block is retained
+  /// when the budget allows). Unclaimed staged bytes are bounded by
+  /// Config::staged_cap_bytes so completions for sessions that died
+  /// cannot leak; eviction takes the oldest prefetch warm-up first and
+  /// touches `demand`-staged blocks — a session is parked on each of
+  /// those — only when warm-ups alone cannot make room. A payload already
+  /// present (e.g. a racing synchronous fill) is dropped.
+  void Insert(const BlockKey& key, std::vector<std::byte> payload,
+              bool demand = false);
 
   /// Signals that the gesture paused — interest in the current region, so
   /// admission resumes. The one-argument form resets only that owner's
@@ -158,7 +194,12 @@ class BlockCache {
     std::vector<std::byte> payload;
     int pins = 0;
     bool retained = false;
-    std::list<BlockKey>::iterator lru_it;  // Valid iff retained.
+    /// Unclaimed async completion; mutually exclusive with retained.
+    bool staged = false;
+    /// Staged at demand priority (a suspended session awaits the claim).
+    bool staged_demand = false;
+    std::list<BlockKey>::iterator lru_it;     // Valid iff retained.
+    std::list<BlockKey>::iterator staged_it;  // Valid iff staged.
   };
 
   struct Shard {
@@ -166,7 +207,10 @@ class BlockCache {
     std::int64_t capacity_bytes = 0;
     std::int64_t resident_bytes = 0;
     std::int64_t pinned_blocks = 0;
+    std::int64_t staged_bytes = 0;
+    std::int64_t staged_cap_bytes = 0;
     std::list<BlockKey> lru;  // Front = most recent; retained entries only.
+    std::list<BlockKey> staged_fifo;  // Front = oldest unclaimed completion.
     std::unordered_map<BlockKey, Entry, BlockKeyHash> map;
     BlockCacheStats stats;
   };
@@ -185,6 +229,11 @@ class BlockCache {
   /// Caller holds the shard mutex. Evicts unpinned LRU victims until
   /// `need` more bytes fit; false if pins make that impossible.
   bool MakeRoom(Shard& shard, std::int64_t need);
+  /// Caller holds the shard mutex. Pins a resident entry (the shared hit
+  /// path of Pin and TryPin); a staged entry is claimed here — pulled off
+  /// the staging list and promoted to retained when admission allows.
+  Pinned PinHitLocked(Shard& shard, const BlockKey& key, Entry& entry,
+                      bool bypassing);
   /// Caller holds the shard mutex.
   void TouchLru(Shard& shard, const BlockKey& key, Entry& entry);
   /// Updates the owner's detector with this access; returns whether

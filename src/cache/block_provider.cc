@@ -74,12 +74,16 @@ Result<std::vector<std::byte>> RemoteBlockProvider::Fetch(
     const std::lock_guard<std::mutex> lock(server_mu_);
     values = server_->ReadRange(0, first, count, &response_bytes);
   }
-  // geometry_ is derived from this same server's hierarchy, so a short
-  // read means the server's data changed underneath us — an invariant
-  // violation under the PinBlock error contract, not a data error. (A
-  // real lossy transport belongs behind the async-fetch seam; see
-  // ROADMAP "Async block fetch".)
-  DBTOUCH_CHECK(static_cast<std::int64_t>(values.size()) == count);
+  // A short read is a transport failure (lost or truncated response), not
+  // an invariant violation: surface it as a transient status so the fetch
+  // path — FetchBlockWithRetry inline, or the FetchQueue's fetchers — can
+  // retry with backoff instead of aborting the process.
+  if (static_cast<std::int64_t>(values.size()) != count) {
+    return Status::Aborted(
+        "remote short read: got " + std::to_string(values.size()) +
+        " of " + std::to_string(count) + " entries for block " +
+        std::to_string(block));
+  }
   requests_.fetch_add(1, std::memory_order_relaxed);
   bytes_fetched_.fetch_add(response_bytes, std::memory_order_relaxed);
 

@@ -60,7 +60,17 @@ class BlockProvider {
   /// Materialises block `block` as geometry().BlockRowCount(block) densely
   /// packed fields of geometry().width() bytes. Must be thread-safe: the
   /// BufferManager may fault different blocks concurrently.
+  ///
+  /// Errors are data, not invariants: a provider over a lossy transport
+  /// returns a transient status (Aborted / ResourceExhausted /
+  /// DeadlineExceeded) and the fetch path retries with backoff — see
+  /// cache/fetch_queue.h.
   virtual Result<std::vector<std::byte>> Fetch(std::int64_t block) = 0;
+
+  /// True when Fetch is slow enough that callers should suspend on it
+  /// rather than block a worker (remote / disk tiers). Immediate providers
+  /// (in-memory copies) fill synchronously even on the non-blocking path.
+  virtual bool async() const { return false; }
 };
 
 /// Fast tier: blocks copied out of an in-memory table column. Reads the
@@ -99,6 +109,7 @@ class RemoteBlockProvider final : public BlockProvider {
     return dictionary_;
   }
   Result<std::vector<std::byte>> Fetch(std::int64_t block) override;
+  bool async() const override { return true; }
 
   std::int64_t requests() const {
     return requests_.load(std::memory_order_relaxed);

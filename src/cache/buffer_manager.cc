@@ -22,6 +22,13 @@ BlockCache::Config CacheConfigFrom(const BufferManagerConfig& config) {
       std::max<std::int64_t>(config.budget_bytes / (4 * block_bytes), 1);
   out.shards = static_cast<int>(
       std::min<std::int64_t>(config.shards, max_shards));
+  // The staging pad must hold at least one block per shard, or a
+  // multi-block stall would thrash it — each completion evicting the
+  // previous block, the resume re-fetching what was already delivered.
+  out.staged_cap_bytes = std::max<std::int64_t>(
+      config.staged_cap_bytes > 0 ? config.staged_cap_bytes
+                                  : config.budget_bytes / 8,
+      out.shards * block_bytes);
   return out;
 }
 
@@ -61,12 +68,76 @@ class BufferManager::Source final : public storage::PagedColumnSource {
     const BlockKey key{owner_, block};
     DBTOUCH_ASSIGN_OR_RETURN(
         const BlockCache::Pinned pinned,
-        manager_->cache_.Pin(key, row_hint,
-                             [&] { return provider_->Fetch(block); }));
-    const storage::ColumnView view(
-        type(), pinned.data, provider_->geometry().width(),
-        provider_->geometry().BlockRowCount(block), dictionary());
-    return storage::BlockPin(this, block, view, BlockFirstRow(block));
+        manager_->cache_.Pin(key, row_hint, [&] {
+          // Inline fill under the shard lock; shares the queue's bounded
+          // retry policy so transient backing-store errors stay transient
+          // on the blocking path too.
+          std::int64_t retries = 0;
+          auto payload = FetchBlockWithRetry(*provider_, block,
+                                             manager_->config_.fetch,
+                                             &retries);
+          manager_->sync_retries_.fetch_add(retries,
+                                            std::memory_order_relaxed);
+          return payload;
+        }));
+    return MakePin(block, pinned);
+  }
+
+  /// Non-blocking pin: a cache hit pins as usual; a miss on an immediate
+  /// provider fills inline (a memcpy is cheaper than a suspend cycle); a
+  /// miss on a slow provider reports "would block" so the caller can
+  /// StartFetch and suspend.
+  Result<std::optional<storage::BlockPin>> TryPinBlock(
+      std::int64_t block, storage::RowId row_hint) override {
+    if (!may_block()) {
+      return PagedColumnSource::TryPinBlock(block, row_hint);
+    }
+    if (block < 0 || block >= num_blocks()) {
+      return Status::OutOfRange("block " + std::to_string(block) +
+                                " out of range");
+    }
+    const std::optional<BlockCache::Pinned> pinned =
+        manager_->cache_.TryPin(BlockKey{owner_, block}, row_hint);
+    if (!pinned.has_value()) {
+      return std::optional<storage::BlockPin>();
+    }
+    return std::optional<storage::BlockPin>(MakePin(block, *pinned));
+  }
+
+  bool may_block() const override {
+    return provider_->async() && manager_->async_enabled();
+  }
+
+  Status StartFetch(std::int64_t block, FetchCompletion done) override {
+    if (block < 0 || block >= num_blocks()) {
+      return Status::OutOfRange("block " + std::to_string(block) +
+                                " out of range");
+    }
+    if (!may_block()) {
+      return PagedColumnSource::StartFetch(block, std::move(done));
+    }
+    // Non-null by construction: binding an async provider created it.
+    FetchQueue* queue = manager_->fetch_queue();
+    DBTOUCH_CHECK(queue != nullptr);
+    queue->Enqueue(BlockKey{owner_, block}, provider_, block,
+                   FetchPriority::kDemand, std::move(done));
+    return Status::OK();
+  }
+
+  bool RequestPrefetch(std::int64_t block) override {
+    if (!may_block() || block < 0 || block >= num_blocks()) {
+      return false;
+    }
+    const BlockKey key{owner_, block};
+    if (manager_->cache_.Contains(key)) {
+      return false;  // Already resident; nothing to warm.
+    }
+    FetchQueue* queue = manager_->fetch_queue();
+    DBTOUCH_CHECK(queue != nullptr);
+    // A coalesced join (the block is already queued/in flight) is a
+    // no-op for the caller's budget, same as an already-resident block.
+    return queue->Enqueue(key, provider_, block, FetchPriority::kPrefetch,
+                          nullptr);
   }
 
  protected:
@@ -75,6 +146,14 @@ class BufferManager::Source final : public storage::PagedColumnSource {
   }
 
  private:
+  storage::BlockPin MakePin(std::int64_t block,
+                            const BlockCache::Pinned& pinned) {
+    const storage::ColumnView view(
+        type(), pinned.data, provider_->geometry().width(),
+        provider_->geometry().BlockRowCount(block), dictionary());
+    return storage::BlockPin(this, block, view, BlockFirstRow(block));
+  }
+
   BufferManager* manager_;  // Not owned; outlives the source.
   std::uint64_t owner_;
   std::shared_ptr<BlockProvider> provider_;
@@ -83,6 +162,38 @@ class BufferManager::Source final : public storage::PagedColumnSource {
 BufferManager::BufferManager(const BufferManagerConfig& config)
     : config_(config), cache_(CacheConfigFrom(config)) {
   DBTOUCH_CHECK(config.rows_per_block > 0);
+}
+
+BufferManager::~BufferManager() {
+  FetchQueue* queue = fetch_queue();
+  if (queue != nullptr) {
+    queue->Shutdown();  // Stop deliveries into cache_ first.
+  }
+}
+
+void BufferManager::EnsureFetchQueue() {
+  std::call_once(fetch_queue_once_, [this] {
+    fetch_queue_ = std::make_unique<FetchQueue>(
+        config_.fetch, [this](const BlockKey& key,
+                              std::vector<std::byte> payload,
+                              FetchPriority priority) {
+          cache_.Insert(key, std::move(payload),
+                        priority == FetchPriority::kDemand);
+        });
+    fetch_queue_ptr_.store(fetch_queue_.get(), std::memory_order_release);
+  });
+}
+
+FetchQueueStats BufferManager::fetch_stats() const {
+  const FetchQueue* queue = fetch_queue();
+  return queue != nullptr ? queue->stats() : FetchQueueStats{};
+}
+
+void BufferManager::WaitForFetches() {
+  FetchQueue* queue = fetch_queue();
+  if (queue != nullptr) {
+    queue->WaitIdle();
+  }
 }
 
 BufferManager::Binding BufferManager::BindOwner(
@@ -100,6 +211,11 @@ BufferManager::Binding BufferManager::BindOwner(
     binding.identity = identity;
     binding.owner = next_owner_++;
     binding.provider = make_provider();
+  }
+  if (config_.async_fetch && binding.provider->async()) {
+    // First slow tier bound: spin up the fetchers. In-memory-only
+    // managers (every private kernel SharedState) never reach here.
+    EnsureFetchQueue();
   }
   return binding;
 }

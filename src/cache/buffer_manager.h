@@ -19,6 +19,7 @@
 #ifndef DBTOUCH_CACHE_BUFFER_MANAGER_H_
 #define DBTOUCH_CACHE_BUFFER_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -29,6 +30,7 @@
 
 #include "cache/block_cache.h"
 #include "cache/block_provider.h"
+#include "cache/fetch_queue.h"
 #include "common/result.h"
 #include "storage/paged_column.h"
 #include "storage/table.h"
@@ -46,11 +48,20 @@ struct BufferManagerConfig {
   /// BlockCache shards; the touch server raises this so workers pinning
   /// different blocks do not contend.
   int shards = 1;
+  /// Async fetch pipeline for slow (async()) providers: misses probed via
+  /// TryPinBlock go to a FetchQueue instead of blocking the pinning
+  /// thread. Off = every fault fills synchronously under the shard lock
+  /// (the pre-PR-3 behaviour, kept for A/B benchmarking).
+  bool async_fetch = true;
+  FetchQueueConfig fetch;
+  /// Cap on unclaimed async completions (see BlockCache::Config).
+  std::int64_t staged_cap_bytes = 0;
 };
 
 class BufferManager {
  public:
   explicit BufferManager(const BufferManagerConfig& config = {});
+  ~BufferManager();
 
   BufferManager(const BufferManager&) = delete;
   BufferManager& operator=(const BufferManager&) = delete;
@@ -82,6 +93,18 @@ class BufferManager {
   bool in_scan_mode() const { return cache_.in_scan_mode(); }
   const BufferManagerConfig& config() const { return config_; }
 
+  bool async_enabled() const { return config_.async_fetch; }
+  /// Stats of the async fetch pipeline (zeros when async_fetch is off or
+  /// no async provider was ever bound).
+  FetchQueueStats fetch_stats() const;
+  /// Retries spent by synchronous (inline) fills — the blocking fallback
+  /// path shares the queue's retry policy.
+  std::int64_t sync_fetch_retries() const {
+    return sync_retries_.load(std::memory_order_relaxed);
+  }
+  /// Blocks until no async fetch is queued or in flight (tests).
+  void WaitForFetches();
+
  private:
   class Source;
 
@@ -98,8 +121,24 @@ class BufferManager {
       const std::string& name, std::size_t column, const void* identity,
       const std::function<std::shared_ptr<BlockProvider>()>& make_provider);
 
+  /// The fetch queue, created on the first binding of an async()
+  /// provider — a manager serving only in-memory tables (every private
+  /// kernel SharedState) never pays the fetcher threads. Non-null iff
+  /// created; readers load the atomic, the owner keeps it alive.
+  FetchQueue* fetch_queue() const {
+    return fetch_queue_ptr_.load(std::memory_order_acquire);
+  }
+  /// Creates the queue once (caller holds mu_ or tolerates call_once).
+  void EnsureFetchQueue();
+
   BufferManagerConfig config_;
   BlockCache cache_;
+  /// Fetchers deliver into cache_, so they must stop first: declared after
+  /// cache_ (destroyed before it), shut down explicitly in ~BufferManager.
+  std::once_flag fetch_queue_once_;
+  std::unique_ptr<FetchQueue> fetch_queue_;
+  std::atomic<FetchQueue*> fetch_queue_ptr_{nullptr};
+  std::atomic<std::int64_t> sync_retries_{0};
   mutable std::mutex mu_;
   std::map<std::pair<std::string, std::size_t>, Binding> bindings_;
   std::uint64_t next_owner_ = 1;

@@ -1,0 +1,250 @@
+#include "cache/fetch_queue.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/macros.h"
+
+namespace dbtouch::cache {
+
+namespace {
+
+std::int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+bool IsTransientFetchError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kAborted:             // Lost/short response.
+    case StatusCode::kResourceExhausted:   // Backpressure.
+    case StatusCode::kDeadlineExceeded:    // Timeout.
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<std::vector<std::byte>> FetchBlockWithRetry(
+    BlockProvider& provider, std::int64_t block,
+    const FetchQueueConfig& config, std::int64_t* retries_out) {
+  int attempt = 0;
+  for (;;) {
+    Result<std::vector<std::byte>> payload = provider.Fetch(block);
+    if (payload.ok() || !IsTransientFetchError(payload.status()) ||
+        attempt >= config.max_retries) {
+      return payload;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config.retry_backoff_us << attempt));
+    ++attempt;
+    if (retries_out != nullptr) {
+      ++*retries_out;
+    }
+  }
+}
+
+FetchQueue::FetchQueue(const FetchQueueConfig& config, Sink sink)
+    : config_(config), sink_(std::move(sink)) {
+  DBTOUCH_CHECK(config_.num_fetchers > 0);
+  DBTOUCH_CHECK(sink_ != nullptr);
+  fetchers_.reserve(static_cast<std::size_t>(config_.num_fetchers));
+  for (int i = 0; i < config_.num_fetchers; ++i) {
+    fetchers_.emplace_back([this] { FetcherLoop(); });
+  }
+}
+
+FetchQueue::~FetchQueue() { Shutdown(); }
+
+bool FetchQueue::Enqueue(const BlockKey& key,
+                         std::shared_ptr<BlockProvider> provider,
+                         std::int64_t block, FetchPriority priority,
+                         Completion done) {
+  Completion reject;  // Invoked outside the lock if the enqueue is refused.
+  bool created = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      reject = std::move(done);
+    } else {
+      auto [it, inserted] = requests_.try_emplace(key);
+      created = inserted;
+      Request& request = it->second;
+      if (inserted) {
+        request.provider = std::move(provider);
+        request.block = block;
+        request.priority = priority;
+        if (priority == FetchPriority::kDemand) {
+          ++stats_.demand_enqueued;
+          demand_queue_.push_back(key);
+        } else {
+          ++stats_.prefetch_enqueued;
+          prefetch_queue_.push_back(key);
+        }
+      } else {
+        ++stats_.coalesced;
+        if (priority == FetchPriority::kDemand &&
+            request.priority == FetchPriority::kPrefetch) {
+          // A session is now parked on a block that was only a warm-up:
+          // raise the priority in place. Still queued → move it to the
+          // demand lane; already in flight → the raised priority is what
+          // the delivery reads (it is re-read after the fetch), so the
+          // completion is staged with demand protection either way.
+          request.priority = FetchPriority::kDemand;
+          if (!request.in_flight) {
+            std::erase(prefetch_queue_, key);
+            demand_queue_.push_back(key);
+            ++stats_.upgraded;
+          }
+        }
+      }
+      if (done != nullptr) {
+        request.waiters.push_back(std::move(done));
+      }
+    }
+  }
+  if (reject != nullptr) {
+    reject(Status::Aborted("fetch queue shut down"));
+    return false;
+  }
+  work_cv_.notify_one();
+  return created;
+}
+
+bool FetchQueue::PopLocked(BlockKey* key) {
+  if (!demand_queue_.empty()) {
+    *key = demand_queue_.front();
+    demand_queue_.pop_front();
+    return true;
+  }
+  if (!prefetch_queue_.empty()) {
+    *key = prefetch_queue_.front();
+    prefetch_queue_.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void FetchQueue::FetcherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    BlockKey key;
+    while (!shutdown_ && !PopLocked(&key)) {
+      work_cv_.wait(lock);
+    }
+    if (shutdown_) {
+      return;
+    }
+    std::shared_ptr<BlockProvider> provider;
+    std::int64_t block = 0;
+    {
+      const auto it = requests_.find(key);
+      DBTOUCH_CHECK(it != requests_.end());
+      it->second.in_flight = true;
+      provider = it->second.provider;
+      block = it->second.block;
+      // The iterator must not outlive this scope: concurrent Enqueues
+      // during the unlocked fetch below may rehash the map, invalidating
+      // every iterator — the request is re-found after relocking.
+    }
+
+    lock.unlock();
+    std::int64_t retries = 0;
+    const std::int64_t t0 = NowUs();
+    Result<std::vector<std::byte>> payload =
+        FetchBlockWithRetry(*provider, block, config_, &retries);
+    const std::int64_t wall = NowUs() - t0;
+    lock.lock();
+
+    stats_.retries += retries;
+    stats_.fetch_wall_us += wall;
+    stats_.max_fetch_wall_us = std::max(stats_.max_fetch_wall_us, wall);
+    if (payload.ok()) {
+      ++stats_.completed;
+    } else {
+      ++stats_.failures;
+    }
+    const auto it = requests_.find(key);
+    DBTOUCH_CHECK(it != requests_.end());
+    // Read the priority only now: a demand enqueue that coalesced while
+    // the fetch was in flight upgraded it, and the delivery must carry
+    // that (the cache shelters demand-staged blocks from warm-up churn).
+    const FetchPriority priority = it->second.priority;
+    std::vector<Completion> waiters = std::move(it->second.waiters);
+    requests_.erase(it);
+    const Status status = payload.ok() ? Status::OK() : payload.status();
+    ++active_callbacks_;  // Covers the sink too: WaitIdle implies
+                          // delivered payloads are in the cache.
+    lock.unlock();
+    if (payload.ok()) {
+      // Deliver before waking waiters: a waiter that re-probes its pin on
+      // the completion signal must hit.
+      sink_(key, *std::move(payload), priority);
+    }
+    for (const Completion& waiter : waiters) {
+      waiter(status);
+    }
+    lock.lock();
+    --active_callbacks_;
+    if (requests_.empty() && active_callbacks_ == 0) {
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+std::size_t FetchQueue::outstanding() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return requests_.size();
+}
+
+void FetchQueue::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    return shutdown_ || (requests_.empty() && active_callbacks_ == 0);
+  });
+}
+
+void FetchQueue::Shutdown() {
+  std::vector<Completion> orphans;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return;
+    }
+    shutdown_ = true;
+    // Unstarted requests will never run: release their waiters and drop
+    // them, so outstanding() converges to zero once in-flight fetches —
+    // which complete on their fetcher before it exits — drain.
+    for (auto it = requests_.begin(); it != requests_.end();) {
+      if (!it->second.in_flight) {
+        for (Completion& waiter : it->second.waiters) {
+          orphans.push_back(std::move(waiter));
+        }
+        it = requests_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    demand_queue_.clear();
+    prefetch_queue_.clear();
+  }
+  work_cv_.notify_all();
+  idle_cv_.notify_all();
+  for (const Completion& orphan : orphans) {
+    orphan(Status::Aborted("fetch queue shut down"));
+  }
+  for (std::thread& fetcher : fetchers_) {
+    fetcher.join();
+  }
+  fetchers_.clear();
+}
+
+FetchQueueStats FetchQueue::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dbtouch::cache

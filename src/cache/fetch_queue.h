@@ -1,0 +1,170 @@
+// FetchQueue: the asynchronous block-fetch engine behind the BufferManager.
+//
+// PR 2 left one latency cliff on the read path: a cold-tier fault ran the
+// provider's Fetch synchronously under the shard lock, so one slow remote
+// read could stall a worker — and with it every session that worker would
+// otherwise serve. The FetchQueue moves those reads onto a small fetcher
+// thread pool:
+//
+//   TryPinBlock (miss) --> Enqueue(demand) ---+
+//   Prefetcher slide path --> Enqueue(prefetch)+--> fetcher threads
+//                                              |      provider->Fetch
+//                                              |      (bounded retries,
+//                                              |       exponential backoff)
+//                                              v
+//                                      deliver(key, payload) --> BlockCache
+//                                      completion callbacks  --> waiters
+//                                                               (scheduler
+//                                                                unparks)
+//
+// Priorities: demand fetches (a session is parked on the answer) always
+// pop before prefetch warm-ups (the extrapolated slide path); enqueueing a
+// demand request for a block already queued at prefetch priority upgrades
+// it in place. Requests for one block coalesce into a single fetch no
+// matter how many waiters pile on.
+//
+// Failure contract: a fetch error is data, not an invariant violation.
+// Transient errors (see IsTransientFetchError) are retried up to
+// max_retries times with exponential backoff; the final status — OK or the
+// last error — is handed to every waiter. Waiters are invoked on fetcher
+// threads and must be cheap and non-blocking (the touch server's callback
+// just unparks the session).
+
+#ifndef DBTOUCH_CACHE_FETCH_QUEUE_H_
+#define DBTOUCH_CACHE_FETCH_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/block_cache.h"
+#include "cache/block_provider.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dbtouch::cache {
+
+enum class FetchPriority : std::uint8_t {
+  kPrefetch = 0,  // Warm-up along the extrapolated slide path.
+  kDemand = 1,    // A quantum is suspended on this block.
+};
+
+struct FetchQueueConfig {
+  /// Fetcher threads. Cold-tier reads are latency- not CPU-bound, so a
+  /// couple of threads overlap many outstanding fetches.
+  int num_fetchers = 2;
+  /// Retries after the first attempt for transient errors.
+  int max_retries = 3;
+  /// Backoff before retry k is backoff_us << k (exponential).
+  std::int64_t retry_backoff_us = 200;
+};
+
+struct FetchQueueStats {
+  std::int64_t demand_enqueued = 0;
+  std::int64_t prefetch_enqueued = 0;
+  /// Enqueues absorbed by an already-queued/in-flight fetch of the block.
+  std::int64_t coalesced = 0;
+  /// Prefetch requests re-prioritised by a later demand enqueue.
+  std::int64_t upgraded = 0;
+  std::int64_t completed = 0;
+  std::int64_t retries = 0;
+  /// Fetches that exhausted retries (or hit a permanent error).
+  std::int64_t failures = 0;
+  /// Wall time inside provider fetches, including retries + backoff.
+  std::int64_t fetch_wall_us = 0;
+  std::int64_t max_fetch_wall_us = 0;
+};
+
+/// True for error codes worth retrying: the transport may deliver on the
+/// next attempt (lost response, backpressure, timeout). Invariant-shaped
+/// errors (OutOfRange, InvalidArgument, ...) are permanent.
+bool IsTransientFetchError(const Status& status);
+
+/// Fetches `block` from `provider` with the queue's retry policy, inline
+/// on the calling thread — the synchronous fallback path shares one
+/// definition of "retryable read" with the async queue. `retries_out`
+/// (optional) accumulates the retries spent.
+Result<std::vector<std::byte>> FetchBlockWithRetry(
+    BlockProvider& provider, std::int64_t block,
+    const FetchQueueConfig& config, std::int64_t* retries_out = nullptr);
+
+class FetchQueue {
+ public:
+  /// Invoked with the fetch's final status after the payload (if any) was
+  /// delivered to the sink — so a waiter that immediately retries its pin
+  /// is guaranteed to hit.
+  using Completion = std::function<void(const Status&)>;
+  /// Receives successfully fetched payloads (the BufferManager's insert
+  /// into its BlockCache) with the priority the fetch was served at, so
+  /// the cache can shelter demand completions — a session is parked on
+  /// those — from warm-up churn. Runs on a fetcher thread.
+  using Sink = std::function<void(
+      const BlockKey&, std::vector<std::byte> payload, FetchPriority)>;
+
+  FetchQueue(const FetchQueueConfig& config, Sink sink);
+  ~FetchQueue();
+
+  FetchQueue(const FetchQueue&) = delete;
+  FetchQueue& operator=(const FetchQueue&) = delete;
+
+  /// Requests `block` of `provider`, identified in the cache as `key`.
+  /// Coalesces with any queued/in-flight fetch of the same key (a demand
+  /// request upgrades a still-queued prefetch). `done` may be null (fire
+  /// and forget — the prefetch path). Returns true iff a NEW request was
+  /// created — false for coalesced joins and shutdown rejections — so
+  /// callers budgeting fetches don't spend their budget on no-ops.
+  bool Enqueue(const BlockKey& key, std::shared_ptr<BlockProvider> provider,
+               std::int64_t block, FetchPriority priority, Completion done);
+
+  /// Queued + in-flight fetches.
+  std::size_t outstanding() const;
+
+  /// Blocks until no fetch is queued or in flight (tests).
+  void WaitIdle();
+
+  /// Stops the fetchers. Queued-but-unstarted requests fail their waiters
+  /// with Aborted; in-flight fetches finish first. Idempotent.
+  void Shutdown();
+
+  FetchQueueStats stats() const;
+
+ private:
+  struct Request {
+    std::shared_ptr<BlockProvider> provider;
+    std::int64_t block = 0;
+    FetchPriority priority = FetchPriority::kPrefetch;
+    bool in_flight = false;
+    std::vector<Completion> waiters;
+  };
+
+  void FetcherLoop();
+  /// Pops the next runnable key (demand first) or returns false.
+  bool PopLocked(BlockKey* key);
+
+  FetchQueueConfig config_;
+  Sink sink_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<BlockKey> demand_queue_;
+  std::deque<BlockKey> prefetch_queue_;
+  std::unordered_map<BlockKey, Request, BlockKeyHash> requests_;
+  FetchQueueStats stats_;
+  /// Fetchers currently running waiter callbacks outside the lock;
+  /// WaitIdle counts them as outstanding work.
+  int active_callbacks_ = 0;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> fetchers_;
+};
+
+}  // namespace dbtouch::cache
+
+#endif  // DBTOUCH_CACHE_FETCH_QUEUE_H_

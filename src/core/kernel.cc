@@ -8,6 +8,7 @@
 #include "common/macros.h"
 #include "exec/summary.h"
 #include "index/level_index_set.h"
+#include "prefetch/extrapolator.h"
 #include "touch/touch_mapper.h"
 
 namespace dbtouch::core {
@@ -77,6 +78,9 @@ struct Kernel::ObjectState {
   ObjectStats stats;
   /// Rotation gesture latch: fire once per gesture.
   bool rotation_fired_this_gesture = false;
+  /// Slide extrapolator driving warm-up prefetches over slow-tier
+  /// sources (Section 2.6 "Prefetching Data").
+  prefetch::GestureExtrapolator extrapolator;
 
   storage::ColumnView BaseColumn() const {
     if (column.has_value()) {
@@ -312,9 +316,198 @@ Status Kernel::EnableJoin(ObjectId left, ObjectId right) {
 void Kernel::OnTouch(const sim::TouchEvent& event) {
   clock_.AdvanceTo(event.timestamp_us);
   ++stats_.touch_events;
-  const auto gestures = recognizer_.OnTouch(event);
-  for (const GestureEvent& g : gestures) {
+  for (const GestureEvent& g : recognizer_.OnTouch(event)) {
+    pending_gestures_.push_back(g);
+  }
+  // Blocking drain: probes fault synchronously, so this always completes.
+  (void)DrainPending(/*non_blocking=*/false, nullptr);
+}
+
+TouchOutcome Kernel::OnTouchAsync(const sim::TouchEvent& event,
+                                  TouchStall* stall) {
+  clock_.AdvanceTo(event.timestamp_us);
+  ++stats_.touch_events;
+  for (const GestureEvent& g : recognizer_.OnTouch(event)) {
+    pending_gestures_.push_back(g);
+  }
+  return DrainPending(config_.non_blocking_faults, stall);
+}
+
+TouchOutcome Kernel::ResumePending(TouchStall* stall) {
+  return DrainPending(config_.non_blocking_faults, stall);
+}
+
+void Kernel::AbandonPending() {
+  // Shed only the stalled head gesture: the ones queued behind it (e.g.
+  // the slide's kEnded, whose execution releases working pins and signals
+  // the gesture pause) still run on the caller's next ResumePending —
+  // each may stall and be shed in turn, converging one gesture per cycle.
+  if (!pending_gestures_.empty()) {
+    pending_gestures_.pop_front();
+    ++stats_.fetch_errors;
+  }
+  probe_pins_.clear();
+}
+
+TouchOutcome Kernel::DrainPending(bool non_blocking, TouchStall* stall) {
+  while (!pending_gestures_.empty()) {
+    const GestureEvent g = pending_gestures_.front();
+    const Result<bool> ready = ProbeGesture(g, non_blocking, stall);
+    if (!ready.ok()) {
+      // The backing read failed past its bounded retries: shed this
+      // gesture's execution — one lost answer, not a lost session.
+      ++stats_.fetch_errors;
+      probe_pins_.clear();
+      pending_gestures_.pop_front();
+      continue;
+    }
+    if (!*ready) {
+      ++stats_.suspensions;
+      return TouchOutcome::kSuspended;
+    }
+    pending_gestures_.pop_front();
     OnGesture(g);
+    probe_pins_.clear();
+  }
+  return TouchOutcome::kCompleted;
+}
+
+Result<bool> Kernel::ProbeGesture(const GestureEvent& event,
+                                  bool non_blocking, TouchStall* stall) {
+  // Mirror OnGesture's targeting without mutating it. Events queued
+  // behind an unexecuted kBegan are never probed before it runs (FIFO),
+  // so gesture_target_ is current whenever it is consulted here.
+  ObjectState* obj =
+      event.type == GestureType::kTap || event.phase == GesturePhase::kBegan
+          ? FindObjectAt(event.position)
+          : gesture_target_;
+  if (obj == nullptr || obj->paged == nullptr ||
+      !obj->paged->may_block()) {
+    return true;  // No slow-tier reads possible.
+  }
+
+  // The base-row range this gesture's execution will read from the paged
+  // column; [-1, -1] = none.
+  RowId first = -1;
+  RowId last = -1;
+  if (event.type == GestureType::kTap) {
+    if (obj->view->kind() == ObjectKind::kTable) {
+      return true;  // Tuple taps read the raw table, not the paged column.
+    }
+    const sim::PointCm local = obj->view->ScreenToLocal(event.position);
+    first = last = touch::MapTouch(*obj->view, local).row;
+  } else if (event.type == GestureType::kSlide &&
+             event.phase == GesturePhase::kChanged) {
+    const sim::PointCm local = obj->view->ScreenToLocal(event.position);
+    const RowId row = touch::MapTouch(*obj->view, local).row;
+    switch (obj->action.kind) {
+      case ActionKind::kScan:
+      case ActionKind::kAggregate:
+      case ActionKind::kFilteredScan:
+        first = last = row;
+        break;
+      case ActionKind::kSummary: {
+        if (ChooseLevelFor(*obj, event) > 0) {
+          return true;  // Served from the in-memory sample hierarchy.
+        }
+        const std::int64_t k = SummaryBandK(*obj);
+        first = std::max<RowId>(row - k, 0);
+        last = std::min<RowId>(row + k, obj->table->row_count() - 1);
+        break;
+      }
+      case ActionKind::kGroupBy:
+        return true;  // Reads raw table columns.
+    }
+  } else {
+    return true;  // Pinch / rotate / begin / end read no base data.
+  }
+  if (first < 0) {
+    return true;
+  }
+
+  const std::shared_ptr<storage::PagedColumnSource>& source = obj->paged;
+  const std::int64_t first_block = source->BlockFor(first);
+  const std::int64_t last_block = source->BlockFor(last);
+  std::vector<std::int64_t> missing;
+  for (std::int64_t block = first_block; block <= last_block; ++block) {
+    bool held = false;
+    for (const storage::BlockPin& pin : probe_pins_) {
+      if (pin.block() == block) {
+        held = true;  // Pinned by a previous attempt of this gesture.
+        break;
+      }
+    }
+    if (held) {
+      continue;
+    }
+    if (non_blocking) {
+      // row_hint -1: the probe must not feed the gesture detector (the
+      // execution it fronts will, with the real touched rows).
+      DBTOUCH_ASSIGN_OR_RETURN(std::optional<storage::BlockPin> pin,
+                               source->TryPinBlock(block, -1));
+      if (pin.has_value()) {
+        probe_pins_.push_back(std::move(*pin));
+      } else {
+        missing.push_back(block);
+      }
+    } else {
+      DBTOUCH_ASSIGN_OR_RETURN(storage::BlockPin pin,
+                               source->PinBlock(block, -1));
+      probe_pins_.push_back(std::move(pin));
+    }
+  }
+  if (!missing.empty()) {
+    if (stall != nullptr) {
+      stall->source = source;
+      stall->blocks = std::move(missing);
+    }
+    return false;
+  }
+  return true;
+}
+
+std::int64_t Kernel::SummaryBandK(const ObjectState& obj) const {
+  const std::int64_t stride =
+      (obj.hierarchy != nullptr && config_.use_sampling)
+          ? 1
+          : std::max<std::int64_t>(
+                obj.table->row_count() /
+                    std::max<std::int64_t>(
+                        device_.DistinctPositions(
+                            obj.view->tuple_axis_extent()),
+                        1),
+                1);
+  return std::min(obj.action.summary_k * stride,
+                  config_.max_rows_per_touch / 2);
+}
+
+void Kernel::MaybePrefetch(ObjectState* obj, RowId row,
+                           const GestureEvent& event) {
+  if (!config_.prefetch_enabled || obj->paged == nullptr ||
+      !obj->paged->may_block()) {
+    return;
+  }
+  obj->extrapolator.Observe(event.timestamp_us, row);
+  const prefetch::RowRange range = obj->extrapolator.PredictRange(
+      event.timestamp_us, config_.prefetch_horizon_s,
+      obj->paged->row_count());
+  if (range.empty()) {
+    return;
+  }
+  const std::shared_ptr<storage::PagedColumnSource>& source = obj->paged;
+  const std::int64_t last_block = source->BlockFor(range.last);
+  std::int64_t issued = 0;
+  for (std::int64_t block = source->BlockFor(range.first);
+       block <= last_block &&
+       issued < config_.max_prefetch_blocks_per_touch;
+       ++block) {
+    // Only real enqueues spend the per-touch budget: during a steady
+    // slide the head of the predicted range is already resident, and the
+    // cold tail is exactly what needs warming.
+    if (source->RequestPrefetch(block)) {
+      ++issued;
+      ++stats_.prefetch_requests;
+    }
   }
 }
 
@@ -508,6 +701,7 @@ void Kernel::HandleSlideStep(const GestureEvent& event, ObjectState* obj) {
   const sim::PointCm local = obj->view->ScreenToLocal(event.position);
   const TouchMapping mapping = touch::MapTouch(*obj->view, local);
   ++obj->stats.touches;
+  MaybePrefetch(obj, mapping.row, event);
   const std::int64_t entries = ExecuteAction(obj, mapping, event);
   stats_.entries_returned += entries;
   obj->stats.entries_returned += entries;
@@ -607,18 +801,7 @@ std::int64_t Kernel::ExecuteAction(ObjectState* obj,
       } else {
         // Base-data band of equivalent width, truncated to the per-touch
         // budget so one touch can never stall unboundedly.
-        const std::int64_t stride =
-            (obj->hierarchy != nullptr && config_.use_sampling)
-                ? 1
-                : std::max<std::int64_t>(
-                      obj->table->row_count() /
-                          std::max<std::int64_t>(
-                              device_.DistinctPositions(
-                                  obj->view->tuple_axis_extent()),
-                              1),
-                      1);
-        std::int64_t k_base = obj->action.summary_k * stride;
-        k_base = std::min(k_base, config_.max_rows_per_touch / 2);
+        const std::int64_t k_base = SummaryBandK(*obj);
         // Paged objects scan the band block-at-a-time through pinned
         // blocks of the shared pool; unpaged fall back to the raw view.
         exec::InteractiveSummaryOp op =

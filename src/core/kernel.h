@@ -23,6 +23,7 @@
 #ifndef DBTOUCH_CORE_KERNEL_H_
 #define DBTOUCH_CORE_KERNEL_H_
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -87,6 +88,21 @@ struct KernelConfig {
   /// gesture-aware admission. Off = the paper's raw whole-column
   /// pointers (unbounded residency).
   bool use_buffer_manager = true;
+  /// Suspend instead of stall: when a touch needs blocks a slow tier has
+  /// not delivered yet, OnTouchAsync returns kSuspended (with the blocks
+  /// to fetch) rather than blocking inside the fault. Off = cold faults
+  /// fill synchronously on the calling thread. Only sources that may_block
+  /// (async providers) are affected either way; the touch server sets
+  /// this from its async_fetch config.
+  bool non_blocking_faults = false;
+  /// Prefetch along the extrapolated slide path (Section 2.6): slide
+  /// steps over a slow-tier column enqueue low-priority warm-up fetches
+  /// for the blocks the finger is predicted to reach within the horizon.
+  bool prefetch_enabled = true;
+  double prefetch_horizon_s = 0.25;
+  /// Warm-up fetches issued per slide step at most (bounds queue growth
+  /// when the extrapolator predicts a long reach).
+  int max_prefetch_blocks_per_touch = 8;
 };
 
 struct KernelStats {
@@ -110,6 +126,13 @@ struct KernelStats {
   /// any single touch — the interactivity headline number.
   std::int64_t exec_wall_ns = 0;
   std::int64_t max_touch_wall_ns = 0;
+  /// Async read path: quanta suspended on cold slow-tier blocks, gesture
+  /// executions shed because a backing-store read failed past its bounded
+  /// retries, and warm-up fetches requested along the extrapolated slide
+  /// path.
+  std::int64_t suspensions = 0;
+  std::int64_t fetch_errors = 0;
+  std::int64_t prefetch_requests = 0;
 };
 
 struct ObjectStats {
@@ -117,6 +140,20 @@ struct ObjectStats {
   std::int64_t entries_returned = 0;
   std::int64_t rows_scanned = 0;
   int last_level_used = 0;
+};
+
+/// Outcome of feeding one touch quantum through an async-mode kernel.
+enum class TouchOutcome {
+  kCompleted,  // All gesture work for the touch executed.
+  kSuspended,  // Waiting on cold blocks; see the TouchStall.
+};
+
+/// What a suspended quantum waits on: blocks of one paged source that a
+/// slow tier has not delivered. The caller starts their fetches
+/// (source->StartFetch) and calls ResumePending once they complete.
+struct TouchStall {
+  std::shared_ptr<storage::PagedColumnSource> source;
+  std::vector<std::int64_t> blocks;
 };
 
 class Kernel {
@@ -176,8 +213,34 @@ class Kernel {
   // ---- The OS feed -------------------------------------------------------
 
   /// The per-touch pipeline. Advances the virtual clock to the event's
-  /// timestamp, recognises gestures, maps and executes.
+  /// timestamp, recognises gestures, maps and executes. Cold slow-tier
+  /// blocks are faulted synchronously (the classic single-user path).
   void OnTouch(const sim::TouchEvent& event);
+
+  /// Suspendable variant of OnTouch for the touch server's async read
+  /// path. The recognizer consumes the event either way; gesture work
+  /// that needs cold slow-tier blocks parks in the kernel's pending queue
+  /// and kSuspended is returned with the blocks to fetch in `stall`. The
+  /// caller starts the fetches and, when they complete, re-enters via
+  /// ResumePending — which may suspend again (the next gesture misses on
+  /// other blocks) or complete. With non_blocking_faults off this never
+  /// suspends; `stall` may then be null.
+  TouchOutcome OnTouchAsync(const sim::TouchEvent& event, TouchStall* stall);
+
+  /// Re-attempts gesture work parked by a previous kSuspended outcome.
+  TouchOutcome ResumePending(TouchStall* stall);
+
+  /// Gesture work parked behind a cold fetch (a kSuspended not yet
+  /// resumed to completion).
+  bool has_pending_gestures() const { return !pending_gestures_.empty(); }
+
+  /// Sheds the gesture stalled at the head of the pending queue (and its
+  /// probe pins) — the escape hatch when its fetch fails permanently.
+  /// Gestures queued behind it remain; call ResumePending to continue
+  /// with them. Recognizer state is unaffected (it already consumed the
+  /// touches); only the stalled execution is shed (counted as a kernel
+  /// fetch error).
+  void AbandonPending();
 
   /// Feeds a whole trace through OnTouch.
   void Replay(const sim::GestureTrace& trace);
@@ -210,6 +273,24 @@ class Kernel {
   struct ObjectState;
 
   void OnGesture(const gesture::GestureEvent& event);
+  /// Executes queued gesture events in order. Before each one, probes that
+  /// the blocks its execution reads are resident (pinning them so they
+  /// stay put): in non-blocking mode a miss suspends the drain; in
+  /// blocking mode the probe faults synchronously. A probe whose
+  /// backing-store read fails past its retries sheds that gesture and
+  /// counts a fetch error.
+  TouchOutcome DrainPending(bool non_blocking, TouchStall* stall);
+  /// True = ready (needed blocks pinned in probe_pins_); false = `stall`
+  /// filled with the missing blocks. Error = the backing read failed.
+  Result<bool> ProbeGesture(const gesture::GestureEvent& event,
+                            bool non_blocking, TouchStall* stall);
+  /// Half-width (base rows) of the summary band at level 0 — shared by
+  /// execution and the residency probe so they can never diverge.
+  std::int64_t SummaryBandK(const ObjectState& obj) const;
+  /// Observes the slide for the object's extrapolator and requests
+  /// low-priority warm-up fetches along the predicted path.
+  void MaybePrefetch(ObjectState* obj, storage::RowId row,
+                     const gesture::GestureEvent& event);
   void HandleTap(const gesture::GestureEvent& event, ObjectState* obj);
   void HandleSlideStep(const gesture::GestureEvent& event, ObjectState* obj);
   void HandlePinchStep(const gesture::GestureEvent& event, ObjectState* obj);
@@ -265,6 +346,14 @@ class Kernel {
            std::pair<std::shared_ptr<storage::Table>,
                      std::shared_ptr<storage::Table>>>
       join_cache_tables_;
+  /// Gesture events recognised but not yet executed: non-empty only while
+  /// suspended on a cold fetch (execution order is gesture order, so
+  /// everything behind the stalled event waits with it).
+  std::deque<gesture::GestureEvent> pending_gestures_;
+  /// Pins taken by the residency probe; held through the gesture's
+  /// execution (the probed blocks cannot evict mid-touch) and dropped
+  /// after it. Declared last: pins reference sources owned by objects_.
+  std::vector<storage::BlockPin> probe_pins_;
 };
 
 }  // namespace dbtouch::core

@@ -65,7 +65,45 @@ Result<std::shared_ptr<storage::PagedColumnSource>>
 SharedState::GetColumnSource(const std::string& table, std::size_t column) {
   DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> t,
                            catalog_.Get(table));
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = providers_.find(ColumnKey{table, column});
+    if (it != providers_.end()) {
+      if (it->second.table == t) {
+        return buffer_.SourceFor(table, column, it->second.provider);
+      }
+      // The name was re-registered with different data since the provider
+      // was bound: the override is stale — retire it rather than serve
+      // remote blocks of the old table under the new table's geometry.
+      providers_.erase(it);
+    }
+  }
   return buffer_.ColumnSource(t, column);
+}
+
+Status SharedState::SetColumnProvider(
+    const std::string& table, std::size_t column,
+    std::shared_ptr<cache::BlockProvider> provider) {
+  if (provider == nullptr) {
+    return Status::InvalidArgument("null provider");
+  }
+  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> t,
+                           catalog_.Get(table));
+  if (column >= t->schema().num_fields()) {
+    return Status::OutOfRange("column " + std::to_string(column) +
+                              " out of range for table '" + table + "'");
+  }
+  if (provider->geometry().row_count != t->row_count()) {
+    return Status::InvalidArgument(
+        "provider row count " +
+        std::to_string(provider->geometry().row_count) +
+        " does not match table '" + table + "' (" +
+        std::to_string(t->row_count()) + " rows)");
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  providers_[ColumnKey{table, column}] =
+      ProviderEntry{std::move(t), std::move(provider)};
+  return Status::OK();
 }
 
 std::size_t SharedState::hierarchy_count() const {

@@ -86,6 +86,16 @@ class SharedState {
   Result<std::shared_ptr<storage::PagedColumnSource>> GetColumnSource(
       const std::string& table, std::size_t column);
 
+  /// Binds `table.column` base reads to an explicit BlockProvider — the
+  /// cold-tier deployment of paper Section 4 ("the server may store the
+  /// base data ... the touch device may store only small samples"): the
+  /// catalog's table supplies schema, row count and sample hierarchies,
+  /// while block faults go to the provider (e.g. a RemoteBlockProvider).
+  /// Sources created by GetColumnSource after this call fault through it.
+  /// The provider's geometry must match the table's row count.
+  Status SetColumnProvider(const std::string& table, std::size_t column,
+                           std::shared_ptr<cache::BlockProvider> provider);
+
   /// Number of distinct (table, column) hierarchies built so far.
   std::size_t hierarchy_count() const;
 
@@ -112,8 +122,21 @@ class SharedState {
     std::shared_ptr<sampling::SampleHierarchy> hierarchy;
   };
 
+  /// Explicit cold-tier provider (SetColumnProvider), pinned to the
+  /// identity of the table it was validated against: a name re-registered
+  /// with new data silently retires the override (the new table's
+  /// in-memory blocks serve) instead of faulting stale remote data.
+  struct ProviderEntry {
+    /// Identity pin (like HierarchyEntry's): holding the shared_ptr rules
+    /// out a recycled allocation masquerading as the validated table.
+    std::shared_ptr<storage::Table> table;
+    std::shared_ptr<cache::BlockProvider> provider;
+  };
+
   mutable std::mutex mu_;
   std::map<ColumnKey, HierarchyEntry> hierarchies_;
+  /// Consulted by GetColumnSource before defaulting to table blocks.
+  std::map<ColumnKey, ProviderEntry> providers_;
   /// Index sets piggy-back on the hierarchies, keyed by hierarchy
   /// identity; only their level-0 zone maps are exposed (built under mu_,
   /// then read-only). Each set's deleter pins its hierarchy, so the raw

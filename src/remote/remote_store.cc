@@ -12,6 +12,18 @@ std::vector<double> RemoteServer::ReadRange(int level, storage::RowId first,
                                             std::int64_t count,
                                             std::int64_t* response_bytes) {
   ++requests_served_;
+  ++range_reads_;
+  if (fail_next_reads_ > 0 ||
+      (fail_every_ > 0 && range_reads_ % fail_every_ == 0)) {
+    // Injected transport failure: the response never arrives.
+    if (fail_next_reads_ > 0) {
+      --fail_next_reads_;
+    }
+    if (response_bytes != nullptr) {
+      *response_bytes = 0;
+    }
+    return {};
+  }
   std::vector<double> out;
   const storage::ColumnView view = hierarchy_.LevelView(level);
   const storage::RowId end =

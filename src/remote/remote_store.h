@@ -47,9 +47,20 @@ class RemoteServer {
   sampling::SampleHierarchy& hierarchy() { return hierarchy_; }
   std::int64_t requests_served() const { return requests_served_; }
 
+  /// Failure injection for transport-error testing: the next `n` ReadRange
+  /// calls return an empty payload (a dropped response on the wire), which
+  /// block consumers classify as a transient short read and retry.
+  void FailNextReads(int n) { fail_next_reads_ = n; }
+  /// Steady-state flakiness: every `n`th ReadRange drops its response
+  /// (0 = reliable).
+  void set_fail_every(int n) { fail_every_ = n; }
+
  private:
   sampling::SampleHierarchy hierarchy_;
   std::int64_t requests_served_ = 0;
+  int fail_next_reads_ = 0;
+  int fail_every_ = 0;
+  std::int64_t range_reads_ = 0;
 };
 
 enum class RemoteStrategy : std::uint8_t {

@@ -32,12 +32,16 @@ std::optional<TouchTask> FrameScheduler::PopRunnable() {
     for (auto it = queues_.begin(); it != queues_.end();) {
       // Garbage-collect drained queues (Push recreates them on demand) so
       // session churn never grows this scan. Busy sessions keep theirs —
-      // their worker is about to call OnTaskDone anyway.
-      if (it->second.empty() && busy_.count(it->first) == 0) {
+      // their worker is about to call OnTaskDone anyway. Parked sessions
+      // always have a head task (the suspended quantum), so they are
+      // never collected here.
+      if (it->second.empty() && busy_.count(it->first) == 0 &&
+          parked_.count(it->first) == 0) {
         it = queues_.erase(it);
         continue;
       }
-      if (it->second.empty() || busy_.count(it->first) > 0) {
+      if (it->second.empty() || busy_.count(it->first) > 0 ||
+          parked_.count(it->first) > 0) {
         ++it;
         continue;
       }
@@ -76,6 +80,34 @@ void FrameScheduler::OnTaskDone(std::int64_t session_id) {
   cv_.notify_all();
 }
 
+void FrameScheduler::ParkForFetch(TouchTask task) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const std::int64_t session = task.session_id;
+    task.resume = true;
+    queues_[session].push_front(std::move(task));
+    parked_.insert(session);
+    busy_.erase(session);
+  }
+  // The freed worker should look for other sessions' work right away.
+  cv_.notify_all();
+}
+
+void FrameScheduler::Unpark(std::int64_t session_id) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (parked_.erase(session_id) == 0) {
+      return;
+    }
+  }
+  cv_.notify_all();
+}
+
+std::size_t FrameScheduler::parked() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return parked_.size();
+}
+
 std::size_t FrameScheduler::DropSession(std::int64_t session_id) {
   std::size_t dropped = 0;
   {
@@ -85,6 +117,7 @@ std::size_t FrameScheduler::DropSession(std::int64_t session_id) {
       dropped = it->second.size();
       queues_.erase(it);
     }
+    parked_.erase(session_id);
   }
   cv_.notify_all();
   return dropped;
@@ -135,6 +168,7 @@ void FrameScheduler::Restart() {
   shutdown_ = false;
   queues_.clear();
   busy_.clear();
+  parked_.clear();
 }
 
 bool FrameScheduler::PushIfUnder(TouchTask task, std::size_t bound) {

@@ -48,6 +48,10 @@ struct TouchTask {
   sim::Micros budget_us = 0;
   /// Mid-gesture move quantum: may be shed under overload.
   bool droppable = false;
+  /// Resume marker: the quantum suspended on a cold block fetch and its
+  /// touch was already consumed by the recognizer — the worker re-enters
+  /// via Kernel::ResumePending instead of feeding the event again.
+  bool resume = false;
 };
 
 class FrameScheduler {
@@ -67,6 +71,22 @@ class FrameScheduler {
 
   /// Re-arms `session_id` after a popped task was executed or shed.
   void OnTaskDone(std::int64_t session_id);
+
+  /// Parks the popped task's session on an async block fetch: the task
+  /// (marked resume) returns to the FRONT of its session queue — gesture
+  /// order is sacred — the session is skipped by PopRunnable until
+  /// Unpark, and its busy mark drops so the worker is immediately free
+  /// for other sessions. This is how a fetch fills the idle slot instead
+  /// of stalling a worker.
+  void ParkForFetch(TouchTask task);
+
+  /// Fetch completion: the session's head task becomes runnable again.
+  /// Unknown / already-unparked sessions are a no-op (the session may
+  /// have closed while its fetch was in flight).
+  void Unpark(std::int64_t session_id);
+
+  /// Sessions currently parked on a fetch.
+  std::size_t parked() const;
 
   /// Discards all queued tasks of a closing session. Returns how many.
   std::size_t DropSession(std::int64_t session_id);
@@ -100,6 +120,8 @@ class FrameScheduler {
   std::map<std::int64_t, std::deque<TouchTask>> queues_;
   /// Sessions with a popped task not yet reported done.
   std::set<std::int64_t> busy_;
+  /// Sessions waiting on a block fetch; not runnable until Unpark.
+  std::set<std::int64_t> parked_;
   bool shutdown_ = false;
 };
 

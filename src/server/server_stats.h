@@ -22,6 +22,8 @@ struct SessionStatsSnapshot {
   std::int64_t executed = 0;
   std::int64_t dropped_quanta = 0;
   std::int64_t deadline_misses = 0;
+  /// Quanta that parked on a cold block fetch instead of blocking.
+  std::int64_t suspended_quanta = 0;
   /// Sample levels currently being shed for this session (0 = healthy).
   int shed_levels = 0;
   /// Mirrored from the session kernel under its lock.
@@ -53,6 +55,36 @@ struct BufferStatsSnapshot {
   }
 };
 
+/// Async block-fetch pipeline roll-up: the FetchQueue behind the shared
+/// BufferManager plus the server-side suspend/resume accounting.
+struct FetchStatsSnapshot {
+  /// Quanta that suspended on cold blocks (their worker served other
+  /// sessions while the fetch ran) and resumes executed after completion.
+  std::int64_t suspended_quanta = 0;
+  std::int64_t resumed_quanta = 0;
+  /// Demand fetches (a session parked on the block) and low-priority
+  /// prefetch warm-ups along the extrapolated slide path.
+  std::int64_t demand_fetches = 0;
+  std::int64_t prefetch_fetches = 0;
+  /// Transient-error retries: async fetcher retries plus retries spent by
+  /// synchronous (blocking-path) fills.
+  std::int64_t retries = 0;
+  /// Fetches that failed past their bounded retries.
+  std::int64_t fetch_errors = 0;
+  /// Gesture executions shed because their blocks never arrived.
+  std::int64_t shed_on_fetch_error = 0;
+  /// Wall time inside provider fetches (incl. retry backoff).
+  sim::Micros fetch_wall_us = 0;
+  sim::Micros max_fetch_wall_us = 0;
+
+  double avg_fetch_ms() const {
+    const std::int64_t n = demand_fetches + prefetch_fetches;
+    return n == 0 ? 0.0
+                  : static_cast<double>(fetch_wall_us) / 1e3 /
+                        static_cast<double>(n);
+  }
+};
+
 struct ServerStatsSnapshot {
   std::int64_t sessions_opened = 0;
   std::int64_t sessions_active = 0;
@@ -71,6 +103,8 @@ struct ServerStatsSnapshot {
   double fairness = 1.0;
   /// The shared BufferManager all sessions read base data through.
   BufferStatsSnapshot buffer;
+  /// The async block-fetch pipeline (zeros when async_fetch is off).
+  FetchStatsSnapshot fetch;
   std::map<SessionId, SessionStatsSnapshot> per_session;
 
   double miss_rate() const {

@@ -44,8 +44,14 @@ class ServerSession {
   std::atomic<std::int64_t> executed{0};
   std::atomic<std::int64_t> dropped_quanta{0};
   std::atomic<std::int64_t> deadline_misses{0};
+  /// Quanta parked on cold block fetches (async read path).
+  std::atomic<std::int64_t> suspended_quanta{0};
   /// Current load-shedding depth (extra sample levels dropped).
   std::atomic<int> shed_levels{0};
+  /// Set by a fetch completion that failed past its retries; the next
+  /// resume abandons the parked gesture work instead of re-suspending on
+  /// a block that will never arrive.
+  std::atomic<bool> fetch_failed{false};
 
  private:
   SessionId id_;

@@ -26,6 +26,9 @@ cache::BufferManagerConfig ServerBufferConfig(
   cache::BufferManagerConfig buffer = config.session_defaults.buffer;
   const auto hw = static_cast<int>(std::thread::hardware_concurrency());
   buffer.shards = std::max(buffer.shards, std::max(hw, 8));
+  // One switch governs the whole pipeline: the pool's fetch queue and the
+  // kernels' suspend-on-miss behaviour (set per session in OpenSession).
+  buffer.async_fetch = config.async_fetch;
   return buffer;
 }
 
@@ -74,6 +77,9 @@ Status TouchServer::Stop() {
     worker.join();
   }
   workers_.clear();
+  // No worker can start new fetches now; wait out in-flight completions
+  // (they call back into this server's scheduler) before returning.
+  shared_->buffer_manager().WaitForFetches();
   return Status::OK();
 }
 
@@ -84,6 +90,7 @@ Result<SessionId> TouchServer::OpenSession() {
     // unreachable trigger angle disables it without a special kernel mode.
     config.rotation_trigger_rad = 1e9;
   }
+  config.non_blocking_faults = config_.async_fetch;
   return sessions_.Open(config);
 }
 
@@ -246,9 +253,12 @@ void TouchServer::WorkerLoop() {
     const std::shared_ptr<ServerSession>& s = *session;
 
     const sim::Micros popped = SteadyNowUs();
-    if (task->droppable &&
+    if (!task->resume && task->droppable &&
         popped > task->deadline_us + config_.drop_slack_us) {
-      // Hopelessly late: shed the quantum, coarsen the session.
+      // Hopelessly late: shed the quantum, coarsen the session. Resume
+      // tasks are exempt — their recognizer work already happened; only
+      // the parked execution remains and must drain (or be abandoned on
+      // fetch failure below).
       s->dropped_quanta.fetch_add(1, std::memory_order_relaxed);
       s->shed_levels.store(
           ClampShed(s->shed_levels.load(std::memory_order_relaxed) + 1,
@@ -259,11 +269,30 @@ void TouchServer::WorkerLoop() {
       continue;
     }
 
+    core::TouchStall stall;
+    core::TouchOutcome outcome;
     {
       const std::lock_guard<std::mutex> lock(s->exec_mu());
       const int shed = s->shed_levels.load(std::memory_order_relaxed);
       s->kernel().set_shed_levels(shed);
-      s->kernel().OnTouch(task->event);
+      if (task->resume) {
+        total_resumed_.fetch_add(1, std::memory_order_relaxed);
+        if (s->fetch_failed.exchange(false, std::memory_order_acq_rel)) {
+          // The awaited fetch failed past its retries: the blocks will
+          // never arrive, so shed the parked gesture work instead of
+          // suspending on it forever.
+          s->kernel().AbandonPending();
+          total_shed_on_fetch_error_.fetch_add(1,
+                                               std::memory_order_relaxed);
+        }
+        outcome = s->kernel().ResumePending(&stall);
+      } else {
+        outcome = s->kernel().OnTouchAsync(task->event, &stall);
+      }
+    }
+    if (outcome == core::TouchOutcome::kSuspended) {
+      SuspendOnStall(*task, s, std::move(stall));
+      continue;  // ParkForFetch released the busy mark; serve others.
     }
     const sim::Micros done = SteadyNowUs();
 
@@ -287,6 +316,47 @@ void TouchServer::WorkerLoop() {
     }
     RecordLatency(latency, missed);
     scheduler_.OnTaskDone(task->session_id);
+  }
+}
+
+void TouchServer::SuspendOnStall(const TouchTask& task,
+                                 const std::shared_ptr<ServerSession>& s,
+                                 core::TouchStall stall) {
+  DBTOUCH_CHECK(stall.source != nullptr && !stall.blocks.empty());
+  s->suspended_quanta.fetch_add(1, std::memory_order_relaxed);
+  total_suspended_.fetch_add(1, std::memory_order_relaxed);
+  // Park first: the session must be invisible to PopRunnable before any
+  // completion can try to unpark it.
+  scheduler_.ParkForFetch(task);
+
+  /// One ticket for the whole stall: the last completion unparks.
+  struct FetchTicket {
+    std::atomic<std::int64_t> remaining;
+    std::atomic<bool> failed{false};
+    explicit FetchTicket(std::int64_t n) : remaining(n) {}
+  };
+  auto ticket =
+      std::make_shared<FetchTicket>(static_cast<std::int64_t>(
+          stall.blocks.size()));
+  const SessionId id = task.session_id;
+  const auto settle = [this, id, s, ticket](const Status& status) {
+    if (!status.ok()) {
+      // Failed fetches are counted by the queue itself (fetch_stats);
+      // here we only remember that the resume must shed.
+      ticket->failed.store(true, std::memory_order_relaxed);
+    }
+    if (ticket->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      if (ticket->failed.load(std::memory_order_relaxed)) {
+        s->fetch_failed.store(true, std::memory_order_release);
+      }
+      scheduler_.Unpark(id);
+    }
+  };
+  for (const std::int64_t block : stall.blocks) {
+    const Status started = stall.source->StartFetch(block, settle);
+    if (!started.ok()) {
+      settle(started);  // Count it down; the resume sheds the work.
+    }
   }
 }
 
@@ -341,6 +411,23 @@ ServerStatsSnapshot TouchServer::stats() const {
     snapshot.buffer.budget_bytes =
         shared_->buffer_manager().config().budget_bytes;
   }
+  {
+    const cache::FetchQueueStats fetch =
+        shared_->buffer_manager().fetch_stats();
+    snapshot.fetch.suspended_quanta =
+        total_suspended_.load(std::memory_order_relaxed);
+    snapshot.fetch.resumed_quanta =
+        total_resumed_.load(std::memory_order_relaxed);
+    snapshot.fetch.demand_fetches = fetch.demand_enqueued;
+    snapshot.fetch.prefetch_fetches = fetch.prefetch_enqueued;
+    snapshot.fetch.retries =
+        fetch.retries + shared_->buffer_manager().sync_fetch_retries();
+    snapshot.fetch.fetch_errors = fetch.failures;
+    snapshot.fetch.shed_on_fetch_error =
+        total_shed_on_fetch_error_.load(std::memory_order_relaxed);
+    snapshot.fetch.fetch_wall_us = fetch.fetch_wall_us;
+    snapshot.fetch.max_fetch_wall_us = fetch.max_fetch_wall_us;
+  }
   std::vector<std::int64_t> executed_per_session;
   for (const auto& s : sessions_.Snapshot()) {
     SessionStatsSnapshot per;
@@ -349,6 +436,8 @@ ServerStatsSnapshot TouchServer::stats() const {
     per.dropped_quanta = s->dropped_quanta.load(std::memory_order_relaxed);
     per.deadline_misses =
         s->deadline_misses.load(std::memory_order_relaxed);
+    per.suspended_quanta =
+        s->suspended_quanta.load(std::memory_order_relaxed);
     per.shed_levels = s->shed_levels.load(std::memory_order_relaxed);
     {
       const std::lock_guard<std::mutex> lock(s->exec_mu());

@@ -87,6 +87,11 @@ struct TouchServerConfig {
   /// an unbiased subset, so percentiles stay honest on long-lived servers
   /// with bounded memory.
   std::size_t max_latency_samples = 65'536;
+  /// Async block fetch: a quantum that faults on a cold slow-tier block
+  /// suspends (the EDF scheduler parks the session on the fetch and the
+  /// worker serves other sessions) instead of blocking inside the fault.
+  /// Off = the synchronous pre-PR-3 path, kept for A/B benchmarking.
+  bool async_fetch = true;
 };
 
 struct TraceSubmitOptions {
@@ -166,6 +171,12 @@ class TouchServer {
 
  private:
   void WorkerLoop();
+  /// Parks `task`'s session and starts demand fetches for every block in
+  /// `stall`; the last completion unparks the session (or flags it failed
+  /// so the resume sheds the parked work).
+  void SuspendOnStall(const TouchTask& task,
+                      const std::shared_ptr<ServerSession>& session,
+                      core::TouchStall stall);
   sim::Micros BaseBudgetUs() const;
   sim::Micros BudgetForSpeed(double speed_cm_s) const;
   Status Enqueue(SessionId session, const sim::TouchEvent& event,
@@ -192,6 +203,10 @@ class TouchServer {
   std::atomic<std::int64_t> total_executed_{0};
   std::atomic<std::int64_t> total_dropped_{0};
   std::atomic<std::int64_t> total_misses_{0};
+  /// Async read path accounting.
+  std::atomic<std::int64_t> total_suspended_{0};
+  std::atomic<std::int64_t> total_resumed_{0};
+  std::atomic<std::int64_t> total_shed_on_fetch_error_{0};
 };
 
 }  // namespace dbtouch::server

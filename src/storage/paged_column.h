@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "common/result.h"
@@ -100,11 +101,57 @@ class PagedColumnSource {
   /// (pass -1 when no touch drives the read).
   ///
   /// Error contract: a non-OK result means the caller broke the source's
-  /// invariants (block out of range, backing data changed underneath) —
-  /// reads of valid blocks must succeed. PagedColumnCursor relies on this
-  /// and treats a pin failure as fatal.
+  /// invariants (block out of range, backing data changed underneath) or a
+  /// backing-store read failed past its bounded retries. Callers that
+  /// probe residency first (the kernel's pre-touch probe) surface the
+  /// Status; PagedColumnCursor — which reads only pre-validated rows —
+  /// still treats a pin failure as fatal.
   virtual Result<BlockPin> PinBlock(std::int64_t block,
                                     RowId row_hint = -1) = 0;
+
+  /// Completion signal for StartFetch: OK once the block is resident (a
+  /// TryPinBlock after the callback is guaranteed to hit), else the
+  /// fetch's final error after bounded retries. May run on a fetcher
+  /// thread; must be cheap and non-blocking.
+  using FetchCompletion = std::function<void(const Status&)>;
+
+  /// Non-blocking pin: the pin when the block is resident — or can be
+  /// materialised immediately (in-memory tiers) — and nullopt when pinning
+  /// would wait on a slow fetch. Pair with StartFetch to suspend instead
+  /// of stalling. Default: delegate to PinBlock (nothing to wait for).
+  virtual Result<std::optional<BlockPin>> TryPinBlock(std::int64_t block,
+                                                      RowId row_hint = -1) {
+    auto pin = PinBlock(block, row_hint);
+    if (!pin.ok()) {
+      return pin.status();
+    }
+    return std::optional<BlockPin>(std::move(*pin));
+  }
+
+  /// True when TryPinBlock can return nullopt — i.e. reads may fault from
+  /// a slow tier and callers should be prepared to suspend.
+  virtual bool may_block() const { return false; }
+
+  /// Begins an asynchronous demand fetch of `block`; `done` fires when it
+  /// completes (possibly inline for immediate sources). Returns non-OK
+  /// only when the fetch cannot even be scheduled.
+  virtual Status StartFetch(std::int64_t block, FetchCompletion done) {
+    (void)block;
+    if (done != nullptr) {
+      done(Status::OK());
+    }
+    return Status::OK();
+  }
+
+  /// Hints that `block` will likely be touched soon (the prefetcher's
+  /// extrapolated slide path). Low priority: demand fetches preempt.
+  /// Returns true iff a warm-up fetch was actually enqueued (false when
+  /// the block is already resident or the source is immediate), so
+  /// callers budget against real fetches, not no-op hints.
+  virtual bool RequestPrefetch(std::int64_t block) {
+    (void)block;
+    return false;
+  }
 
   /// The gesture driving reads of this column paused — a caching source
   /// re-enables admission for it. No-op for sources without a policy.

@@ -4,13 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "cache/block_cache.h"
 #include "cache/block_provider.h"
 #include "cache/buffer_manager.h"
+#include "cache/fetch_queue.h"
 #include "cache/hash_table_cache.h"
 #include "remote/remote_store.h"
 #include "storage/column.h"
@@ -325,6 +329,294 @@ TEST(BufferManagerTest, WarmRegionHitsWithoutRefaulting) {
   }
   EXPECT_EQ(manager.stats().faults, cold_faults);  // All warm hits.
   EXPECT_GT(manager.stats().hits, 0);
+}
+
+// ---- Async fetch: TryPin / Insert / FetchQueue ------------------------------
+
+TEST(BlockCacheTest, TryPinMissesWithoutFillingAndHitsAfterInsert) {
+  BlockCache cache(SmallCache(false));
+  const BlockKey key{0, 7};
+  EXPECT_FALSE(cache.TryPin(key, -1).has_value());
+  EXPECT_EQ(cache.stats().would_block, 1);
+  EXPECT_FALSE(cache.Contains(key));  // A probe materialises nothing.
+
+  cache.Insert(key, PayloadFor(7));
+  EXPECT_EQ(cache.stats().staged_blocks, 1);
+  const auto pinned = cache.TryPin(key, -1);
+  ASSERT_TRUE(pinned.has_value());
+  EXPECT_TRUE(pinned->hit);
+  // The claim promoted the staged payload into the retained set.
+  EXPECT_TRUE(pinned->retained);
+  EXPECT_EQ(cache.stats().staged_blocks, 0);
+  EXPECT_EQ(std::memcmp(pinned->data, PayloadFor(7).data(), kBlockBytes),
+            0);
+  cache.Unpin(key);
+  EXPECT_TRUE(cache.Contains(key));  // Retained past the last unpin.
+}
+
+TEST(BlockCacheTest, InsertIsDroppedWhenPayloadAlreadyPresent) {
+  BlockCache cache(SmallCache(false));
+  Touch(cache, 3, -1);  // Synchronous fill wins the race.
+  cache.Insert(BlockKey{0, 3}, PayloadFor(99));
+  const auto pinned = cache.TryPin(BlockKey{0, 3}, -1);
+  ASSERT_TRUE(pinned.has_value());
+  // The original payload survived; the late completion was discarded.
+  EXPECT_EQ(std::memcmp(pinned->data, PayloadFor(3).data(), kBlockBytes), 0);
+  EXPECT_EQ(cache.stats().insert_duplicates, 1);
+  cache.Unpin(BlockKey{0, 3});
+}
+
+TEST(BlockCacheTest, UnclaimedStagedBlocksAreBoundedByTheCap) {
+  BlockCache::Config config = SmallCache(false);
+  config.staged_cap_bytes = 2 * kBlockBytes;
+  BlockCache cache(config);
+  cache.Insert(BlockKey{0, 1}, PayloadFor(1));
+  cache.Insert(BlockKey{0, 2}, PayloadFor(2));
+  cache.Insert(BlockKey{0, 3}, PayloadFor(3));  // Evicts oldest staged (1).
+  const BlockCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.staged_blocks, 2);
+  EXPECT_LE(stats.staged_bytes, config.staged_cap_bytes);
+  EXPECT_EQ(stats.staged_evictions, 1);
+  EXPECT_FALSE(cache.Contains(BlockKey{0, 1}));
+  EXPECT_TRUE(cache.Contains(BlockKey{0, 2}));
+  EXPECT_TRUE(cache.Contains(BlockKey{0, 3}));
+}
+
+/// Provider whose fetches can be held at a gate, recording fetch order.
+class GatedProvider final : public BlockProvider {
+ public:
+  explicit GatedProvider(std::int64_t rows_per_block) {
+    geometry_.type = storage::DataType::kInt64;
+    geometry_.row_count = 1'000'000;
+    geometry_.rows_per_block = rows_per_block;
+  }
+
+  const BlockGeometry& geometry() const override { return geometry_; }
+  bool async() const override { return true; }
+
+  Result<std::vector<std::byte>> Fetch(std::int64_t block) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++entered_;
+    entered_cv_.notify_all();
+    gate_cv_.wait_for(lock, std::chrono::seconds(10),
+                      [this] { return open_; });
+    order_.push_back(block);
+    return PayloadFor(block);
+  }
+
+  void OpenGate() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    gate_cv_.notify_all();
+  }
+  void AwaitFetchEntered(int n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_cv_.wait_for(lock, std::chrono::seconds(10),
+                         [&] { return entered_ >= n; });
+  }
+  std::vector<std::int64_t> order() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return order_;
+  }
+
+ private:
+  BlockGeometry geometry_;
+  mutable std::mutex mu_;
+  std::condition_variable gate_cv_;
+  std::condition_variable entered_cv_;
+  bool open_ = false;
+  int entered_ = 0;
+  std::vector<std::int64_t> order_;
+};
+
+TEST(FetchQueueTest, DemandFetchesPreemptQueuedPrefetches) {
+  BlockCache::Config cache_config = SmallCache(false, 16);
+  cache_config.staged_cap_bytes = 16 * kBlockBytes;  // Hold all completions.
+  BlockCache cache(cache_config);
+  FetchQueueConfig config;
+  config.num_fetchers = 1;  // Deterministic service order.
+  FetchQueue queue(config, [&cache](const BlockKey& key,
+                                    std::vector<std::byte> payload,
+                                    FetchPriority priority) {
+    cache.Insert(key, std::move(payload),
+                 priority == FetchPriority::kDemand);
+  });
+  auto provider = std::make_shared<GatedProvider>(1'000);
+
+  // Prefetch A starts fetching and parks at the gate; prefetches B and C
+  // queue behind it; then a demand fetch D arrives.
+  queue.Enqueue(BlockKey{1, 0}, provider, 0, FetchPriority::kPrefetch,
+                nullptr);
+  provider->AwaitFetchEntered(1);
+  queue.Enqueue(BlockKey{1, 1}, provider, 1, FetchPriority::kPrefetch,
+                nullptr);
+  queue.Enqueue(BlockKey{1, 2}, provider, 2, FetchPriority::kPrefetch,
+                nullptr);
+  Status demand_status = Status::Internal("never completed");
+  queue.Enqueue(BlockKey{1, 3}, provider, 3, FetchPriority::kDemand,
+                [&demand_status](const Status& s) { demand_status = s; });
+  provider->OpenGate();
+  queue.WaitIdle();
+
+  // D overtook the queued prefetches: service order A, D, then B, C.
+  const std::vector<std::int64_t> order = provider->order();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 3);
+  EXPECT_EQ(order[2], 1);
+  EXPECT_EQ(order[3], 2);
+  EXPECT_TRUE(demand_status.ok());
+  for (std::int64_t b = 0; b < 4; ++b) {
+    EXPECT_TRUE(cache.Contains(BlockKey{1, b}));
+  }
+  const FetchQueueStats stats = queue.stats();
+  EXPECT_EQ(stats.demand_enqueued, 1);
+  EXPECT_EQ(stats.prefetch_enqueued, 3);
+  EXPECT_EQ(stats.completed, 4);
+}
+
+TEST(FetchQueueTest, DemandEnqueueUpgradesQueuedPrefetch) {
+  BlockCache cache(SmallCache(false, 16));
+  FetchQueueConfig config;
+  config.num_fetchers = 1;
+  FetchQueue queue(config, [&cache](const BlockKey& key,
+                                    std::vector<std::byte> payload,
+                                    FetchPriority priority) {
+    cache.Insert(key, std::move(payload),
+                 priority == FetchPriority::kDemand);
+  });
+  auto provider = std::make_shared<GatedProvider>(1'000);
+
+  queue.Enqueue(BlockKey{1, 0}, provider, 0, FetchPriority::kPrefetch,
+                nullptr);
+  provider->AwaitFetchEntered(1);
+  queue.Enqueue(BlockKey{1, 1}, provider, 1, FetchPriority::kPrefetch,
+                nullptr);
+  // Block 2 queues as a warm-up, then a session parks on it: one fetch,
+  // served at demand priority, both callers coalesced.
+  queue.Enqueue(BlockKey{1, 2}, provider, 2, FetchPriority::kPrefetch,
+                nullptr);
+  bool completed = false;
+  queue.Enqueue(BlockKey{1, 2}, provider, 2, FetchPriority::kDemand,
+                [&completed](const Status& s) { completed = s.ok(); });
+  provider->OpenGate();
+  queue.WaitIdle();
+
+  const std::vector<std::int64_t> order = provider->order();
+  ASSERT_EQ(order.size(), 3u);  // Block 2 fetched exactly once.
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 2);  // Upgraded ahead of prefetch 1.
+  EXPECT_EQ(order[2], 1);
+  EXPECT_TRUE(completed);
+  const FetchQueueStats stats = queue.stats();
+  EXPECT_EQ(stats.upgraded, 1);
+  EXPECT_EQ(stats.coalesced, 1);
+}
+
+TEST(FetchQueueTest, TransientErrorsRetryUntilBoundThenFail) {
+  /// Fails with a transient status the first `fail` times per block.
+  class FlakyProvider final : public BlockProvider {
+   public:
+    explicit FlakyProvider(int fail) : fail_(fail) {
+      geometry_.type = storage::DataType::kInt64;
+      geometry_.row_count = 10'000;
+      geometry_.rows_per_block = 1'000;
+    }
+    const BlockGeometry& geometry() const override { return geometry_; }
+    bool async() const override { return true; }
+    Result<std::vector<std::byte>> Fetch(std::int64_t block) override {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (attempts_++ < fail_) {
+        return Status::Aborted("injected transport failure");
+      }
+      return PayloadFor(block);
+    }
+
+   private:
+    BlockGeometry geometry_;
+    std::mutex mu_;
+    int fail_;
+    int attempts_ = 0;
+  };
+
+  BlockCache cache(SmallCache(false, 16));
+  FetchQueueConfig config;
+  config.num_fetchers = 1;
+  config.max_retries = 3;
+  config.retry_backoff_us = 50;
+  const FetchQueue::Sink sink = [&cache](const BlockKey& key,
+                                         std::vector<std::byte> payload,
+                                         FetchPriority priority) {
+    cache.Insert(key, std::move(payload),
+                 priority == FetchPriority::kDemand);
+  };
+  {
+    // Two transient failures, then success: waiter sees OK.
+    FetchQueue queue(config, sink);
+    auto provider = std::make_shared<FlakyProvider>(2);
+    Status status = Status::Internal("never completed");
+    queue.Enqueue(BlockKey{1, 0}, provider, 0, FetchPriority::kDemand,
+                  [&status](const Status& s) { status = s; });
+    queue.WaitIdle();
+    EXPECT_TRUE(status.ok());
+    EXPECT_TRUE(cache.Contains(BlockKey{1, 0}));
+    EXPECT_EQ(queue.stats().retries, 2);
+    EXPECT_EQ(queue.stats().failures, 0);
+  }
+  {
+    // More failures than the bound: the final error reaches the waiter.
+    FetchQueue queue(config, sink);
+    auto provider = std::make_shared<FlakyProvider>(100);
+    Status status;
+    queue.Enqueue(BlockKey{2, 0}, provider, 0, FetchPriority::kDemand,
+                  [&status](const Status& s) { status = s; });
+    queue.WaitIdle();
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kAborted);
+    EXPECT_FALSE(cache.Contains(BlockKey{2, 0}));
+    EXPECT_EQ(queue.stats().failures, 1);
+    EXPECT_EQ(queue.stats().retries, 3);
+  }
+}
+
+TEST(BufferManagerTest, AsyncSourceSuspendsOnColdBlockAndHitsAfterFetch) {
+  BufferManagerConfig config;
+  config.rows_per_block = 1'000;
+  BufferManager manager(config);
+  auto provider = std::make_shared<GatedProvider>(1'000);
+  provider->OpenGate();  // No latency needed here.
+  auto source = manager.SourceFor("cold.v", 0, provider);
+  ASSERT_TRUE(source->may_block());
+
+  // Probe: miss, no blocking fill.
+  auto probe = source->TryPinBlock(3, -1);
+  ASSERT_TRUE(probe.ok());
+  EXPECT_FALSE(probe->has_value());
+
+  // Demand-fetch it, then the probe hits.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  ASSERT_TRUE(source
+                  ->StartFetch(3,
+                               [&](const Status& s) {
+                                 EXPECT_TRUE(s.ok());
+                                 const std::lock_guard<std::mutex> lock(mu);
+                                 done = true;
+                                 cv.notify_all();
+                               })
+                  .ok());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait_for(lock, std::chrono::seconds(10), [&] { return done; });
+    ASSERT_TRUE(done);
+  }
+  auto pinned = source->TryPinBlock(3, -1);
+  ASSERT_TRUE(pinned.ok());
+  ASSERT_TRUE(pinned->has_value());
+  EXPECT_EQ((*pinned)->view().row_count(), 1'000);
 }
 
 TEST(BufferManagerTest, RemoteProviderFaultsColdBlocksOnce) {

@@ -7,11 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "cache/block_provider.h"
 #include "core/kernel.h"
+#include "remote/remote_store.h"
 #include "sampling/level_policy.h"
 #include "server/frame_scheduler.h"
 #include "server/session_manager.h"
@@ -66,6 +71,66 @@ sim::GestureTrace SlideOver(const TouchServer& /*server*/,
   return builder.Slide("slide", PointCm{3.0, 1.0}, PointCm{3.0, 11.0},
                        MotionProfile::Constant(duration_s));
 }
+
+/// A slow-tier provider for async tests: delegates to an in-memory
+/// TableBlockProvider but advertises async() (so the kernel suspends on
+/// its cold blocks) and blocks each fetch on a gate the test controls.
+class GatedSlowProvider final : public cache::BlockProvider {
+ public:
+  GatedSlowProvider(std::shared_ptr<const Table> table, std::size_t column,
+                    std::int64_t rows_per_block)
+      : inner_(std::move(table), column, rows_per_block) {}
+
+  const cache::BlockGeometry& geometry() const override {
+    return inner_.geometry();
+  }
+  const storage::Dictionary* dictionary() const override {
+    return inner_.dictionary();
+  }
+  bool async() const override { return true; }
+
+  Result<std::vector<std::byte>> Fetch(std::int64_t block) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++fetches_started_;
+      started_cv_.notify_all();
+      // Safety valve: a wedged test run releases itself instead of
+      // hanging the suite.
+      gate_cv_.wait_for(lock, std::chrono::seconds(10),
+                        [this] { return open_; });
+    }
+    fetches_.fetch_add(1, std::memory_order_relaxed);
+    return inner_.Fetch(block);
+  }
+
+  void OpenGate() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    gate_cv_.notify_all();
+  }
+
+  /// Blocks until at least `n` fetches have entered the gate.
+  void AwaitFetchStarted(int n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    started_cv_.wait_for(lock, std::chrono::seconds(10),
+                         [&] { return fetches_started_ >= n; });
+  }
+
+  std::int64_t fetches() const {
+    return fetches_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  cache::TableBlockProvider inner_;
+  std::mutex mu_;
+  std::condition_variable gate_cv_;
+  std::condition_variable started_cv_;
+  bool open_ = false;
+  int fetches_started_ = 0;
+  std::atomic<std::int64_t> fetches_{0};
+};
 
 // ---- FrameScheduler unit tests --------------------------------------------
 
@@ -169,6 +234,36 @@ TEST(FrameSchedulerTest, ShutdownUnblocksPop) {
   std::thread closer([&scheduler] { scheduler.Shutdown(); });
   EXPECT_FALSE(scheduler.PopRunnable().has_value());
   closer.join();
+}
+
+TEST(FrameSchedulerTest, ParkedSessionYieldsToOthersAndResumesOnUnpark) {
+  FrameScheduler scheduler;
+  const sim::Micros now = SteadyNowUs();
+  scheduler.Push(MakeTask(1, now + 10));
+  scheduler.Push(MakeTask(2, now + 500));
+  const auto first = scheduler.PopRunnable();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->session_id, 1);
+  // Session 1's quantum suspends on a fetch: parked, its worker freed.
+  scheduler.ParkForFetch(*first);
+  EXPECT_EQ(scheduler.parked(), 1u);
+  // Session 2 runs although session 1's (parked) head has the earlier
+  // deadline — that is the idle slot the fetch fills.
+  const auto second = scheduler.PopRunnable();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->session_id, 2);
+  scheduler.OnTaskDone(2);
+  // Fetch completes: the suspended quantum comes back first, marked as a
+  // resume so the worker re-enters instead of re-feeding the recognizer.
+  scheduler.Unpark(1);
+  EXPECT_EQ(scheduler.parked(), 0u);
+  const auto third = scheduler.PopRunnable();
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->session_id, 1);
+  EXPECT_TRUE(third->resume);
+  scheduler.OnTaskDone(1);
+  // Unparking an unknown session is a harmless no-op.
+  scheduler.Unpark(42);
 }
 
 // ---- Stats helpers ---------------------------------------------------------
@@ -591,6 +686,256 @@ TEST(TouchServerTest, BufferManagerStatsSurfaceInSnapshot) {
   EXPECT_LE(stats.buffer.resident_bytes, stats.buffer.budget_bytes);
   EXPECT_LE(stats.buffer.peak_resident_bytes, stats.buffer.budget_bytes);
   EXPECT_GE(stats.buffer.hit_rate(), 0.0);
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+// ---- Async block fetch: suspend / resume / retry ----------------------------
+
+/// Server config for cold-tier tests: small blocks so single-table data
+/// spans several, fast retry backoff, relaxed deadlines.
+TouchServerConfig ColdTierConfig(int workers) {
+  TouchServerConfig config = RelaxedConfig(workers);
+  config.session_defaults.buffer.rows_per_block = 1'024;
+  config.session_defaults.buffer.fetch.retry_backoff_us = 100;
+  return config;
+}
+
+TEST(TouchServerAsyncTest, SuspendOnMissWorkerServesOtherSessions) {
+  // ONE worker, two sessions: if a cold fault blocked the worker, the
+  // fast session could not execute until the slow fetch finished.
+  TouchServer server(ColdTierConfig(1));
+  auto slow_table = SequenceTable("slow", 0);
+  ASSERT_TRUE(server.RegisterTable(slow_table).ok());
+  ASSERT_TRUE(server.RegisterTable(SequenceTable("fast", 0)).ok());
+  auto provider = std::make_shared<GatedSlowProvider>(slow_table, 0, 1'024);
+  ASSERT_TRUE(server.shared().SetColumnProvider("slow", 0, provider).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto slow_session = server.OpenSession();
+  const auto fast_session = server.OpenSession();
+  ASSERT_TRUE(slow_session.ok());
+  ASSERT_TRUE(fast_session.ok());
+  ASSERT_TRUE(server
+                  .CreateColumnObject(*slow_session, "slow", "v",
+                                      RectCm{2.0, 1.0, 2.0, 10.0})
+                  .ok());
+  ASSERT_TRUE(server
+                  .CreateColumnObject(*fast_session, "fast", "v",
+                                      RectCm{2.0, 1.0, 2.0, 10.0})
+                  .ok());
+
+  Kernel reference;
+  TraceBuilder builder(reference.device());
+  const auto tap = builder.Tap("tap", PointCm{3.0, 6.0});
+  // The slow session's tap suspends on the gated fetch...
+  ASSERT_TRUE(
+      server.SubmitTrace(*slow_session, tap, {/*paced=*/false}).ok());
+  provider->AwaitFetchStarted(1);
+  // ...and with the fetch still in flight, the single worker picks up and
+  // fully executes the fast session's tap — no worker blocks on a fetch.
+  ASSERT_TRUE(
+      server.SubmitTrace(*fast_session, tap, {/*paced=*/false}).ok());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    const ServerStatsSnapshot stats = server.stats();
+    const SessionStatsSnapshot& fast = stats.per_session.at(*fast_session);
+    if (fast.submitted > 0 && fast.executed == fast.submitted) {
+      break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "fast session starved behind a slow-tier fetch";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  {
+    const ServerStatsSnapshot stats = server.stats();
+    const SessionStatsSnapshot& slow = stats.per_session.at(*slow_session);
+    EXPECT_LT(slow.executed, slow.submitted);  // Still parked on the gate.
+    EXPECT_GE(stats.fetch.suspended_quanta, 1);
+  }
+
+  // Fetch completes: the parked quantum resumes and answers correctly.
+  provider->OpenGate();
+  ASSERT_TRUE(server.Drain().ok());
+  const ServerStatsSnapshot stats = server.stats();
+  EXPECT_GE(stats.fetch.resumed_quanta, 1);
+  EXPECT_GE(stats.fetch.demand_fetches, 1);
+  EXPECT_EQ(stats.fetch.fetch_errors, 0);
+  ASSERT_TRUE(server
+                  .WithSession(*slow_session,
+                               [](Kernel& kernel) {
+                                 ASSERT_EQ(kernel.results().size(), 1u);
+                                 const auto& item =
+                                     kernel.results().items().front();
+                                 // Sequence table: value == row id.
+                                 EXPECT_EQ(item.value.AsInt(), item.row);
+                                 EXPECT_FALSE(
+                                     kernel.has_pending_gestures());
+                               })
+                  .ok());
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(TouchServerAsyncTest, RetriesTransientRemoteFailuresThenAnswers) {
+  TouchServer server(ColdTierConfig(2));
+  auto table = SequenceTable("t", 0);
+  ASSERT_TRUE(server.RegisterTable(table).ok());
+  remote::RemoteServer remote_server(table->ColumnViewAt(0));
+  auto provider = std::make_shared<cache::RemoteBlockProvider>(
+      &remote_server, storage::DataType::kInt64, 1'024);
+  ASSERT_TRUE(server.shared().SetColumnProvider("t", 0, provider).ok());
+  // The next two reads lose their response on the wire; the fetcher must
+  // classify the short read as transient and retry with backoff.
+  remote_server.FailNextReads(2);
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto session = server.OpenSession();
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(server
+                  .CreateColumnObject(*session, "t", "v",
+                                      RectCm{2.0, 1.0, 2.0, 10.0})
+                  .ok());
+  Kernel reference;
+  TraceBuilder builder(reference.device());
+  ASSERT_TRUE(server
+                  .SubmitTrace(*session,
+                               builder.Tap("tap", PointCm{3.0, 6.0}),
+                               {/*paced=*/false})
+                  .ok());
+  ASSERT_TRUE(server.Drain().ok());
+
+  const ServerStatsSnapshot stats = server.stats();
+  EXPECT_GE(stats.fetch.retries, 2);
+  EXPECT_EQ(stats.fetch.fetch_errors, 0);
+  EXPECT_EQ(stats.fetch.shed_on_fetch_error, 0);
+  ASSERT_TRUE(server
+                  .WithSession(*session,
+                               [](Kernel& kernel) {
+                                 ASSERT_EQ(kernel.results().size(), 1u);
+                                 const auto& item =
+                                     kernel.results().items().front();
+                                 EXPECT_EQ(item.value.AsInt(), item.row);
+                               })
+                  .ok());
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(TouchServerAsyncTest, PermanentFetchFailureShedsQuantumNotSession) {
+  TouchServerConfig config = ColdTierConfig(1);
+  config.session_defaults.buffer.fetch.max_retries = 1;
+  TouchServer server(config);
+  auto table = SequenceTable("t", 0);
+  ASSERT_TRUE(server.RegisterTable(table).ok());
+  remote::RemoteServer remote_server(table->ColumnViewAt(0));
+  auto provider = std::make_shared<cache::RemoteBlockProvider>(
+      &remote_server, storage::DataType::kInt64, 1'024);
+  ASSERT_TRUE(server.shared().SetColumnProvider("t", 0, provider).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto session = server.OpenSession();
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(server
+                  .CreateColumnObject(*session, "t", "v",
+                                      RectCm{2.0, 1.0, 2.0, 10.0})
+                  .ok());
+  Kernel reference;
+  TraceBuilder builder(reference.device());
+  // Every read fails: the first tap's fetch exhausts its retries, the
+  // resume sheds the parked gesture, and the session stays serviceable.
+  remote_server.FailNextReads(1'000);
+  ASSERT_TRUE(server
+                  .SubmitTrace(*session,
+                               builder.Tap("tap", PointCm{3.0, 6.0}),
+                               {/*paced=*/false})
+                  .ok());
+  ASSERT_TRUE(server.Drain().ok());
+  {
+    const ServerStatsSnapshot stats = server.stats();
+    EXPECT_GE(stats.fetch.fetch_errors, 1);
+    EXPECT_GE(stats.fetch.shed_on_fetch_error, 1);
+  }
+  // The tier heals; the same session answers the next touch normally.
+  remote_server.FailNextReads(0);
+  ASSERT_TRUE(server
+                  .SubmitTrace(*session,
+                               builder.Tap("tap2", PointCm{3.0, 8.0}, 0.05,
+                                           /*start_time_us=*/1'000'000),
+                               {/*paced=*/false})
+                  .ok());
+  ASSERT_TRUE(server.Drain().ok());
+  ASSERT_TRUE(server
+                  .WithSession(*session,
+                               [](Kernel& kernel) {
+                                 ASSERT_EQ(kernel.results().size(), 1u);
+                                 const auto& item =
+                                     kernel.results().items().front();
+                                 EXPECT_EQ(item.value.AsInt(), item.row);
+                                 EXPECT_FALSE(
+                                     kernel.has_pending_gestures());
+                               })
+                  .ok());
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(TouchServerAsyncTest, ManySessionsColdTierStress) {
+  // Many sessions sliding over a flaky cold tier with few workers: the
+  // TSan job runs this to shake out races between workers, fetchers,
+  // completions and stats snapshots.
+  constexpr int kSessions = 6;
+  TouchServerConfig config = ColdTierConfig(3);
+  config.session_defaults.buffer.fetch.num_fetchers = 2;
+  TouchServer server(config);
+  auto table = SequenceTable("t", 0);
+  ASSERT_TRUE(server.RegisterTable(table).ok());
+  remote::RemoteServer remote_server(table->ColumnViewAt(0));
+  auto provider = std::make_shared<cache::RemoteBlockProvider>(
+      &remote_server, storage::DataType::kInt64, 1'024);
+  ASSERT_TRUE(server.shared().SetColumnProvider("t", 0, provider).ok());
+  remote_server.set_fail_every(7);  // Steady transient flakiness.
+  ASSERT_TRUE(server.Start().ok());
+
+  Kernel reference;
+  const sim::GestureTrace trace = SlideOver(server, reference, 0.5);
+  std::vector<SessionId> ids;
+  for (int i = 0; i < kSessions; ++i) {
+    const auto session = server.OpenSession();
+    ASSERT_TRUE(session.ok());
+    ids.push_back(*session);
+    const auto object = server.CreateColumnObject(
+        *session, "t", "v", RectCm{2.0, 1.0, 2.0, 10.0});
+    ASSERT_TRUE(object.ok());
+  }
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSessions);
+  for (const SessionId id : ids) {
+    submitters.emplace_back([&server, &trace, id] {
+      EXPECT_TRUE(server.SubmitTrace(id, trace, {/*paced=*/false}).ok());
+    });
+  }
+  for (std::thread& t : submitters) {
+    t.join();
+  }
+  ASSERT_TRUE(server.Drain().ok());
+  const ServerStatsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.executed + stats.dropped_quanta, stats.submitted);
+  EXPECT_GE(stats.fetch.suspended_quanta, 1);
+  EXPECT_EQ(stats.fetch.suspended_quanta, stats.fetch.resumed_quanta);
+  // Sequence data: every answered value equals its row id, whichever
+  // worker/fetcher interleaving produced it.
+  for (const SessionId id : ids) {
+    ASSERT_TRUE(server
+                    .WithSession(id,
+                                 [](Kernel& kernel) {
+                                   for (const auto& item :
+                                        kernel.results().items()) {
+                                     EXPECT_EQ(item.value.AsInt(),
+                                               item.row);
+                                   }
+                                   EXPECT_FALSE(
+                                       kernel.has_pending_gestures());
+                                 })
+                    .ok());
+  }
   ASSERT_TRUE(server.Stop().ok());
 }
 
