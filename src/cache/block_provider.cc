@@ -8,6 +8,36 @@
 
 namespace dbtouch::cache {
 
+Status CheckBlockRange(const BlockGeometry& geometry,
+                       std::int64_t first_block, std::int64_t count) {
+  if (count <= 0 || first_block < 0 ||
+      first_block + count > geometry.num_blocks()) {
+    return Status::OutOfRange("block range [" +
+                              std::to_string(first_block) + ", " +
+                              std::to_string(first_block + count) +
+                              ") out of range");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::byte>> BlockProvider::ReadRange(
+    std::int64_t first_block, std::int64_t count) {
+  DBTOUCH_RETURN_IF_ERROR(CheckBlockRange(geometry(), first_block, count));
+  const std::int64_t rows =
+      std::min((first_block + count) * geometry().rows_per_block,
+               geometry().row_count) -
+      first_block * geometry().rows_per_block;
+  std::vector<std::byte> payload;
+  payload.reserve(static_cast<std::size_t>(rows) * geometry().width());
+  for (std::int64_t block = first_block; block < first_block + count;
+       ++block) {
+    DBTOUCH_ASSIGN_OR_RETURN(const std::vector<std::byte> one,
+                             Fetch(block));
+    payload.insert(payload.end(), one.begin(), one.end());
+  }
+  return payload;
+}
+
 TableBlockProvider::TableBlockProvider(
     std::shared_ptr<const storage::Table> table, std::size_t column,
     std::int64_t rows_per_block)
@@ -66,8 +96,31 @@ Result<std::vector<std::byte>> RemoteBlockProvider::Fetch(
     return Status::OutOfRange("block " + std::to_string(block) +
                               " out of range");
   }
-  const storage::RowId first = block * geometry_.rows_per_block;
-  const std::int64_t count = geometry_.BlockRowCount(block);
+  return FetchRows(block * geometry_.rows_per_block,
+                   geometry_.BlockRowCount(block),
+                   "block " + std::to_string(block));
+}
+
+Result<std::vector<std::byte>> RemoteBlockProvider::ReadRange(
+    std::int64_t first_block, std::int64_t count) {
+  DBTOUCH_RETURN_IF_ERROR(CheckBlockRange(geometry_, first_block, count));
+  const storage::RowId first = first_block * geometry_.rows_per_block;
+  const std::int64_t rows =
+      std::min((first_block + count) * geometry_.rows_per_block,
+               geometry_.row_count) -
+      first;
+  Result<std::vector<std::byte>> payload = FetchRows(
+      first, rows,
+      "blocks " + std::to_string(first_block) + ".." +
+          std::to_string(first_block + count - 1));
+  if (payload.ok() && count > 1) {
+    ranged_requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return payload;
+}
+
+Result<std::vector<std::byte>> RemoteBlockProvider::FetchRows(
+    storage::RowId first, std::int64_t count, const std::string& what) {
   std::int64_t response_bytes = 0;
   std::vector<double> values;
   {
@@ -81,8 +134,7 @@ Result<std::vector<std::byte>> RemoteBlockProvider::Fetch(
   if (static_cast<std::int64_t>(values.size()) != count) {
     return Status::Aborted(
         "remote short read: got " + std::to_string(values.size()) +
-        " of " + std::to_string(count) + " entries for block " +
-        std::to_string(block));
+        " of " + std::to_string(count) + " entries for " + what);
   }
   requests_.fetch_add(1, std::memory_order_relaxed);
   bytes_fetched_.fetch_add(response_bytes, std::memory_order_relaxed);

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -49,6 +50,11 @@ struct BlockGeometry {
   }
 };
 
+/// Shared bounds validation for Fetch/ReadRange implementations: OK iff
+/// [first_block, first_block + count) lies inside the geometry.
+Status CheckBlockRange(const BlockGeometry& geometry,
+                       std::int64_t first_block, std::int64_t count);
+
 class BlockProvider {
  public:
   virtual ~BlockProvider() = default;
@@ -66,6 +72,15 @@ class BlockProvider {
   /// DeadlineExceeded) and the fetch path retries with backoff — see
   /// cache/fetch_queue.h.
   virtual Result<std::vector<std::byte>> Fetch(std::int64_t block) = 0;
+
+  /// Materialises blocks [first_block, first_block + count) as one densely
+  /// packed payload (block payloads back to back). This is the batched
+  /// demand-fetch seam: when a cold summary band misses N adjacent blocks,
+  /// the fetch path calls this once instead of Fetch N times, so tiers
+  /// with per-request cost (disk seeks, remote round trips) pay it once.
+  /// The default loops over Fetch — correct for every provider, no faster.
+  virtual Result<std::vector<std::byte>> ReadRange(std::int64_t first_block,
+                                                   std::int64_t count);
 
   /// True when Fetch is slow enough that callers should suspend on it
   /// rather than block a worker (remote / disk tiers). Immediate providers
@@ -109,16 +124,28 @@ class RemoteBlockProvider final : public BlockProvider {
     return dictionary_;
   }
   Result<std::vector<std::byte>> Fetch(std::int64_t block) override;
+  /// One ranged read against the server spanning the blocks' rows — N
+  /// adjacent cold blocks cost one round trip instead of N.
+  Result<std::vector<std::byte>> ReadRange(std::int64_t first_block,
+                                           std::int64_t count) override;
   bool async() const override { return true; }
 
   std::int64_t requests() const {
     return requests_.load(std::memory_order_relaxed);
+  }
+  std::int64_t ranged_requests() const {
+    return ranged_requests_.load(std::memory_order_relaxed);
   }
   std::int64_t bytes_fetched() const {
     return bytes_fetched_.load(std::memory_order_relaxed);
   }
 
  private:
+  /// Shared fetch core: reads `count` rows from `first` as one server
+  /// range read and re-encodes the doubles into the declared type.
+  Result<std::vector<std::byte>> FetchRows(storage::RowId first,
+                                           std::int64_t count,
+                                           const std::string& what);
   remote::RemoteServer* server_;  // Not owned.
   /// RemoteServer models one synchronous endpoint and is not itself
   /// thread-safe; faults from concurrent cache shards serialise here.
@@ -126,6 +153,7 @@ class RemoteBlockProvider final : public BlockProvider {
   const storage::Dictionary* dictionary_;
   BlockGeometry geometry_;
   std::atomic<std::int64_t> requests_{0};
+  std::atomic<std::int64_t> ranged_requests_{0};
   std::atomic<std::int64_t> bytes_fetched_{0};
 };
 

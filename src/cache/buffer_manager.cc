@@ -108,19 +108,52 @@ class BufferManager::Source final : public storage::PagedColumnSource {
     return provider_->async() && manager_->async_enabled();
   }
 
-  Status StartFetch(std::int64_t block, FetchCompletion done) override {
+  Status StartFetch(std::int64_t block, FetchCompletion done,
+                    std::uint64_t tag = 0) override {
     if (block < 0 || block >= num_blocks()) {
       return Status::OutOfRange("block " + std::to_string(block) +
                                 " out of range");
     }
     if (!may_block()) {
-      return PagedColumnSource::StartFetch(block, std::move(done));
+      return PagedColumnSource::StartFetch(block, std::move(done), tag);
     }
     // Non-null by construction: binding an async provider created it.
     FetchQueue* queue = manager_->fetch_queue();
     DBTOUCH_CHECK(queue != nullptr);
     queue->Enqueue(BlockKey{owner_, block}, provider_, block,
-                   FetchPriority::kDemand, std::move(done));
+                   FetchPriority::kDemand, std::move(done), tag);
+    return Status::OK();
+  }
+
+  /// Batched demand fetch for the blocking read path: materialise the
+  /// band's missing stretches with one ranged provider read each,
+  /// staging the blocks in the cache so the per-block pins that follow
+  /// all hit. Only slow tiers benefit — an in-memory provider's Fetch is
+  /// a memcpy with no per-call round trip to amortise.
+  Status Preload(std::int64_t first_block,
+                 std::int64_t last_block) override {
+    if (!provider_->async()) {
+      return Status::OK();
+    }
+    first_block = std::max<std::int64_t>(first_block, 0);
+    last_block = std::min<std::int64_t>(last_block, num_blocks() - 1);
+    std::int64_t run_start = -1;
+    for (std::int64_t block = first_block; block <= last_block + 1;
+         ++block) {
+      const bool missing =
+          block <= last_block &&
+          !manager_->cache_.Contains(BlockKey{owner_, block});
+      if (missing) {
+        if (run_start < 0) {
+          run_start = block;
+        }
+        continue;
+      }
+      if (run_start >= 0) {
+        DBTOUCH_RETURN_IF_ERROR(FetchRun(run_start, block - run_start));
+        run_start = -1;
+      }
+    }
     return Status::OK();
   }
 
@@ -146,6 +179,41 @@ class BufferManager::Source final : public storage::PagedColumnSource {
   }
 
  private:
+  /// One ranged read (with the shared retry policy) for a missing run,
+  /// split and staged per block. Demand-staged: a gesture is about to pin
+  /// every one of these.
+  Status FetchRun(std::int64_t first_block, std::int64_t count) {
+    std::int64_t retries = 0;
+    Result<std::vector<std::byte>> payload =
+        count == 1 ? FetchBlockWithRetry(*provider_, first_block,
+                                         manager_->config_.fetch, &retries)
+                   : FetchRangeWithRetry(*provider_, first_block, count,
+                                         manager_->config_.fetch, &retries);
+    manager_->sync_retries_.fetch_add(retries, std::memory_order_relaxed);
+    DBTOUCH_RETURN_IF_ERROR(payload.status());
+    if (count > 1) {
+      manager_->sync_ranged_reads_.fetch_add(1, std::memory_order_relaxed);
+      manager_->sync_ranged_blocks_.fetch_add(count,
+                                              std::memory_order_relaxed);
+    }
+    const BlockGeometry& geometry = provider_->geometry();
+    std::size_t offset = 0;
+    for (std::int64_t block = first_block; block < first_block + count;
+         ++block) {
+      const std::size_t bytes =
+          static_cast<std::size_t>(geometry.BlockRowCount(block)) *
+          geometry.width();
+      DBTOUCH_CHECK(offset + bytes <= payload->size());
+      manager_->cache_.Insert(
+          BlockKey{owner_, block},
+          std::vector<std::byte>(payload->begin() + offset,
+                                 payload->begin() + offset + bytes),
+          /*demand=*/true);
+      offset += bytes;
+    }
+    return Status::OK();
+  }
+
   storage::BlockPin MakePin(std::int64_t block,
                             const BlockCache::Pinned& pinned) {
     const storage::ColumnView view(
@@ -187,6 +255,11 @@ void BufferManager::EnsureFetchQueue() {
 FetchQueueStats BufferManager::fetch_stats() const {
   const FetchQueue* queue = fetch_queue();
   return queue != nullptr ? queue->stats() : FetchQueueStats{};
+}
+
+std::size_t BufferManager::CancelFetches(std::uint64_t tag) {
+  FetchQueue* queue = fetch_queue();
+  return queue != nullptr ? queue->CancelTagged(tag) : 0;
 }
 
 void BufferManager::WaitForFetches() {

@@ -102,6 +102,19 @@ class BufferManager {
   std::int64_t sync_fetch_retries() const {
     return sync_retries_.load(std::memory_order_relaxed);
   }
+  /// Ranged reads issued by the blocking Preload path (and the blocks
+  /// they covered); the async queue's coalescing is counted in
+  /// fetch_stats().ranged_reads.
+  std::int64_t sync_ranged_reads() const {
+    return sync_ranged_reads_.load(std::memory_order_relaxed);
+  }
+  std::int64_t sync_ranged_blocks() const {
+    return sync_ranged_blocks_.load(std::memory_order_relaxed);
+  }
+  /// Retracts still-queued demand fetches enqueued under `tag` (the touch
+  /// server's session id) — see FetchQueue::CancelTagged. Returns the
+  /// number of queued fetches dropped.
+  std::size_t CancelFetches(std::uint64_t tag);
   /// Blocks until no async fetch is queued or in flight (tests).
   void WaitForFetches();
 
@@ -139,6 +152,8 @@ class BufferManager {
   std::unique_ptr<FetchQueue> fetch_queue_;
   std::atomic<FetchQueue*> fetch_queue_ptr_{nullptr};
   std::atomic<std::int64_t> sync_retries_{0};
+  std::atomic<std::int64_t> sync_ranged_reads_{0};
+  std::atomic<std::int64_t> sync_ranged_blocks_{0};
   mutable std::mutex mu_;
   std::map<std::pair<std::string, std::size_t>, Binding> bindings_;
   std::uint64_t next_owner_ = 1;

@@ -28,12 +28,16 @@ bool IsTransientFetchError(const Status& status) {
   }
 }
 
-Result<std::vector<std::byte>> FetchBlockWithRetry(
-    BlockProvider& provider, std::int64_t block,
-    const FetchQueueConfig& config, std::int64_t* retries_out) {
+namespace {
+
+/// Shared retry loop of FetchBlockWithRetry / FetchRangeWithRetry.
+template <typename Fetch>
+Result<std::vector<std::byte>> RetryFetch(const Fetch& fetch,
+                                          const FetchQueueConfig& config,
+                                          std::int64_t* retries_out) {
   int attempt = 0;
   for (;;) {
-    Result<std::vector<std::byte>> payload = provider.Fetch(block);
+    Result<std::vector<std::byte>> payload = fetch();
     if (payload.ok() || !IsTransientFetchError(payload.status()) ||
         attempt >= config.max_retries) {
       return payload;
@@ -45,6 +49,22 @@ Result<std::vector<std::byte>> FetchBlockWithRetry(
       ++*retries_out;
     }
   }
+}
+
+}  // namespace
+
+Result<std::vector<std::byte>> FetchBlockWithRetry(
+    BlockProvider& provider, std::int64_t block,
+    const FetchQueueConfig& config, std::int64_t* retries_out) {
+  return RetryFetch([&] { return provider.Fetch(block); }, config,
+                    retries_out);
+}
+
+Result<std::vector<std::byte>> FetchRangeWithRetry(
+    BlockProvider& provider, std::int64_t first_block, std::int64_t count,
+    const FetchQueueConfig& config, std::int64_t* retries_out) {
+  return RetryFetch([&] { return provider.ReadRange(first_block, count); },
+                    config, retries_out);
 }
 
 FetchQueue::FetchQueue(const FetchQueueConfig& config, Sink sink)
@@ -62,7 +82,7 @@ FetchQueue::~FetchQueue() { Shutdown(); }
 bool FetchQueue::Enqueue(const BlockKey& key,
                          std::shared_ptr<BlockProvider> provider,
                          std::int64_t block, FetchPriority priority,
-                         Completion done) {
+                         Completion done, std::uint64_t tag) {
   Completion reject;  // Invoked outside the lock if the enqueue is refused.
   bool created = false;
   {
@@ -102,7 +122,7 @@ bool FetchQueue::Enqueue(const BlockKey& key,
         }
       }
       if (done != nullptr) {
-        request.waiters.push_back(std::move(done));
+        request.waiters.push_back(Waiter{std::move(done), tag});
       }
     }
   }
@@ -128,6 +148,139 @@ bool FetchQueue::PopLocked(BlockKey* key) {
   return false;
 }
 
+std::vector<BlockKey> FetchQueue::GatherRangeLocked(const BlockKey& key) {
+  std::vector<BlockKey> keys{key};
+  const auto head = requests_.find(key);
+  DBTOUCH_CHECK(head != requests_.end());
+  head->second.in_flight = true;
+  if (config_.max_coalesce_blocks <= 1) {
+    return keys;
+  }
+  const BlockProvider* provider = head->second.provider.get();
+  const FetchPriority priority = head->second.priority;
+  // Extend in both directions: a stall enqueues its band in ascending
+  // order, but the fetcher may pop a middle block first when an earlier
+  // one was already in flight. Only still-queued requests of the SAME
+  // priority join — an in-flight neighbour is already being read (popping
+  // it twice would double-deliver), and a warm-up must never ride a
+  // demand range (it would inflate the read a session is parked on, and
+  // demand pops must drain before prefetch work starts).
+  const auto joinable = [&](std::int64_t block) -> bool {
+    const auto it = requests_.find(BlockKey{key.owner, block});
+    return it != requests_.end() && !it->second.in_flight &&
+           it->second.priority == priority &&
+           it->second.provider.get() == provider;
+  };
+  const auto take = [&](std::int64_t block) {
+    const BlockKey neighbour{key.owner, block};
+    Request& request = requests_.find(neighbour)->second;
+    request.in_flight = true;
+    std::erase(priority == FetchPriority::kDemand ? demand_queue_
+                                                  : prefetch_queue_,
+               neighbour);
+    keys.push_back(neighbour);
+  };
+  std::int64_t lo = key.block;
+  std::int64_t hi = key.block;
+  while (static_cast<int>(keys.size()) < config_.max_coalesce_blocks) {
+    if (joinable(hi + 1)) {
+      take(++hi);
+    } else if (joinable(lo - 1)) {
+      take(--lo);
+    } else {
+      break;
+    }
+  }
+  std::sort(keys.begin(), keys.end(),
+            [](const BlockKey& a, const BlockKey& b) {
+              return a.block < b.block;
+            });
+  return keys;
+}
+
+void FetchQueue::SettleFetch(std::unique_lock<std::mutex>& lock,
+                             const std::vector<BlockKey>& keys,
+                             Result<std::vector<std::byte>> payload,
+                             std::int64_t retries, std::int64_t wall_us) {
+  lock.lock();
+  stats_.retries += retries;
+  stats_.fetch_wall_us += wall_us;
+  stats_.max_fetch_wall_us = std::max(stats_.max_fetch_wall_us, wall_us);
+  const std::int64_t count = static_cast<std::int64_t>(keys.size());
+  if (payload.ok()) {
+    stats_.completed += count;
+    stats_.bytes_fetched += static_cast<std::int64_t>(payload->size());
+    if (count > 1) {
+      ++stats_.ranged_reads;
+      stats_.ranged_blocks += count;
+    }
+  } else {
+    stats_.failures += count;
+  }
+
+  struct Delivery {
+    BlockKey key;
+    std::vector<std::byte> bytes;
+    FetchPriority priority = FetchPriority::kPrefetch;
+    std::vector<Waiter> waiters;
+  };
+  std::vector<Delivery> deliveries;
+  deliveries.reserve(keys.size());
+  std::size_t offset = 0;
+  for (const BlockKey& key : keys) {
+    const auto it = requests_.find(key);
+    DBTOUCH_CHECK(it != requests_.end());
+    Delivery delivery;
+    delivery.key = key;
+    // Read the priority only now: a demand enqueue that coalesced while
+    // the fetch was in flight upgraded it, and the delivery must carry
+    // that (the cache shelters demand-staged blocks from warm-up churn).
+    delivery.priority = it->second.priority;
+    delivery.waiters = std::move(it->second.waiters);
+    if (payload.ok() && count == 1) {
+      // Single fetch: the payload is the block, whatever its size (the
+      // cache does not second-guess providers).
+      delivery.bytes = *std::move(payload);
+    } else if (payload.ok()) {
+      // The range payload is the blocks' bytes back to back in block
+      // order; geometry gives each block's slice. ReadRange's contract
+      // (BlockRowCount * width bytes per block) is what makes the split
+      // well-defined.
+      const BlockGeometry& geometry = it->second.provider->geometry();
+      const std::size_t bytes =
+          static_cast<std::size_t>(geometry.BlockRowCount(key.block)) *
+          geometry.width();
+      DBTOUCH_CHECK(offset + bytes <= payload->size());
+      delivery.bytes.assign(payload->begin() + offset,
+                            payload->begin() + offset + bytes);
+      offset += bytes;
+    }
+    requests_.erase(it);
+    deliveries.push_back(std::move(delivery));
+  }
+  const Status status = payload.ok() ? Status::OK() : payload.status();
+  ++active_callbacks_;  // Covers the sink too: WaitIdle implies
+                        // delivered payloads are in the cache.
+  lock.unlock();
+  // Deliver every block before waking any waiter: a waiter that re-probes
+  // its whole stall on the completion signal must hit all of it.
+  if (status.ok()) {
+    for (Delivery& delivery : deliveries) {
+      sink_(delivery.key, std::move(delivery.bytes), delivery.priority);
+    }
+  }
+  for (const Delivery& delivery : deliveries) {
+    for (const Waiter& waiter : delivery.waiters) {
+      waiter.done(status);
+    }
+  }
+  lock.lock();
+  --active_callbacks_;
+  if (requests_.empty() && active_callbacks_ == 0) {
+    idle_cv_.notify_all();
+  }
+}
+
 void FetchQueue::FetcherLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -138,61 +291,80 @@ void FetchQueue::FetcherLoop() {
     if (shutdown_) {
       return;
     }
+    // Gather queued adjacent requests into one ranged read (the popped
+    // key rides alone when it has no queued neighbours). Demand pops
+    // drain before any prefetch is even considered, so a demand fault
+    // always preempts a coalesced prefetch range.
+    const std::vector<BlockKey> keys = GatherRangeLocked(key);
     std::shared_ptr<BlockProvider> provider;
-    std::int64_t block = 0;
     {
       const auto it = requests_.find(key);
       DBTOUCH_CHECK(it != requests_.end());
-      it->second.in_flight = true;
       provider = it->second.provider;
-      block = it->second.block;
       // The iterator must not outlive this scope: concurrent Enqueues
       // during the unlocked fetch below may rehash the map, invalidating
-      // every iterator — the request is re-found after relocking.
+      // every iterator — the requests are re-found after relocking.
     }
+    const std::int64_t first_block = keys.front().block;
+    const std::int64_t count = static_cast<std::int64_t>(keys.size());
 
     lock.unlock();
     std::int64_t retries = 0;
     const std::int64_t t0 = NowUs();
     Result<std::vector<std::byte>> payload =
-        FetchBlockWithRetry(*provider, block, config_, &retries);
+        count == 1
+            ? FetchBlockWithRetry(*provider, first_block, config_, &retries)
+            : FetchRangeWithRetry(*provider, first_block, count, config_,
+                                  &retries);
     const std::int64_t wall = NowUs() - t0;
-    lock.lock();
+    SettleFetch(lock, keys, std::move(payload), retries, wall);
+  }
+}
 
-    stats_.retries += retries;
-    stats_.fetch_wall_us += wall;
-    stats_.max_fetch_wall_us = std::max(stats_.max_fetch_wall_us, wall);
-    if (payload.ok()) {
-      ++stats_.completed;
-    } else {
-      ++stats_.failures;
+std::size_t FetchQueue::CancelTagged(std::uint64_t tag) {
+  std::vector<Waiter> cancelled;
+  std::size_t dropped = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = requests_.begin(); it != requests_.end();) {
+      Request& request = it->second;
+      if (request.in_flight) {
+        // Already being read: let it finish and settle normally (its
+        // completions must fire to balance the caller's tickets).
+        ++it;
+        continue;
+      }
+      const std::size_t before = request.waiters.size();
+      std::erase_if(request.waiters, [&](Waiter& waiter) {
+        if (waiter.tag != tag) {
+          return false;
+        }
+        cancelled.push_back(std::move(waiter));
+        return true;
+      });
+      const bool retracted = request.waiters.size() < before;
+      if (retracted && request.waiters.empty() &&
+          request.priority == FetchPriority::kDemand) {
+        // Nobody is left waiting on this demand read — fetching it would
+        // only spend cold-tier bandwidth on a closed session. (Waiterless
+        // prefetches stay: they are deliberate fire-and-forget warm-ups
+        // of the shared pool.)
+        std::erase(demand_queue_, it->first);
+        it = requests_.erase(it);
+        ++stats_.cancelled;
+        ++dropped;
+      } else {
+        ++it;
+      }
     }
-    const auto it = requests_.find(key);
-    DBTOUCH_CHECK(it != requests_.end());
-    // Read the priority only now: a demand enqueue that coalesced while
-    // the fetch was in flight upgraded it, and the delivery must carry
-    // that (the cache shelters demand-staged blocks from warm-up churn).
-    const FetchPriority priority = it->second.priority;
-    std::vector<Completion> waiters = std::move(it->second.waiters);
-    requests_.erase(it);
-    const Status status = payload.ok() ? Status::OK() : payload.status();
-    ++active_callbacks_;  // Covers the sink too: WaitIdle implies
-                          // delivered payloads are in the cache.
-    lock.unlock();
-    if (payload.ok()) {
-      // Deliver before waking waiters: a waiter that re-probes its pin on
-      // the completion signal must hit.
-      sink_(key, *std::move(payload), priority);
-    }
-    for (const Completion& waiter : waiters) {
-      waiter(status);
-    }
-    lock.lock();
-    --active_callbacks_;
     if (requests_.empty() && active_callbacks_ == 0) {
       idle_cv_.notify_all();
     }
   }
+  for (const Waiter& waiter : cancelled) {
+    waiter.done(Status::Aborted("fetch cancelled: session closed"));
+  }
+  return dropped;
 }
 
 std::size_t FetchQueue::outstanding() const {
@@ -220,8 +392,8 @@ void FetchQueue::Shutdown() {
     // which complete on their fetcher before it exits — drain.
     for (auto it = requests_.begin(); it != requests_.end();) {
       if (!it->second.in_flight) {
-        for (Completion& waiter : it->second.waiters) {
-          orphans.push_back(std::move(waiter));
+        for (Waiter& waiter : it->second.waiters) {
+          orphans.push_back(std::move(waiter.done));
         }
         it = requests_.erase(it);
       } else {

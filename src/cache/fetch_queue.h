@@ -63,6 +63,12 @@ struct FetchQueueConfig {
   int max_retries = 3;
   /// Backoff before retry k is backoff_us << k (exponential).
   std::int64_t retry_backoff_us = 200;
+  /// Batched demand fetches: when the popped request has queued
+  /// neighbours (same owner, adjacent block indices, not yet in flight),
+  /// up to this many blocks are merged into one provider ReadRange — a
+  /// cold summary band costs one round trip instead of N. <= 1 disables
+  /// coalescing.
+  int max_coalesce_blocks = 16;
 };
 
 struct FetchQueueStats {
@@ -76,6 +82,18 @@ struct FetchQueueStats {
   std::int64_t retries = 0;
   /// Fetches that exhausted retries (or hit a permanent error).
   std::int64_t failures = 0;
+  /// Queued-not-in-flight demand requests dropped by CancelTagged (a
+  /// session closed before its fetch started).
+  std::int64_t cancelled = 0;
+  /// Coalesced provider calls: ReadRange invocations spanning >= 2
+  /// adjacent blocks, and the blocks they covered. completed counts every
+  /// block, so (completed - ranged_blocks + ranged_reads) is the number
+  /// of provider round trips actually paid.
+  std::int64_t ranged_reads = 0;
+  std::int64_t ranged_blocks = 0;
+  /// Payload bytes delivered by the fetchers (bytes faulted in from the
+  /// cold tier — disk or remote).
+  std::int64_t bytes_fetched = 0;
   /// Wall time inside provider fetches, including retries + backoff.
   std::int64_t fetch_wall_us = 0;
   std::int64_t max_fetch_wall_us = 0;
@@ -92,6 +110,12 @@ bool IsTransientFetchError(const Status& status);
 /// (optional) accumulates the retries spent.
 Result<std::vector<std::byte>> FetchBlockWithRetry(
     BlockProvider& provider, std::int64_t block,
+    const FetchQueueConfig& config, std::int64_t* retries_out = nullptr);
+
+/// Ranged sibling of FetchBlockWithRetry: one provider ReadRange over
+/// [first_block, first_block + count) under the same retry policy.
+Result<std::vector<std::byte>> FetchRangeWithRetry(
+    BlockProvider& provider, std::int64_t first_block, std::int64_t count,
     const FetchQueueConfig& config, std::int64_t* retries_out = nullptr);
 
 class FetchQueue {
@@ -116,11 +140,22 @@ class FetchQueue {
   /// Requests `block` of `provider`, identified in the cache as `key`.
   /// Coalesces with any queued/in-flight fetch of the same key (a demand
   /// request upgrades a still-queued prefetch). `done` may be null (fire
-  /// and forget — the prefetch path). Returns true iff a NEW request was
-  /// created — false for coalesced joins and shutdown rejections — so
-  /// callers budgeting fetches don't spend their budget on no-ops.
+  /// and forget — the prefetch path). `tag` names the waiter's owner (the
+  /// touch server passes the session id) so CancelTagged can retract its
+  /// tickets; 0 = untagged. Returns true iff a NEW request was created —
+  /// false for coalesced joins and shutdown rejections — so callers
+  /// budgeting fetches don't spend their budget on no-ops.
   bool Enqueue(const BlockKey& key, std::shared_ptr<BlockProvider> provider,
-               std::int64_t block, FetchPriority priority, Completion done);
+               std::int64_t block, FetchPriority priority, Completion done,
+               std::uint64_t tag = 0);
+
+  /// Retracts `tag`'s still-queued tickets (a session closed): its waiters
+  /// on queued — NOT in-flight — requests fail with Aborted, and a demand
+  /// request left with no waiters is dropped entirely, so closed sessions
+  /// stop consuming cold-tier bandwidth. In-flight fetches finish and
+  /// settle normally (their completions must, to balance tickets).
+  /// Returns the number of requests dropped.
+  std::size_t CancelTagged(std::uint64_t tag);
 
   /// Queued + in-flight fetches.
   std::size_t outstanding() const;
@@ -135,17 +170,35 @@ class FetchQueue {
   FetchQueueStats stats() const;
 
  private:
+  struct Waiter {
+    Completion done;
+    std::uint64_t tag = 0;
+  };
+
   struct Request {
     std::shared_ptr<BlockProvider> provider;
     std::int64_t block = 0;
     FetchPriority priority = FetchPriority::kPrefetch;
     bool in_flight = false;
-    std::vector<Completion> waiters;
+    std::vector<Waiter> waiters;
   };
 
   void FetcherLoop();
   /// Pops the next runnable key (demand first) or returns false.
   bool PopLocked(BlockKey* key);
+  /// Extends the popped `key` with queued adjacent same-owner requests
+  /// (same provider, consecutive block indices, not in flight), removing
+  /// them from their lanes and marking every gathered request in flight.
+  /// Returns the keys in ascending block order; size 1 = no coalescing.
+  std::vector<BlockKey> GatherRangeLocked(const BlockKey& key);
+  /// Completes `keys` (all in flight, ascending adjacent blocks) with the
+  /// outcome of one fetch: on success `payload` is split per block and
+  /// delivered through the sink before any waiter runs. Reacquires `lock`
+  /// before returning.
+  void SettleFetch(std::unique_lock<std::mutex>& lock,
+                   const std::vector<BlockKey>& keys,
+                   Result<std::vector<std::byte>> payload,
+                   std::int64_t retries, std::int64_t wall_us);
 
   FetchQueueConfig config_;
   Sink sink_;

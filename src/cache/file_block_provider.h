@@ -1,0 +1,238 @@
+// FileBlockProvider: the disk spill tier behind the BufferManager.
+//
+// A spilled column lives in one block file — a self-describing header, an
+// explicit per-block extent table, and the block payloads back to back:
+//
+//   +--------------------+  BlockFileHeader (magic, version, geometry)
+//   | header  (64 bytes) |
+//   +--------------------+  num_blocks x BlockExtent {offset, bytes} —
+//   | extent table       |  redundant for fixed-width data, but it makes
+//   +--------------------+  the file checkable (a truncated or corrupted
+//   | block 0 payload    |  file fails validation instead of serving
+//   | block 1 payload    |  garbage) and keeps the format open to future
+//   | ...                |  variable-width encodings.
+//   +--------------------+
+//
+// BlockFileWriter streams a column out one block at a time (the spill
+// itself never materialises the whole column), FileBlockProvider faults
+// blocks back in: pread per block by default, a single pread spanning the
+// extents for ranged reads (ReadRange — the batched demand fetch path),
+// or zero-syscall memcpy reads from an optional read-only mmap of the
+// file. The provider is async(): reads suspend quanta instead of blocking
+// workers, exactly like the remote tier.
+//
+// Failure contract (mirrors RemoteBlockProvider): a short pread is a
+// transient Status (Aborted) the fetch path retries with backoff; an
+// unopenable file (deleted, permission) is permanent and sheds only the
+// stalled gesture. FileFaultInjector injects both classes
+// deterministically for the fault battery, the file-system ones
+// (truncate, unlink) are exercised for real in tests/file_tier_test.cc.
+
+#ifndef DBTOUCH_CACHE_FILE_BLOCK_PROVIDER_H_
+#define DBTOUCH_CACHE_FILE_BLOCK_PROVIDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cache/block_provider.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/dictionary.h"
+#include "storage/types.h"
+
+namespace dbtouch::cache {
+
+/// On-disk header of a spilled column. Fixed 64 bytes, host endian (spill
+/// files are node-local scratch, not an interchange format).
+struct BlockFileHeader {
+  static constexpr char kMagic[4] = {'D', 'B', 'T', 'B'};
+  static constexpr std::uint32_t kVersion = 1;
+
+  char magic[4] = {'D', 'B', 'T', 'B'};
+  std::uint32_t version = kVersion;
+  std::uint32_t type = 0;   // storage::DataType
+  std::uint32_t width = 0;  // Field width in bytes; must match the type.
+  std::int64_t row_count = 0;
+  std::int64_t rows_per_block = 0;
+  std::int64_t num_blocks = 0;
+  /// File offset of the first block payload (= 64 + extent table bytes).
+  std::int64_t payload_offset = 0;
+  std::int64_t reserved[2] = {0, 0};
+};
+static_assert(sizeof(BlockFileHeader) == 64, "header layout is part of "
+                                             "the on-disk format");
+
+/// One block's location in the file.
+struct BlockExtent {
+  std::int64_t offset = 0;
+  std::int64_t bytes = 0;
+};
+
+/// Streams one column's blocks into a block file: Append each block in
+/// order, then Finish (which seals header + extent table). A writer that
+/// is destroyed without Finish leaves a file that fails Open validation —
+/// a crashed spill can never serve partial data.
+class BlockFileWriter {
+ public:
+  BlockFileWriter(std::string path, const BlockGeometry& geometry);
+  ~BlockFileWriter();
+
+  BlockFileWriter(const BlockFileWriter&) = delete;
+  BlockFileWriter& operator=(const BlockFileWriter&) = delete;
+
+  /// Appends the next block's payload; must be called in block order with
+  /// exactly geometry.BlockRowCount(block) * width bytes.
+  Status Append(const std::byte* data, std::size_t size);
+
+  /// Writes the extent table and header. No Append may follow.
+  Status Finish();
+
+  const std::string& path() const { return path_; }
+  std::int64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::string path_;
+  BlockGeometry geometry_;
+  int fd_ = -1;
+  Status open_status_;
+  std::int64_t next_block_ = 0;
+  std::int64_t bytes_written_ = 0;
+  std::vector<BlockExtent> extents_;
+  bool finished_ = false;
+};
+
+/// Deterministic fault injection for the file tier — the disk analogue of
+/// RemoteServer::FailNextReads. Installed on a FileBlockProvider, it
+/// intercepts backing reads and substitutes a failure:
+///
+///   kShortRead        -> transient (Aborted): a read returned fewer bytes
+///                        than the extent — retried with backoff.
+///   kIoError          -> transient (ResourceExhausted): the device
+///                        hiccupped (EAGAIN-shaped) — retried.
+///   kPermissionDenied -> permanent (Internal): EACCES-shaped — fails the
+///                        fetch immediately, shedding only the stalled
+///                        gesture.
+///
+/// Thread-safe: concurrent fetchers draw faults from one budget.
+class FileFaultInjector {
+ public:
+  enum class Fault : std::uint8_t {
+    kNone = 0,
+    kShortRead,
+    kIoError,
+    kPermissionDenied,
+  };
+
+  /// The next `n` backing reads fail with `fault`.
+  void FailNextReads(int n, Fault fault = Fault::kShortRead);
+  /// Steady-state flakiness: every `n`th read fails (0 = reliable).
+  void set_fail_every(int n, Fault fault = Fault::kShortRead);
+
+  /// Consumed by the provider before each backing read.
+  Fault Next();
+
+  std::int64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mu_;
+  int fail_next_ = 0;
+  Fault next_fault_ = Fault::kNone;
+  int fail_every_ = 0;
+  Fault every_fault_ = Fault::kNone;
+  std::int64_t reads_ = 0;
+  std::atomic<std::int64_t> injected_{0};
+};
+
+struct FileProviderOptions {
+  /// Map the file read-only and serve blocks by memcpy from the mapping
+  /// instead of pread (saves the syscall; the page cache backs both).
+  bool use_mmap = false;
+  /// Open the file anew on every fetch instead of holding one descriptor.
+  /// Slower, but makes file-system state observable: a file deleted or
+  /// chmodded mid-session fails the next fetch instead of being masked by
+  /// the long-lived descriptor. The validation-time geometry still
+  /// applies.
+  bool reopen_per_fetch = false;
+};
+
+/// Cold tier over one spilled column file.
+class FileBlockProvider final : public BlockProvider {
+ public:
+  /// Opens and validates `path` (magic, version, type width, extent table
+  /// coverage). `dictionary` is attached to views over fetched blocks
+  /// (string columns); the provider keeps it alive.
+  static Result<std::shared_ptr<FileBlockProvider>> Open(
+      const std::string& path, const FileProviderOptions& options = {},
+      std::shared_ptr<storage::Dictionary> dictionary = nullptr);
+
+  ~FileBlockProvider() override;
+
+  FileBlockProvider(const FileBlockProvider&) = delete;
+  FileBlockProvider& operator=(const FileBlockProvider&) = delete;
+
+  const BlockGeometry& geometry() const override { return geometry_; }
+  const storage::Dictionary* dictionary() const override {
+    return dictionary_.get();
+  }
+  Result<std::vector<std::byte>> Fetch(std::int64_t block) override;
+  /// One pread (or mmap memcpy) spanning the adjacent blocks' extents —
+  /// the coalesced cold-band read.
+  Result<std::vector<std::byte>> ReadRange(std::int64_t first_block,
+                                           std::int64_t count) override;
+  bool async() const override { return true; }
+
+  const std::string& path() const { return path_; }
+
+  /// Observability: backing reads issued (single + ranged), how many were
+  /// ranged, blocks they covered, and payload bytes read from disk.
+  std::int64_t reads() const {
+    return reads_.load(std::memory_order_relaxed);
+  }
+  std::int64_t ranged_reads() const {
+    return ranged_reads_.load(std::memory_order_relaxed);
+  }
+  std::int64_t blocks_read() const {
+    return blocks_read_.load(std::memory_order_relaxed);
+  }
+  std::int64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+
+  /// Installs a fault injector (not owned; may be null to clear).
+  void set_fault_injector(FileFaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+
+ private:
+  FileBlockProvider() = default;
+
+  /// Reads [offset, offset + size) into `dst`: pread on the held (or
+  /// per-fetch reopened) descriptor, or memcpy from the mapping. Applies
+  /// the fault injector. `what` labels errors ("block 3" / "blocks 3..7").
+  Status ReadAt(std::int64_t offset, std::byte* dst, std::int64_t size,
+                const std::string& what);
+
+  std::string path_;
+  FileProviderOptions options_;
+  std::shared_ptr<storage::Dictionary> dictionary_;
+  BlockGeometry geometry_;
+  std::vector<BlockExtent> extents_;
+  std::int64_t file_size_ = 0;
+  int fd_ = -1;  // -1 in reopen_per_fetch mode.
+  void* map_ = nullptr;  // Non-null iff use_mmap.
+  std::atomic<FileFaultInjector*> injector_{nullptr};
+  std::atomic<std::int64_t> reads_{0};
+  std::atomic<std::int64_t> ranged_reads_{0};
+  std::atomic<std::int64_t> blocks_read_{0};
+  std::atomic<std::int64_t> bytes_read_{0};
+};
+
+}  // namespace dbtouch::cache
+
+#endif  // DBTOUCH_CACHE_FILE_BLOCK_PROVIDER_H_

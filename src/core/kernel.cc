@@ -428,6 +428,14 @@ Result<bool> Kernel::ProbeGesture(const GestureEvent& event,
   const std::shared_ptr<storage::PagedColumnSource>& source = obj->paged;
   const std::int64_t first_block = source->BlockFor(first);
   const std::int64_t last_block = source->BlockFor(last);
+  if (!non_blocking && last_block > first_block) {
+    // Blocking path over a slow tier: batch the band's cold stretches
+    // into ranged reads up front, so the per-block pins below hit instead
+    // of paying one backing-store round trip each. (The non-blocking path
+    // gets the same batching from the FetchQueue, which coalesces the
+    // stall's adjacent demand enqueues at pop time.)
+    DBTOUCH_RETURN_IF_ERROR(source->Preload(first_block, last_block));
+  }
   std::vector<std::int64_t> missing;
   for (std::int64_t block = first_block; block <= last_block; ++block) {
     bool held = false;

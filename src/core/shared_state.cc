@@ -1,6 +1,9 @@
 #include "core/shared_state.h"
 
+#include <vector>
+
 #include "common/macros.h"
+#include "storage/spill.h"
 
 namespace dbtouch::core {
 
@@ -84,25 +87,58 @@ SharedState::GetColumnSource(const std::string& table, std::size_t column) {
 Status SharedState::SetColumnProvider(
     const std::string& table, std::size_t column,
     std::shared_ptr<cache::BlockProvider> provider) {
+  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> t,
+                           catalog_.Get(table));
+  return BindColumnProvider(std::move(t), column, std::move(provider));
+}
+
+Status SharedState::BindColumnProvider(
+    std::shared_ptr<storage::Table> table, std::size_t column,
+    std::shared_ptr<cache::BlockProvider> provider) {
   if (provider == nullptr) {
     return Status::InvalidArgument("null provider");
   }
-  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> t,
-                           catalog_.Get(table));
-  if (column >= t->schema().num_fields()) {
+  if (column >= table->schema().num_fields()) {
     return Status::OutOfRange("column " + std::to_string(column) +
-                              " out of range for table '" + table + "'");
+                              " out of range for table '" +
+                              table->name() + "'");
   }
-  if (provider->geometry().row_count != t->row_count()) {
+  if (provider->geometry().row_count != table->row_count()) {
     return Status::InvalidArgument(
         "provider row count " +
         std::to_string(provider->geometry().row_count) +
-        " does not match table '" + table + "' (" +
-        std::to_string(t->row_count()) + " rows)");
+        " does not match table '" + table->name() + "' (" +
+        std::to_string(table->row_count()) + " rows)");
   }
+  const std::string name = table->name();
   const std::lock_guard<std::mutex> lock(mu_);
-  providers_[ColumnKey{table, column}] =
-      ProviderEntry{std::move(t), std::move(provider)};
+  providers_[ColumnKey{name, column}] =
+      ProviderEntry{std::move(table), std::move(provider)};
+  return Status::OK();
+}
+
+Status SharedState::SpillTable(const std::string& table,
+                               storage::TableSpiller& spiller) {
+  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> t,
+                           catalog_.Get(table));
+  // Write (and validate) every column's file before rebinding any: a
+  // spill that fails halfway must not leave the table half on disk.
+  std::vector<std::shared_ptr<cache::BlockProvider>> providers;
+  providers.reserve(t->schema().num_fields());
+  for (std::size_t column = 0; column < t->schema().num_fields();
+       ++column) {
+    DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<cache::FileBlockProvider> p,
+                             spiller.SpillColumn(t, column));
+    providers.push_back(std::move(p));
+  }
+  for (std::size_t column = 0; column < providers.size(); ++column) {
+    // Bind against the exact table the spill read — not a fresh catalog
+    // lookup: a concurrent re-registration of the name must not get the
+    // old table's spill files pinned under the new table's identity (the
+    // identity mismatch then retires the binding, as for any provider).
+    DBTOUCH_RETURN_IF_ERROR(
+        BindColumnProvider(t, column, std::move(providers[column])));
+  }
   return Status::OK();
 }
 

@@ -38,6 +38,10 @@
 #include "storage/catalog.h"
 #include "storage/paged_column.h"
 
+namespace dbtouch::storage {
+class TableSpiller;
+}  // namespace dbtouch::storage
+
 namespace dbtouch::core {
 
 class SharedState {
@@ -96,6 +100,16 @@ class SharedState {
   Status SetColumnProvider(const std::string& table, std::size_t column,
                            std::shared_ptr<cache::BlockProvider> provider);
 
+  /// Spills every column of `table` to disk through `spiller` and rebinds
+  /// the columns' base reads to the resulting cache::FileBlockProvider —
+  /// the disk tier: after this, a table many times the buffer budget
+  /// explores through the pool's bounded resident set, faulting blocks
+  /// from the spill files. Columns are rebound only after every file is
+  /// written and validated, so a failed spill leaves the in-memory
+  /// binding fully intact.
+  Status SpillTable(const std::string& table,
+                    storage::TableSpiller& spiller);
+
   /// Number of distinct (table, column) hierarchies built so far.
   std::size_t hierarchy_count() const;
 
@@ -108,6 +122,13 @@ class SharedState {
 
  private:
   using ColumnKey = std::pair<std::string, std::size_t>;
+
+  /// SetColumnProvider against an already-resolved table identity — the
+  /// SpillTable path, where the binding must pin the table the spill
+  /// actually read, not whatever the name resolves to at bind time.
+  Status BindColumnProvider(std::shared_ptr<storage::Table> table,
+                            std::size_t column,
+                            std::shared_ptr<cache::BlockProvider> provider);
 
   storage::Catalog catalog_;
   sampling::SampleHierarchyConfig sampling_;

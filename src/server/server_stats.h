@@ -73,6 +73,15 @@ struct FetchStatsSnapshot {
   std::int64_t fetch_errors = 0;
   /// Gesture executions shed because their blocks never arrived.
   std::int64_t shed_on_fetch_error = 0;
+  /// Queued demand fetches retracted because their session closed.
+  std::int64_t cancelled_fetches = 0;
+  /// Batched demand fetches: adjacent cold misses coalesced into single
+  /// provider range reads (async queue + blocking Preload combined), the
+  /// blocks those ranged reads covered, and the payload bytes faulted in
+  /// from the cold tier (disk or remote) by the async pipeline.
+  std::int64_t ranged_reads = 0;
+  std::int64_t ranged_blocks = 0;
+  std::int64_t bytes_fetched = 0;
   /// Wall time inside provider fetches (incl. retry backoff).
   sim::Micros fetch_wall_us = 0;
   sim::Micros max_fetch_wall_us = 0;

@@ -100,6 +100,11 @@ Status TouchServer::CloseSession(SessionId id) {
     total_dropped_.fetch_add(static_cast<std::int64_t>(dropped),
                              std::memory_order_relaxed);
   }
+  // Retract the session's still-queued demand fetches: nobody will claim
+  // the blocks, so letting them run would spend cold-tier bandwidth on a
+  // dead session. In-flight fetches settle normally (their completions
+  // unpark via the scheduler, which no-ops for closed sessions).
+  shared_->buffer_manager().CancelFetches(static_cast<std::uint64_t>(id));
   return sessions_.Close(id);
 }
 
@@ -353,7 +358,12 @@ void TouchServer::SuspendOnStall(const TouchTask& task,
     }
   };
   for (const std::int64_t block : stall.blocks) {
-    const Status started = stall.source->StartFetch(block, settle);
+    // Tagged with the session id so CloseSession can retract tickets the
+    // fetchers have not picked up yet. A stall's blocks are adjacent
+    // (one summary band), so the queue coalesces them into a ranged read
+    // at pop time.
+    const Status started = stall.source->StartFetch(
+        block, settle, static_cast<std::uint64_t>(id));
     if (!started.ok()) {
       settle(started);  // Count it down; the resume sheds the work.
     }
@@ -425,6 +435,14 @@ ServerStatsSnapshot TouchServer::stats() const {
     snapshot.fetch.fetch_errors = fetch.failures;
     snapshot.fetch.shed_on_fetch_error =
         total_shed_on_fetch_error_.load(std::memory_order_relaxed);
+    snapshot.fetch.cancelled_fetches = fetch.cancelled;
+    snapshot.fetch.ranged_reads =
+        fetch.ranged_reads +
+        shared_->buffer_manager().sync_ranged_reads();
+    snapshot.fetch.ranged_blocks =
+        fetch.ranged_blocks +
+        shared_->buffer_manager().sync_ranged_blocks();
+    snapshot.fetch.bytes_fetched = fetch.bytes_fetched;
     snapshot.fetch.fetch_wall_us = fetch.fetch_wall_us;
     snapshot.fetch.max_fetch_wall_us = fetch.max_fetch_wall_us;
   }

@@ -133,13 +133,31 @@ class PagedColumnSource {
   virtual bool may_block() const { return false; }
 
   /// Begins an asynchronous demand fetch of `block`; `done` fires when it
-  /// completes (possibly inline for immediate sources). Returns non-OK
-  /// only when the fetch cannot even be scheduled.
-  virtual Status StartFetch(std::int64_t block, FetchCompletion done) {
+  /// completes (possibly inline for immediate sources). `tag` names the
+  /// requesting party (the touch server passes its session id, 0 =
+  /// untagged) so still-queued fetches can be cancelled when the party
+  /// goes away. Returns non-OK only when the fetch cannot even be
+  /// scheduled.
+  virtual Status StartFetch(std::int64_t block, FetchCompletion done,
+                            std::uint64_t tag = 0) {
     (void)block;
+    (void)tag;
     if (done != nullptr) {
       done(Status::OK());
     }
+    return Status::OK();
+  }
+
+  /// Hints that a contiguous block run [first_block, last_block] is about
+  /// to be read (a cold summary band): a caching source materialises the
+  /// missing stretches with ranged backing reads — one round trip per
+  /// stretch instead of one per block — before the per-block pins run.
+  /// Default: no-op (immediate sources have no round trips to batch).
+  /// Non-OK mirrors PinBlock's contract: the backing read failed past its
+  /// bounded retries.
+  virtual Status Preload(std::int64_t first_block, std::int64_t last_block) {
+    (void)first_block;
+    (void)last_block;
     return Status::OK();
   }
 

@@ -1,0 +1,55 @@
+#include "storage/spill.h"
+
+#include <utility>
+
+#include "cache/block_provider.h"
+#include "common/macros.h"
+
+namespace dbtouch::storage {
+
+TableSpiller::TableSpiller(std::string dir, SpillOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  DBTOUCH_CHECK(options_.rows_per_block > 0);
+}
+
+std::string TableSpiller::PathFor(const std::string& table,
+                                  std::size_t column) const {
+  return dir_ + "/" + table + "." + std::to_string(column) + ".dbb";
+}
+
+Result<std::shared_ptr<cache::FileBlockProvider>> TableSpiller::SpillColumn(
+    const std::shared_ptr<const Table>& table, std::size_t column) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("null table");
+  }
+  if (column >= table->schema().num_fields()) {
+    return Status::OutOfRange("column " + std::to_string(column) +
+                              " out of range for table '" + table->name() +
+                              "'");
+  }
+  // The table provider already knows how to densify one block out of
+  // either layout; the spill is its blocks streamed to disk in order.
+  cache::TableBlockProvider reader(table, column, options_.rows_per_block);
+  const std::string path = PathFor(table->name(), column);
+  cache::BlockFileWriter writer(path, reader.geometry());
+  for (std::int64_t block = 0; block < reader.geometry().num_blocks();
+       ++block) {
+    DBTOUCH_ASSIGN_OR_RETURN(const std::vector<std::byte> payload,
+                             reader.Fetch(block));
+    DBTOUCH_RETURN_IF_ERROR(writer.Append(payload.data(), payload.size()));
+  }
+  DBTOUCH_RETURN_IF_ERROR(writer.Finish());
+
+  cache::FileProviderOptions provider_options;
+  provider_options.use_mmap = options_.use_mmap;
+  provider_options.reopen_per_fetch = options_.reopen_per_fetch;
+  DBTOUCH_ASSIGN_OR_RETURN(
+      std::shared_ptr<cache::FileBlockProvider> provider,
+      cache::FileBlockProvider::Open(path, provider_options,
+                                     table->dictionary(column)));
+  ++columns_spilled_;
+  bytes_written_ += writer.bytes_written();
+  return provider;
+}
+
+}  // namespace dbtouch::storage

@@ -383,12 +383,14 @@ TEST(BlockCacheTest, UnclaimedStagedBlocksAreBoundedByTheCap) {
 }
 
 /// Provider whose fetches can be held at a gate, recording fetch order.
+/// Geometry is payload-consistent: kBlockBytes of int64 per block, so the
+/// queue's ranged split sees exactly the sizes the geometry promises.
 class GatedProvider final : public BlockProvider {
  public:
-  explicit GatedProvider(std::int64_t rows_per_block) {
+  GatedProvider() {
     geometry_.type = storage::DataType::kInt64;
     geometry_.row_count = 1'000'000;
-    geometry_.rows_per_block = rows_per_block;
+    geometry_.rows_per_block = kBlockBytes / 8;
   }
 
   const BlockGeometry& geometry() const override { return geometry_; }
@@ -443,7 +445,7 @@ TEST(FetchQueueTest, DemandFetchesPreemptQueuedPrefetches) {
     cache.Insert(key, std::move(payload),
                  priority == FetchPriority::kDemand);
   });
-  auto provider = std::make_shared<GatedProvider>(1'000);
+  auto provider = std::make_shared<GatedProvider>();
 
   // Prefetch A starts fetching and parks at the gate; prefetches B and C
   // queue behind it; then a demand fetch D arrives.
@@ -487,7 +489,7 @@ TEST(FetchQueueTest, DemandEnqueueUpgradesQueuedPrefetch) {
     cache.Insert(key, std::move(payload),
                  priority == FetchPriority::kDemand);
   });
-  auto provider = std::make_shared<GatedProvider>(1'000);
+  auto provider = std::make_shared<GatedProvider>();
 
   queue.Enqueue(BlockKey{1, 0}, provider, 0, FetchPriority::kPrefetch,
                 nullptr);
@@ -585,7 +587,7 @@ TEST(BufferManagerTest, AsyncSourceSuspendsOnColdBlockAndHitsAfterFetch) {
   BufferManagerConfig config;
   config.rows_per_block = 1'000;
   BufferManager manager(config);
-  auto provider = std::make_shared<GatedProvider>(1'000);
+  auto provider = std::make_shared<GatedProvider>();
   provider->OpenGate();  // No latency needed here.
   auto source = manager.SourceFor("cold.v", 0, provider);
   ASSERT_TRUE(source->may_block());
@@ -616,7 +618,7 @@ TEST(BufferManagerTest, AsyncSourceSuspendsOnColdBlockAndHitsAfterFetch) {
   auto pinned = source->TryPinBlock(3, -1);
   ASSERT_TRUE(pinned.ok());
   ASSERT_TRUE(pinned->has_value());
-  EXPECT_EQ((*pinned)->view().row_count(), 1'000);
+  EXPECT_EQ((*pinned)->view().row_count(), kBlockBytes / 8);
 }
 
 TEST(BufferManagerTest, RemoteProviderFaultsColdBlocksOnce) {
@@ -641,6 +643,349 @@ TEST(BufferManagerTest, RemoteProviderFaultsColdBlocksOnce) {
   }
   EXPECT_EQ(provider->requests(), 2);
   EXPECT_GT(provider->bytes_fetched(), 0);
+}
+
+// ---- Ranged-read coalescing (batched demand fetches) ------------------------
+
+/// Gated provider that also records ReadRange calls, so tests can assert
+/// how many provider round trips a set of misses actually cost.
+class RangedGatedProvider final : public BlockProvider {
+ public:
+  struct Call {
+    std::int64_t first = 0;
+    std::int64_t count = 0;  // 1 = single-block Fetch.
+  };
+
+  RangedGatedProvider() {
+    geometry_.type = storage::DataType::kInt64;
+    geometry_.row_count = 1'000'000;
+    geometry_.rows_per_block = kBlockBytes / 8;
+  }
+
+  const BlockGeometry& geometry() const override { return geometry_; }
+  bool async() const override { return true; }
+
+  Result<std::vector<std::byte>> Fetch(std::int64_t block) override {
+    Gate(Call{block, 1});
+    return PayloadFor(block);
+  }
+
+  Result<std::vector<std::byte>> ReadRange(std::int64_t first_block,
+                                           std::int64_t count) override {
+    Gate(Call{first_block, count});
+    std::vector<std::byte> payload;
+    for (std::int64_t b = first_block; b < first_block + count; ++b) {
+      const std::vector<std::byte> one = PayloadFor(b);
+      payload.insert(payload.end(), one.begin(), one.end());
+    }
+    return payload;
+  }
+
+  void OpenGate() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    gate_cv_.notify_all();
+  }
+  void AwaitCallEntered(int n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_cv_.wait_for(lock, std::chrono::seconds(10),
+                         [&] { return entered_ >= n; });
+  }
+  std::vector<Call> calls() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return calls_;
+  }
+
+ private:
+  void Gate(const Call& call) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++entered_;
+    entered_cv_.notify_all();
+    gate_cv_.wait_for(lock, std::chrono::seconds(10),
+                      [this] { return open_; });
+    calls_.push_back(call);
+  }
+
+  BlockGeometry geometry_;
+  mutable std::mutex mu_;
+  std::condition_variable gate_cv_;
+  std::condition_variable entered_cv_;
+  bool open_ = false;
+  int entered_ = 0;
+  std::vector<Call> calls_;
+};
+
+FetchQueue::Sink InsertSink(BlockCache& cache) {
+  return [&cache](const BlockKey& key, std::vector<std::byte> payload,
+                  FetchPriority priority) {
+    cache.Insert(key, std::move(payload),
+                 priority == FetchPriority::kDemand);
+  };
+}
+
+TEST(FetchQueueTest, AdjacentDemandMissesCoalesceIntoOneRangedRead) {
+  BlockCache::Config cache_config = SmallCache(false, 16);
+  cache_config.staged_cap_bytes = 16 * kBlockBytes;
+  BlockCache cache(cache_config);
+  FetchQueueConfig config;
+  config.num_fetchers = 1;
+  FetchQueue queue(config, InsertSink(cache));
+  auto provider = std::make_shared<RangedGatedProvider>();
+
+  // Hold the fetcher on an unrelated block so the band's four demand
+  // enqueues are all queued when the fetcher next pops.
+  queue.Enqueue(BlockKey{1, 100}, provider, 100, FetchPriority::kDemand,
+                nullptr);
+  provider->AwaitCallEntered(1);
+  int completions = 0;
+  for (std::int64_t b = 3; b <= 6; ++b) {
+    queue.Enqueue(BlockKey{1, b}, provider, b, FetchPriority::kDemand,
+                  [&completions](const Status& s) {
+                    EXPECT_TRUE(s.ok());
+                    ++completions;
+                  });
+  }
+  provider->OpenGate();
+  queue.WaitIdle();
+
+  // One ranged read served the whole band; every waiter completed and
+  // every block is resident with its own bytes.
+  const std::vector<RangedGatedProvider::Call> calls = provider->calls();
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[0].first, 100);
+  EXPECT_EQ(calls[0].count, 1);
+  EXPECT_EQ(calls[1].first, 3);
+  EXPECT_EQ(calls[1].count, 4);
+  EXPECT_EQ(completions, 4);
+  for (std::int64_t b = 3; b <= 6; ++b) {
+    auto pinned = cache.TryPin(BlockKey{1, b}, -1);
+    ASSERT_TRUE(pinned.has_value()) << "block " << b;
+    const auto expected = PayloadFor(b);
+    EXPECT_EQ(std::memcmp(pinned->data, expected.data(), expected.size()),
+              0)
+        << "block " << b;
+    cache.Unpin(BlockKey{1, b});
+  }
+  const FetchQueueStats stats = queue.stats();
+  EXPECT_EQ(stats.ranged_reads, 1);
+  EXPECT_EQ(stats.ranged_blocks, 4);
+  EXPECT_EQ(stats.completed, 5);
+}
+
+TEST(FetchQueueTest, NonAdjacentMissesDoNotMerge) {
+  BlockCache cache(SmallCache(false, 16));
+  FetchQueueConfig config;
+  config.num_fetchers = 1;
+  FetchQueue queue(config, InsertSink(cache));
+  auto provider = std::make_shared<RangedGatedProvider>();
+
+  queue.Enqueue(BlockKey{1, 100}, provider, 100, FetchPriority::kDemand,
+                nullptr);
+  provider->AwaitCallEntered(1);
+  for (const std::int64_t b : {1, 5, 9}) {  // Gaps between every pair.
+    queue.Enqueue(BlockKey{1, b}, provider, b, FetchPriority::kDemand,
+                  nullptr);
+  }
+  provider->OpenGate();
+  queue.WaitIdle();
+
+  const std::vector<RangedGatedProvider::Call> calls = provider->calls();
+  ASSERT_EQ(calls.size(), 4u);
+  for (const auto& call : calls) {
+    EXPECT_EQ(call.count, 1);
+  }
+  EXPECT_EQ(queue.stats().ranged_reads, 0);
+  EXPECT_EQ(queue.stats().ranged_blocks, 0);
+}
+
+TEST(FetchQueueTest, CoalescingIsBoundedByMaxCoalesceBlocks) {
+  BlockCache::Config cache_config = SmallCache(false, 32);
+  cache_config.staged_cap_bytes = 32 * kBlockBytes;
+  BlockCache cache(cache_config);
+  FetchQueueConfig config;
+  config.num_fetchers = 1;
+  config.max_coalesce_blocks = 4;
+  FetchQueue queue(config, InsertSink(cache));
+  auto provider = std::make_shared<RangedGatedProvider>();
+
+  queue.Enqueue(BlockKey{1, 100}, provider, 100, FetchPriority::kDemand,
+                nullptr);
+  provider->AwaitCallEntered(1);
+  for (std::int64_t b = 0; b < 6; ++b) {  // An adjacent run of 6.
+    queue.Enqueue(BlockKey{1, b}, provider, b, FetchPriority::kDemand,
+                  nullptr);
+  }
+  provider->OpenGate();
+  queue.WaitIdle();
+
+  // 4-block cap: the run is served as a range of 4 plus a range of 2.
+  const std::vector<RangedGatedProvider::Call> calls = provider->calls();
+  ASSERT_EQ(calls.size(), 3u);
+  EXPECT_EQ(calls[1].count, 4);
+  EXPECT_EQ(calls[2].count, 2);
+  EXPECT_EQ(queue.stats().ranged_reads, 2);
+  EXPECT_EQ(queue.stats().ranged_blocks, 6);
+}
+
+TEST(FetchQueueTest, DemandFaultPreemptsCoalescedPrefetchRange) {
+  BlockCache::Config cache_config = SmallCache(false, 16);
+  cache_config.staged_cap_bytes = 16 * kBlockBytes;
+  BlockCache cache(cache_config);
+  FetchQueueConfig config;
+  config.num_fetchers = 1;
+  FetchQueue queue(config, InsertSink(cache));
+  auto provider = std::make_shared<RangedGatedProvider>();
+
+  // An adjacent prefetch run queues behind a gated fetch; then a demand
+  // fault for an unrelated block arrives.
+  queue.Enqueue(BlockKey{1, 100}, provider, 100, FetchPriority::kPrefetch,
+                nullptr);
+  provider->AwaitCallEntered(1);
+  for (std::int64_t b = 0; b < 4; ++b) {
+    queue.Enqueue(BlockKey{1, b}, provider, b, FetchPriority::kPrefetch,
+                  nullptr);
+  }
+  Status demand_status = Status::Internal("never completed");
+  queue.Enqueue(BlockKey{1, 20}, provider, 20, FetchPriority::kDemand,
+                [&demand_status](const Status& s) { demand_status = s; });
+  provider->OpenGate();
+  queue.WaitIdle();
+
+  // The demand fault ran BEFORE the coalesced prefetch range, and the
+  // range still went out as one ranged read (not block by block).
+  const std::vector<RangedGatedProvider::Call> calls = provider->calls();
+  ASSERT_EQ(calls.size(), 3u);
+  EXPECT_EQ(calls[1].first, 20);
+  EXPECT_EQ(calls[1].count, 1);
+  EXPECT_EQ(calls[2].first, 0);
+  EXPECT_EQ(calls[2].count, 4);
+  EXPECT_TRUE(demand_status.ok());
+}
+
+TEST(FetchQueueTest, DemandRangeDoesNotSwallowAdjacentPrefetch) {
+  BlockCache::Config cache_config = SmallCache(false, 16);
+  cache_config.staged_cap_bytes = 16 * kBlockBytes;
+  BlockCache cache(cache_config);
+  FetchQueueConfig config;
+  config.num_fetchers = 1;
+  FetchQueue queue(config, InsertSink(cache));
+  auto provider = std::make_shared<RangedGatedProvider>();
+
+  queue.Enqueue(BlockKey{1, 100}, provider, 100, FetchPriority::kDemand,
+                nullptr);
+  provider->AwaitCallEntered(1);
+  // A warm-up sits right next to a two-block demand band: the demand
+  // range must not grow by it (a parked session would wait on warm-up
+  // bytes), so it is served separately at prefetch priority.
+  queue.Enqueue(BlockKey{1, 2}, provider, 2, FetchPriority::kPrefetch,
+                nullptr);
+  queue.Enqueue(BlockKey{1, 3}, provider, 3, FetchPriority::kDemand,
+                nullptr);
+  queue.Enqueue(BlockKey{1, 4}, provider, 4, FetchPriority::kDemand,
+                nullptr);
+  provider->OpenGate();
+  queue.WaitIdle();
+
+  const std::vector<RangedGatedProvider::Call> calls = provider->calls();
+  ASSERT_EQ(calls.size(), 3u);
+  EXPECT_EQ(calls[1].first, 3);  // Demand pair as one range...
+  EXPECT_EQ(calls[1].count, 2);
+  EXPECT_EQ(calls[2].first, 2);  // ...the warm-up on its own after.
+  EXPECT_EQ(calls[2].count, 1);
+}
+
+// ---- Cancellation on session close ------------------------------------------
+
+TEST(FetchQueueTest, CancelTaggedDropsQueuedButNotInFlightFetches) {
+  BlockCache cache(SmallCache(false, 16));
+  FetchQueueConfig config;
+  config.num_fetchers = 1;
+  config.max_coalesce_blocks = 1;  // One request per provider call.
+  FetchQueue queue(config, InsertSink(cache));
+  auto provider = std::make_shared<RangedGatedProvider>();
+
+  // Session 7 has one fetch in flight and two queued (non-adjacent);
+  // session 8 has one queued.
+  Status in_flight_status = Status::Internal("never completed");
+  queue.Enqueue(BlockKey{1, 0}, provider, 0, FetchPriority::kDemand,
+                [&in_flight_status](const Status& s) {
+                  in_flight_status = s;
+                },
+                /*tag=*/7);
+  provider->AwaitCallEntered(1);
+  std::vector<Status> cancelled_statuses;
+  std::mutex cancelled_mu;
+  const auto record = [&](const Status& s) {
+    const std::lock_guard<std::mutex> lock(cancelled_mu);
+    cancelled_statuses.push_back(s);
+  };
+  queue.Enqueue(BlockKey{1, 10}, provider, 10, FetchPriority::kDemand,
+                record, /*tag=*/7);
+  queue.Enqueue(BlockKey{1, 20}, provider, 20, FetchPriority::kDemand,
+                record, /*tag=*/7);
+  Status other_status = Status::Internal("never completed");
+  queue.Enqueue(BlockKey{1, 30}, provider, 30, FetchPriority::kDemand,
+                [&other_status](const Status& s) { other_status = s; },
+                /*tag=*/8);
+
+  // Session 7 closes: its queued tickets die now, its in-flight fetch
+  // settles normally.
+  EXPECT_EQ(queue.CancelTagged(7), 2u);
+  {
+    const std::lock_guard<std::mutex> lock(cancelled_mu);
+    ASSERT_EQ(cancelled_statuses.size(), 2u);
+    for (const Status& s : cancelled_statuses) {
+      EXPECT_EQ(s.code(), StatusCode::kAborted);
+    }
+  }
+  provider->OpenGate();
+  queue.WaitIdle();
+
+  EXPECT_TRUE(in_flight_status.ok());
+  EXPECT_TRUE(other_status.ok());
+  // Blocks 10 and 20 were never read from the provider.
+  const std::vector<RangedGatedProvider::Call> calls = provider->calls();
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[0].first, 0);
+  EXPECT_EQ(calls[1].first, 30);
+  EXPECT_FALSE(cache.Contains(BlockKey{1, 10}));
+  EXPECT_FALSE(cache.Contains(BlockKey{1, 20}));
+  EXPECT_EQ(queue.stats().cancelled, 2);
+}
+
+TEST(FetchQueueTest, CancelTaggedKeepsRequestsWithOtherWaiters) {
+  BlockCache cache(SmallCache(false, 16));
+  FetchQueueConfig config;
+  config.num_fetchers = 1;
+  FetchQueue queue(config, InsertSink(cache));
+  auto provider = std::make_shared<RangedGatedProvider>();
+
+  queue.Enqueue(BlockKey{1, 100}, provider, 100, FetchPriority::kDemand,
+                nullptr);
+  provider->AwaitCallEntered(1);
+  // Two sessions coalesced onto one block; one of them closes.
+  Status survivor_status = Status::Internal("never completed");
+  bool cancelled_fired = false;
+  queue.Enqueue(BlockKey{1, 5}, provider, 5, FetchPriority::kDemand,
+                [&cancelled_fired](const Status&) {
+                  cancelled_fired = true;
+                },
+                /*tag=*/7);
+  queue.Enqueue(BlockKey{1, 5}, provider, 5, FetchPriority::kDemand,
+                [&survivor_status](const Status& s) {
+                  survivor_status = s;
+                },
+                /*tag=*/8);
+  EXPECT_EQ(queue.CancelTagged(7), 0u);  // Request survives for tag 8.
+  EXPECT_TRUE(cancelled_fired);          // But 7's waiter was released.
+  provider->OpenGate();
+  queue.WaitIdle();
+
+  EXPECT_TRUE(survivor_status.ok());
+  EXPECT_TRUE(cache.Contains(BlockKey{1, 5}));
+  EXPECT_EQ(queue.stats().cancelled, 0);
 }
 
 // ---- HashTableCache --------------------------------------------------------

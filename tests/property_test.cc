@@ -5,20 +5,27 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <numeric>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "common/macros.h"
 #include "common/rng.h"
 #include "core/kernel.h"
+#include "core/shared_state.h"
 #include "exec/join.h"
 #include "layout/rotation.h"
 #include "sampling/sample_hierarchy.h"
 #include "sim/motion_profile.h"
 #include "sim/trace_builder.h"
 #include "storage/datagen.h"
+#include "storage/spill.h"
 
 namespace dbtouch {
 namespace {
@@ -277,6 +284,125 @@ TEST_P(AggregateOrderProperty, ShuffledFeedMatchesSequentialFeed) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AggregateOrderProperty,
                          testing::Range(1, 6));
+
+// ---- Storage-tier parity: identical gestures, bit-identical answers --------
+//
+// The same gesture script runs against three backends — raw in-memory
+// column reads, the paged buffer pool over the in-memory table, and the
+// pool over a file-spilled column — at 10/50/100% buffer budgets. The
+// storage tier and the budget are performance knobs; every answer must be
+// bit-identical across all of them.
+
+enum class Backend { kInMemory, kPagedRam, kFileSpilled };
+
+struct TierParityParam {
+  Backend backend;
+  int budget_pct;
+};
+
+/// Everything observable about one answered touch, value as raw bits.
+struct AnswerFingerprint {
+  core::ResultKind kind;
+  RowId row;
+  std::uint64_t value_bits;
+  RowId band_first;
+  RowId band_last;
+  std::int64_t rows_aggregated;
+  bool approximate;
+
+  friend bool operator==(const AnswerFingerprint&,
+                         const AnswerFingerprint&) = default;
+};
+
+std::vector<AnswerFingerprint> RunTierScript(Backend backend,
+                                             int budget_pct) {
+  constexpr std::int64_t kRows = 1 << 15;
+  constexpr std::int64_t kRowsPerBlock = 1'024;
+  KernelConfig config;
+  config.use_buffer_manager = backend != Backend::kInMemory;
+  config.buffer.rows_per_block = kRowsPerBlock;
+  config.buffer.budget_bytes = kRows * 8 * budget_pct / 100;
+
+  const auto make_table = [] {
+    std::vector<Column> cols;
+    cols.push_back(storage::GenSequenceInt64("v", kRows, 0, 1));
+    return *Table::FromColumns("tier", std::move(cols));
+  };
+
+  std::shared_ptr<core::SharedState> shared;
+  std::string spill_dir;
+  if (backend == Backend::kFileSpilled) {
+    std::string tmpl = (std::filesystem::temp_directory_path() /
+                        "dbtouch_tier_parity_XXXXXX")
+                           .string();
+    spill_dir = ::mkdtemp(tmpl.data());
+    // Same private-state shape a plain Kernel builds (lazy hierarchies),
+    // with the column rebound to its spill file.
+    shared = std::make_shared<core::SharedState>(
+        config.sampling, /*force_eager=*/false, config.buffer);
+    DBTOUCH_CHECK_OK(shared->RegisterTable(make_table()));
+    storage::TableSpiller spiller(
+        spill_dir, storage::SpillOptions{.rows_per_block = kRowsPerBlock});
+    DBTOUCH_CHECK_OK(shared->SpillTable("tier", spiller));
+  }
+  Kernel kernel(config, shared);
+  if (backend != Backend::kFileSpilled) {
+    DBTOUCH_CHECK_OK(kernel.RegisterTable(make_table()));
+  }
+  const auto object = kernel.CreateColumnObject(
+      "tier", "v", RectCm{2.0, 1.0, 2.0, 10.0});
+  DBTOUCH_CHECK_OK(object.status());
+  DBTOUCH_CHECK_OK(
+      kernel.SetAction(*object, ActionConfig::Summary(16)));
+
+  // The script mixes speeds (sampled and base-band summaries), direction
+  // reversals (gesture-aware admission) and point taps.
+  TraceBuilder builder(kernel.device());
+  kernel.Replay(builder.Slide("down", PointCm{3.0, 1.0},
+                              PointCm{3.0, 11.0},
+                              MotionProfile::Constant(2.0)));
+  kernel.Replay(builder.Slide("flick", PointCm{3.0, 11.0},
+                              PointCm{3.0, 4.0},
+                              MotionProfile::Constant(0.3),
+                              /*start_time_us=*/4'000'000));
+  kernel.Replay(builder.Tap("tap-a", PointCm{3.0, 2.5}, 0.05,
+                            /*start_time_us=*/6'000'000));
+  kernel.Replay(builder.Tap("tap-b", PointCm{3.0, 9.5}, 0.05,
+                            /*start_time_us=*/7'000'000));
+
+  std::vector<AnswerFingerprint> out;
+  out.reserve(kernel.results().items().size());
+  for (const auto& item : kernel.results().items()) {
+    out.push_back(AnswerFingerprint{
+        item.kind, item.row,
+        std::bit_cast<std::uint64_t>(item.value.ToDouble()),
+        item.band_first, item.band_last, item.rows_aggregated,
+        item.approximate});
+  }
+  if (!spill_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(spill_dir, ec);
+  }
+  return out;
+}
+
+class TierParityProperty : public testing::TestWithParam<int> {};
+
+TEST_P(TierParityProperty, PagedAndSpilledTiersMatchInMemoryBitForBit) {
+  const int budget_pct = GetParam();
+  const std::vector<AnswerFingerprint> reference =
+      RunTierScript(Backend::kInMemory, 100);
+  ASSERT_GT(reference.size(), 10u);
+  const std::vector<AnswerFingerprint> paged =
+      RunTierScript(Backend::kPagedRam, budget_pct);
+  const std::vector<AnswerFingerprint> spilled =
+      RunTierScript(Backend::kFileSpilled, budget_pct);
+  EXPECT_EQ(paged, reference);
+  EXPECT_EQ(spilled, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(BufferBudgets, TierParityProperty,
+                         testing::Values(10, 50, 100));
 
 // ---- Gesture classification across the speed/length grid ------------------
 

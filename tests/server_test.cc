@@ -877,6 +877,74 @@ TEST(TouchServerAsyncTest, PermanentFetchFailureShedsQuantumNotSession) {
   ASSERT_TRUE(server.Stop().ok());
 }
 
+TEST(TouchServerAsyncTest, CloseSessionCancelsQueuedFetchTickets) {
+  // ONE fetcher: session A's fetch is in flight at the gate, session B's
+  // is still queued behind it. Closing B must retract B's ticket — the
+  // provider never reads B's block — while A's in-flight fetch settles
+  // normally.
+  TouchServerConfig config = ColdTierConfig(1);
+  config.session_defaults.buffer.fetch.num_fetchers = 1;
+  TouchServer server(config);
+  auto table = SequenceTable("t", 0);
+  ASSERT_TRUE(server.RegisterTable(table).ok());
+  auto provider = std::make_shared<GatedSlowProvider>(table, 0, 1'024);
+  ASSERT_TRUE(server.shared().SetColumnProvider("t", 0, provider).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto a = server.OpenSession();
+  const auto b = server.OpenSession();
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (const auto& session : {a, b}) {
+    ASSERT_TRUE(server
+                    .CreateColumnObject(*session, "t", "v",
+                                        RectCm{2.0, 1.0, 2.0, 10.0})
+                    .ok());
+  }
+  Kernel reference;
+  TraceBuilder builder(reference.device());
+  // Taps at different heights -> different rows -> different blocks.
+  ASSERT_TRUE(server
+                  .SubmitTrace(*a, builder.Tap("a", PointCm{3.0, 2.0}),
+                               {/*paced=*/false})
+                  .ok());
+  provider->AwaitFetchStarted(1);  // A's fetch holds the only fetcher.
+  ASSERT_TRUE(server
+                  .SubmitTrace(*b, builder.Tap("b", PointCm{3.0, 10.0}),
+                               {/*paced=*/false})
+                  .ok());
+  // Wait until B's demand ticket is actually in the queue (the enqueue
+  // counter, not the suspend counter — the suspend is recorded just
+  // before the tickets are filed).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.stats().fetch.demand_fetches < 2) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "session B's fetch ticket never queued";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  ASSERT_TRUE(server.CloseSession(*b).ok());
+  {
+    const ServerStatsSnapshot stats = server.stats();
+    EXPECT_EQ(stats.fetch.cancelled_fetches, 1);
+  }
+  provider->OpenGate();
+  ASSERT_TRUE(server.Drain().ok());
+
+  // Only A's block was ever read from the cold tier.
+  EXPECT_EQ(provider->fetches(), 1);
+  ASSERT_TRUE(server
+                  .WithSession(*a,
+                               [](Kernel& kernel) {
+                                 ASSERT_EQ(kernel.results().size(), 1u);
+                                 const auto& item =
+                                     kernel.results().items().front();
+                                 EXPECT_EQ(item.value.AsInt(), item.row);
+                               })
+                  .ok());
+  ASSERT_TRUE(server.Stop().ok());
+}
+
 TEST(TouchServerAsyncTest, ManySessionsColdTierStress) {
   // Many sessions sliding over a flaky cold tier with few workers: the
   // TSan job runs this to shake out races between workers, fetchers,
