@@ -28,7 +28,9 @@
 #include "cache/buffer_manager.h"
 #include "cache/file_block_provider.h"
 #include "common/rng.h"
+#include "core/shared_state.h"
 #include "storage/datagen.h"
+#include "storage/memory_tracker.h"
 #include "storage/paged_column.h"
 #include "storage/spill.h"
 #include "storage/table.h"
@@ -312,6 +314,86 @@ void FileTierReport(const std::shared_ptr<dbtouch::storage::Table>& table) {
   }
 }
 
+/// Spill reclamation: the memory-ceiling acceptance report. A table 10x
+/// the buffer budget is spilled WITH reclamation through a SharedState;
+/// the report shows the MemoryTracker's matrix bytes before/after and the
+/// pool's peak residency across a full paged scan + restudy. --smoke runs
+/// this as the ABL-CACHE-RECLAIM bit-rot guard: if reclamation stops
+/// freeing the matrix, or residency ever crosses the budget, the step
+/// exits non-zero and CI fails.
+void ReclaimReport() {
+  dbtouch::bench::Banner(
+      "ABL-CACHE-RECLAIM", "spilled tables actually leave RAM",
+      "SpillTable(reclaim_raw) frees the matrix after a verified spill;\n"
+      "every reader pins pool blocks instead. Tracked matrix bytes must\n"
+      "drop by the table size and peak pool residency must stay within\n"
+      "the byte budget while the whole column is scanned and restudied.");
+
+  std::string tmpl = (std::filesystem::temp_directory_path() /
+                      "dbtouch_bench_reclaim_XXXXXX")
+                         .string();
+  const std::string dir = ::mkdtemp(tmpl.data());
+
+  const std::int64_t rows = g_report_rows;
+  const std::int64_t table_bytes = rows * 8;
+  dbtouch::cache::BufferManagerConfig buffer;
+  buffer.rows_per_block = kRowsPerBlock;
+  buffer.budget_bytes = table_bytes / 10;
+  auto& tracker = dbtouch::storage::MemoryTracker::Instance();
+  const std::int64_t matrix_before = tracker.matrix_bytes();
+
+  auto shared = std::make_shared<dbtouch::core::SharedState>(
+      dbtouch::sampling::SampleHierarchyConfig{}, /*force_eager=*/false,
+      buffer);
+  auto table = MakeTable(rows);
+  const std::int64_t loaded = tracker.matrix_bytes() - matrix_before;
+  bool ok = shared->RegisterTable(table).ok();
+  dbtouch::storage::TableSpiller spiller(
+      dir, dbtouch::storage::SpillOptions{.rows_per_block = kRowsPerBlock});
+  ok = ok && shared->SpillTable("bench", spiller, /*reclaim_raw=*/true).ok();
+  const std::int64_t after_reclaim = tracker.matrix_bytes() - matrix_before;
+
+  // Full scan + ping-pong restudy, all off the spill file.
+  double checksum = 0.0;
+  const auto source = shared->GetColumnSource("bench", 0);
+  ok = ok && source.ok();
+  if (source.ok()) {
+    dbtouch::storage::PagedColumnCursor cursor(*source);
+    for (RowId r = 0; r < rows; ++r) {
+      checksum += cursor.GetAsDouble(r);
+    }
+    Study(cursor, rows / 2, rows / 2 + 4 * kRowsPerBlock, 2);
+  }
+  benchmark::DoNotOptimize(checksum);
+  const dbtouch::cache::BlockCacheStats stats =
+      shared->buffer_manager().stats();
+
+  std::printf("\n");
+  dbtouch::bench::Table report({"metric", "MB"});
+  const auto mb = [](std::int64_t bytes) {
+    return dbtouch::bench::Fmt(static_cast<double>(bytes) / 1e6, 2);
+  };
+  report.Row({"table (matrix loaded)", mb(loaded)});
+  report.Row({"matrix after reclaim", mb(after_reclaim)});
+  report.Row({"pool budget", mb(buffer.budget_bytes)});
+  report.Row({"pool peak resident", mb(stats.peak_resident_bytes)});
+
+  const bool reclaimed_ok = ok && table->raw_released() &&
+                            after_reclaim <= loaded / 10 &&
+                            stats.peak_resident_bytes <=
+                                buffer.budget_bytes;
+  std::printf(
+      "\nreclamation %s: tracked raw bytes %s the byte budget is the\n"
+      "memory ceiling for a table 10x its size.\n\n",
+      reclaimed_ok ? "OK" : "FAILED",
+      reclaimed_ok ? "released;" : "NOT released or budget breached;");
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  if (!reclaimed_ok) {
+    std::exit(1);  // The --smoke CI step must fail on memory-ceiling rot.
+  }
+}
+
 void BM_PagedScan(benchmark::State& state) {
   static auto table = MakeTable(kTableRows);
   BufferManagerConfig config;
@@ -363,6 +445,7 @@ int main(int argc, char** argv) {
   PolicyReport(table);
   ColdWarmReport(table);
   FileTierReport(table);
+  ReclaimReport();
   benchmark::Initialize(&argc, argv);
   if (!smoke) {
     benchmark::RunSpecifiedBenchmarks();

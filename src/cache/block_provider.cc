@@ -55,27 +55,35 @@ Result<std::vector<std::byte>> TableBlockProvider::Fetch(std::int64_t block) {
     return Status::OutOfRange("block " + std::to_string(block) +
                               " out of range");
   }
-  const storage::ColumnView view = table_->ColumnViewAt(column_);
   const std::size_t width = geometry_.width();
   const storage::RowId first = block * geometry_.rows_per_block;
   const std::int64_t count = geometry_.BlockRowCount(block);
   std::vector<std::byte> payload(static_cast<std::size_t>(count) * width);
-  if (view.stride() == width) {
-    // Column-major storage: the block is one contiguous run.
-    std::memcpy(payload.data(),
-                view.data() + static_cast<std::size_t>(first) * width,
-                payload.size());
-  } else {
-    // Row-major storage: gather the strided fields into a dense block.
-    const std::byte* src =
-        view.data() + static_cast<std::size_t>(first) * view.stride();
-    std::byte* dst = payload.data();
-    for (std::int64_t r = 0; r < count; ++r) {
-      std::memcpy(dst, src, width);
-      src += view.stride();
-      dst += width;
-    }
-  }
+  // The copy runs under the table's release gate: a concurrent spill
+  // reclamation waits for it, and once the matrix is gone this fetch
+  // fails permanently (FailedPrecondition is not a transient fetch
+  // error) instead of reading freed memory — a stale binding sheds its
+  // gesture cleanly while rebound sources serve from disk.
+  DBTOUCH_RETURN_IF_ERROR(table_->WithRawColumn(
+      column_, [&](const storage::ColumnView& view) -> Status {
+        if (view.stride() == width) {
+          // Column-major storage: the block is one contiguous run.
+          std::memcpy(payload.data(),
+                      view.data() + static_cast<std::size_t>(first) * width,
+                      payload.size());
+        } else {
+          // Row-major storage: gather strided fields into a dense block.
+          const std::byte* src =
+              view.data() + static_cast<std::size_t>(first) * view.stride();
+          std::byte* dst = payload.data();
+          for (std::int64_t r = 0; r < count; ++r) {
+            std::memcpy(dst, src, width);
+            src += view.stride();
+            dst += width;
+          }
+        }
+        return Status::OK();
+      }));
   return payload;
 }
 

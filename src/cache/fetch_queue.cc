@@ -34,12 +34,19 @@ namespace {
 template <typename Fetch>
 Result<std::vector<std::byte>> RetryFetch(const Fetch& fetch,
                                           const FetchQueueConfig& config,
-                                          std::int64_t* retries_out) {
+                                          std::int64_t* retries_out,
+                                          const std::atomic<bool>* abort) {
   int attempt = 0;
   for (;;) {
     Result<std::vector<std::byte>> payload = fetch();
     if (payload.ok() || !IsTransientFetchError(payload.status()) ||
         attempt >= config.max_retries) {
+      return payload;
+    }
+    if (abort != nullptr && abort->load(std::memory_order_acquire)) {
+      // Cancelled mid-flight: nobody is waiting for this read any more,
+      // so return the attempt's outcome instead of burning the remaining
+      // retry budget (and its backoff sleeps) on a dead session.
       return payload;
     }
     std::this_thread::sleep_for(
@@ -55,16 +62,18 @@ Result<std::vector<std::byte>> RetryFetch(const Fetch& fetch,
 
 Result<std::vector<std::byte>> FetchBlockWithRetry(
     BlockProvider& provider, std::int64_t block,
-    const FetchQueueConfig& config, std::int64_t* retries_out) {
+    const FetchQueueConfig& config, std::int64_t* retries_out,
+    const std::atomic<bool>* abort) {
   return RetryFetch([&] { return provider.Fetch(block); }, config,
-                    retries_out);
+                    retries_out, abort);
 }
 
 Result<std::vector<std::byte>> FetchRangeWithRetry(
     BlockProvider& provider, std::int64_t first_block, std::int64_t count,
-    const FetchQueueConfig& config, std::int64_t* retries_out) {
+    const FetchQueueConfig& config, std::int64_t* retries_out,
+    const std::atomic<bool>* abort) {
   return RetryFetch([&] { return provider.ReadRange(first_block, count); },
-                    config, retries_out);
+                    config, retries_out, abort);
 }
 
 FetchQueue::FetchQueue(const FetchQueueConfig& config, Sink sink)
@@ -110,14 +119,20 @@ bool FetchQueue::Enqueue(const BlockKey& key,
             request.priority == FetchPriority::kPrefetch) {
           // A session is now parked on a block that was only a warm-up:
           // raise the priority in place. Still queued → move it to the
-          // demand lane; already in flight → the raised priority is what
-          // the delivery reads (it is re-read after the fetch), so the
-          // completion is staged with demand protection either way.
-          request.priority = FetchPriority::kDemand;
+          // demand lane (carving it out of any pre-formed warm-up range
+          // first, so the demand read stays block-sized and the range's
+          // other blocks keep warming); already in flight → the raised
+          // priority is what the delivery reads (it is re-read after the
+          // fetch), so the completion is staged with demand protection
+          // either way.
           if (!request.in_flight) {
+            DetachFromRangeLocked(key);
+            request.priority = FetchPriority::kDemand;
             std::erase(prefetch_queue_, key);
             demand_queue_.push_back(key);
             ++stats_.upgraded;
+          } else {
+            request.priority = FetchPriority::kDemand;
           }
         }
       }
@@ -132,6 +147,108 @@ bool FetchQueue::Enqueue(const BlockKey& key,
   }
   work_cv_.notify_one();
   return created;
+}
+
+std::size_t FetchQueue::EnqueueRange(std::uint64_t owner,
+                                     std::shared_ptr<BlockProvider> provider,
+                                     std::int64_t first_block,
+                                     std::int64_t count) {
+  DBTOUCH_CHECK(provider != nullptr);
+  std::size_t created = 0;
+  std::size_t tickets = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || count <= 0) {
+      return 0;
+    }
+    // Each maximal run of blocks with no existing request becomes one
+    // ticket; blocks with requests split the range (they are already on
+    // their way however they got there).
+    const auto commit = [&](std::int64_t start, std::int64_t end) {
+      for (std::int64_t block = start; block < end; ++block) {
+        auto [it, inserted] = requests_.try_emplace(BlockKey{owner, block});
+        DBTOUCH_CHECK(inserted);
+        Request& request = it->second;
+        request.provider = provider;
+        request.block = block;
+        request.priority = FetchPriority::kPrefetch;
+        if (block == start) {
+          request.range_count = end - start;
+        } else {
+          request.range_member = true;
+          request.head_block = start;
+        }
+        ++stats_.prefetch_enqueued;
+      }
+      if (end - start > 1) {
+        ++stats_.prefetch_ranges;
+      }
+      prefetch_queue_.push_back(BlockKey{owner, start});
+      created += static_cast<std::size_t>(end - start);
+      ++tickets;
+    };
+    std::int64_t run_start = -1;
+    for (std::int64_t block = first_block; block <= first_block + count;
+         ++block) {
+      const bool fresh = block < first_block + count &&
+                         !requests_.contains(BlockKey{owner, block});
+      if (fresh) {
+        if (run_start < 0) {
+          run_start = block;
+        }
+        continue;
+      }
+      if (block < first_block + count) {
+        ++stats_.coalesced;  // Absorbed by whatever already covers it.
+      }
+      if (run_start >= 0) {
+        commit(run_start, block);
+        run_start = -1;
+      }
+    }
+  }
+  if (tickets > 1) {
+    work_cv_.notify_all();
+  } else if (tickets == 1) {
+    work_cv_.notify_one();
+  }
+  return created;
+}
+
+void FetchQueue::DetachFromRangeLocked(const BlockKey& key) {
+  Request& request = requests_.find(key)->second;
+  std::int64_t head_block = 0;
+  if (request.range_member) {
+    head_block = request.head_block;
+  } else if (request.range_count > 1) {
+    head_block = request.block;
+  } else {
+    return;  // Ordinary request, nothing to carve.
+  }
+  Request& head = requests_.find(BlockKey{key.owner, head_block})->second;
+  const std::int64_t end = head_block + head.range_count;  // One past.
+  // Right remainder (key.block, end) re-heads and re-queues; the head's
+  // lane position is unchanged for the left part.
+  if (key.block + 1 < end) {
+    const BlockKey new_head_key{key.owner, key.block + 1};
+    Request& new_head = requests_.find(new_head_key)->second;
+    new_head.range_member = false;
+    new_head.range_count = end - (key.block + 1);
+    for (std::int64_t block = key.block + 2; block < end; ++block) {
+      requests_.find(BlockKey{key.owner, block})->second.head_block =
+          new_head_key.block;
+    }
+    prefetch_queue_.push_back(new_head_key);
+  }
+  if (key.block == head_block) {
+    // Carving the head: its lane entry now denotes just itself; the left
+    // part is empty.
+    head.range_count = 1;
+  } else {
+    head.range_count = key.block - head_block;
+  }
+  request.range_member = false;
+  request.range_count = 1;
 }
 
 bool FetchQueue::PopLocked(BlockKey* key) {
@@ -153,6 +270,18 @@ std::vector<BlockKey> FetchQueue::GatherRangeLocked(const BlockKey& key) {
   const auto head = requests_.find(key);
   DBTOUCH_CHECK(head != requests_.end());
   head->second.in_flight = true;
+  if (head->second.range_count > 1) {
+    // A pre-formed ranged ticket: the horizon sized it when it was
+    // enqueued, so it is taken whole — no neighbour walk, no
+    // max_coalesce_blocks cap, exactly one ReadRange.
+    for (std::int64_t block = key.block + 1;
+         block < key.block + head->second.range_count; ++block) {
+      const BlockKey member{key.owner, block};
+      requests_.find(member)->second.in_flight = true;
+      keys.push_back(member);
+    }
+    return keys;
+  }
   if (config_.max_coalesce_blocks <= 1) {
     return keys;
   }
@@ -167,7 +296,11 @@ std::vector<BlockKey> FetchQueue::GatherRangeLocked(const BlockKey& key) {
   // demand pops must drain before prefetch work starts).
   const auto joinable = [&](std::int64_t block) -> bool {
     const auto it = requests_.find(BlockKey{key.owner, block});
+    // Blocks of a pre-formed ranged ticket never join a walk: their
+    // ticket fetches them as its own unit (absorbing a member here would
+    // double-deliver it when the ticket pops).
     return it != requests_.end() && !it->second.in_flight &&
+           !it->second.range_member && it->second.range_count == 1 &&
            it->second.priority == priority &&
            it->second.provider.get() == provider;
   };
@@ -297,11 +430,15 @@ void FetchQueue::FetcherLoop() {
     // always preempts a coalesced prefetch range.
     const std::vector<BlockKey> keys = GatherRangeLocked(key);
     std::shared_ptr<BlockProvider> provider;
-    {
-      const auto it = requests_.find(key);
+    // One cancellation latch covers the whole fetch: CancelTagged flips
+    // it when every covered request has lost its last waiter.
+    auto abort = std::make_shared<std::atomic<bool>>(false);
+    for (const BlockKey& k : keys) {
+      const auto it = requests_.find(k);
       DBTOUCH_CHECK(it != requests_.end());
+      it->second.abort = abort;
       provider = it->second.provider;
-      // The iterator must not outlive this scope: concurrent Enqueues
+      // Iterators must not outlive this scope: concurrent Enqueues
       // during the unlocked fetch below may rehash the map, invalidating
       // every iterator — the requests are re-found after relocking.
     }
@@ -312,10 +449,10 @@ void FetchQueue::FetcherLoop() {
     std::int64_t retries = 0;
     const std::int64_t t0 = NowUs();
     Result<std::vector<std::byte>> payload =
-        count == 1
-            ? FetchBlockWithRetry(*provider, first_block, config_, &retries)
-            : FetchRangeWithRetry(*provider, first_block, count, config_,
-                                  &retries);
+        count == 1 ? FetchBlockWithRetry(*provider, first_block, config_,
+                                         &retries, abort.get())
+                   : FetchRangeWithRetry(*provider, first_block, count,
+                                         config_, &retries, abort.get());
     const std::int64_t wall = NowUs() - t0;
     SettleFetch(lock, keys, std::move(payload), retries, wall);
   }
@@ -326,14 +463,11 @@ std::size_t FetchQueue::CancelTagged(std::uint64_t tag) {
   std::size_t dropped = 0;
   {
     const std::lock_guard<std::mutex> lock(mu_);
+    // In-flight fetches that may deserve an abort: decided after the
+    // retraction pass, once every request's surviving waiters are known.
+    std::vector<std::shared_ptr<std::atomic<bool>>> candidates;
     for (auto it = requests_.begin(); it != requests_.end();) {
       Request& request = it->second;
-      if (request.in_flight) {
-        // Already being read: let it finish and settle normally (its
-        // completions must fire to balance the caller's tickets).
-        ++it;
-        continue;
-      }
       const std::size_t before = request.waiters.size();
       std::erase_if(request.waiters, [&](Waiter& waiter) {
         if (waiter.tag != tag) {
@@ -343,6 +477,20 @@ std::size_t FetchQueue::CancelTagged(std::uint64_t tag) {
         return true;
       });
       const bool retracted = request.waiters.size() < before;
+      if (request.in_flight) {
+        // Already being read: the fetch finishes its current attempt and
+        // settles (deliveries balance; the retracted waiters were failed
+        // here instead). If this retraction left the request — a demand
+        // read nobody else shares — waiterless, its fetch is an abort
+        // candidate: no further retries for a closed session.
+        if (retracted && request.waiters.empty() &&
+            request.priority == FetchPriority::kDemand &&
+            request.abort != nullptr) {
+          candidates.push_back(request.abort);
+        }
+        ++it;
+        continue;
+      }
       if (retracted && request.waiters.empty() &&
           request.priority == FetchPriority::kDemand) {
         // Nobody is left waiting on this demand read — fetching it would
@@ -355,6 +503,24 @@ std::size_t FetchQueue::CancelTagged(std::uint64_t tag) {
         ++dropped;
       } else {
         ++it;
+      }
+    }
+    // Abort only fetches no request of which still has a waiter or is a
+    // shared warm-up: a ranged read another session is parked on — or
+    // that warms the pool — runs its full retry budget as before.
+    for (const auto& abort : candidates) {
+      bool still_wanted = false;
+      for (const auto& [k, request] : requests_) {
+        if (request.abort == abort &&
+            (!request.waiters.empty() ||
+             request.priority == FetchPriority::kPrefetch)) {
+          still_wanted = true;
+          break;
+        }
+      }
+      if (!still_wanted &&
+          !abort->exchange(true, std::memory_order_acq_rel)) {
+        ++stats_.aborted;
       }
     }
     if (requests_.empty() && active_callbacks_ == 0) {

@@ -33,6 +33,7 @@
 #ifndef DBTOUCH_CACHE_FETCH_QUEUE_H_
 #define DBTOUCH_CACHE_FETCH_QUEUE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -85,6 +86,14 @@ struct FetchQueueStats {
   /// Queued-not-in-flight demand requests dropped by CancelTagged (a
   /// session closed before its fetch started).
   std::int64_t cancelled = 0;
+  /// In-flight fetches whose retry loop CancelTagged cut short: the
+  /// session parked on them closed, so the read was capped at the attempt
+  /// already running instead of a full retry budget.
+  std::int64_t aborted = 0;
+  /// Pre-formed ranged warm-up tickets (EnqueueRange runs of >= 2 blocks):
+  /// the extrapolator's horizon expressed as single ReadRange fetches, no
+  /// pop-time re-merging involved.
+  std::int64_t prefetch_ranges = 0;
   /// Coalesced provider calls: ReadRange invocations spanning >= 2
   /// adjacent blocks, and the blocks they covered. completed counts every
   /// block, so (completed - ranged_blocks + ranged_reads) is the number
@@ -107,16 +116,21 @@ bool IsTransientFetchError(const Status& status);
 /// Fetches `block` from `provider` with the queue's retry policy, inline
 /// on the calling thread — the synchronous fallback path shares one
 /// definition of "retryable read" with the async queue. `retries_out`
-/// (optional) accumulates the retries spent.
+/// (optional) accumulates the retries spent. `abort` (optional) is the
+/// cancellation latch: once it reads true, the loop returns the current
+/// attempt's outcome instead of spending further retries — a cancelled
+/// session's read costs at most one attempt, not one full fetch.
 Result<std::vector<std::byte>> FetchBlockWithRetry(
     BlockProvider& provider, std::int64_t block,
-    const FetchQueueConfig& config, std::int64_t* retries_out = nullptr);
+    const FetchQueueConfig& config, std::int64_t* retries_out = nullptr,
+    const std::atomic<bool>* abort = nullptr);
 
 /// Ranged sibling of FetchBlockWithRetry: one provider ReadRange over
 /// [first_block, first_block + count) under the same retry policy.
 Result<std::vector<std::byte>> FetchRangeWithRetry(
     BlockProvider& provider, std::int64_t first_block, std::int64_t count,
-    const FetchQueueConfig& config, std::int64_t* retries_out = nullptr);
+    const FetchQueueConfig& config, std::int64_t* retries_out = nullptr,
+    const std::atomic<bool>* abort = nullptr);
 
 class FetchQueue {
  public:
@@ -149,12 +163,29 @@ class FetchQueue {
                std::int64_t block, FetchPriority priority, Completion done,
                std::uint64_t tag = 0);
 
-  /// Retracts `tag`'s still-queued tickets (a session closed): its waiters
-  /// on queued — NOT in-flight — requests fail with Aborted, and a demand
-  /// request left with no waiters is dropped entirely, so closed sessions
-  /// stop consuming cold-tier bandwidth. In-flight fetches finish and
-  /// settle normally (their completions must, to balance tickets).
-  /// Returns the number of requests dropped.
+  /// Enqueues blocks [first_block, first_block + count) of `owner` as
+  /// pre-formed ranged warm-up tickets: each run of blocks with no
+  /// existing request becomes ONE prefetch ticket whose fetch is a single
+  /// provider ReadRange — the predicted slide path rides one backing read
+  /// sized by the horizon, with no pop-time re-merging (and no
+  /// max_coalesce_blocks cap). Blocks already queued or in flight are
+  /// skipped (counted as coalesced). A later demand Enqueue for a block
+  /// inside a still-queued ticket splits the ticket around it, so demand
+  /// never waits on (or inflates) a warm-up range. Fire-and-forget like
+  /// RequestPrefetch; returns the number of blocks actually enqueued.
+  std::size_t EnqueueRange(std::uint64_t owner,
+                           std::shared_ptr<BlockProvider> provider,
+                           std::int64_t first_block, std::int64_t count);
+
+  /// Retracts `tag`'s tickets (a session closed). Waiters of still-queued
+  /// requests fail with Aborted, and a demand request left with no
+  /// waiters is dropped entirely, so closed sessions stop consuming
+  /// cold-tier bandwidth. An IN-FLIGHT fetch whose every covered request
+  /// is left waiterless demand gets its abort latch set: the read caps at
+  /// the attempt already running instead of a full retry budget (counted
+  /// in stats().aborted); fetches other sessions still wait on — and
+  /// shared warm-ups — run to completion. Returns the number of queued
+  /// requests dropped.
   std::size_t CancelTagged(std::uint64_t tag);
 
   /// Queued + in-flight fetches.
@@ -180,6 +211,18 @@ class FetchQueue {
     std::int64_t block = 0;
     FetchPriority priority = FetchPriority::kPrefetch;
     bool in_flight = false;
+    /// Pre-formed ranged ticket (EnqueueRange): on the head request, how
+    /// many consecutive blocks [block, block + range_count) one ReadRange
+    /// serves. 1 = an ordinary single-block request.
+    std::int64_t range_count = 1;
+    /// Non-head blocks of a pre-formed ticket: only the head sits in the
+    /// prefetch lane; members are findable here (so demand enqueues can
+    /// coalesce or split) but never popped directly.
+    bool range_member = false;
+    std::int64_t head_block = 0;
+    /// Cancellation latch shared by every request of one in-flight fetch;
+    /// set by CancelTagged, read between retry attempts.
+    std::shared_ptr<std::atomic<bool>> abort;
     std::vector<Waiter> waiters;
   };
 
@@ -189,8 +232,16 @@ class FetchQueue {
   /// Extends the popped `key` with queued adjacent same-owner requests
   /// (same provider, consecutive block indices, not in flight), removing
   /// them from their lanes and marking every gathered request in flight.
+  /// A pre-formed ranged ticket is taken whole instead (its size was set
+  /// by the prefetch horizon, not max_coalesce_blocks) and never extended.
   /// Returns the keys in ascending block order; size 1 = no coalescing.
   std::vector<BlockKey> GatherRangeLocked(const BlockKey& key);
+  /// Carves `key` out of the pre-formed ranged ticket covering it (no-op
+  /// for ordinary requests): the ticket splits into up to two shorter
+  /// tickets around `key`, which becomes a standalone queued-nowhere
+  /// request the caller may re-lane. Only valid while nothing is in
+  /// flight for the ticket.
+  void DetachFromRangeLocked(const BlockKey& key);
   /// Completes `keys` (all in flight, ascending adjacent blocks) with the
   /// outcome of one fetch: on success `payload` is split per block and
   /// delivered through the sink before any waiter runs. Reacquires `lock`

@@ -82,20 +82,38 @@ struct Kernel::ObjectState {
   /// sources (Section 2.6 "Prefetching Data").
   prefetch::GestureExtrapolator extrapolator;
 
-  storage::ColumnView BaseColumn() const {
-    if (column.has_value()) {
-      return table->ColumnViewAt(*column);
+  /// The paged source execution reads the bound column through: the
+  /// buffer-pool source for paged column objects; otherwise the table's
+  /// own source — the release-gated zero-copy form on a resident table,
+  /// the rebind source once its matrix was reclaimed. Never a bare raw
+  /// view: every operator the kernel builds survives (or cleanly
+  /// refuses) a later spill reclamation.
+  std::shared_ptr<storage::PagedColumnSource> BoundSource() const {
+    if (paged != nullptr) {
+      return paged;
     }
-    return table->ColumnViewAt(0);
+    return table->PagedColumnAt(column.value_or(0));
+  }
+
+  /// Paged source for an arbitrary attribute of the backing table (the
+  /// fat-table read paths: taps, scans, group-bys).
+  std::shared_ptr<storage::PagedColumnSource> AttributeSource(
+      std::size_t attribute) const {
+    if (column.has_value() && *column == attribute && paged != nullptr) {
+      return paged;
+    }
+    return table->PagedColumnAt(attribute);
   }
 
   /// Point read of the bound column: pinned through the buffer pool when
-  /// paged, a fresh (rotation-safe) raw view otherwise.
+  /// paged; otherwise through Table::GetValue, whose release gate makes
+  /// the read safe against a concurrent spill reclamation (and which is
+  /// rotation-safe, reading the current matrix each call).
   storage::Value ReadBoundValue(storage::RowId row) {
     if (cursor.valid()) {
       return cursor.GetValue(row);
     }
-    return BaseColumn().GetValue(row);
+    return table->GetValue(row, column.value_or(0));
   }
 };
 
@@ -234,24 +252,21 @@ Status Kernel::SetAction(ObjectId id, const ActionConfig& action) {
   obj->groupby_op.reset();
   switch (action.kind) {
     case ActionKind::kAggregate:
-      obj->agg_op = obj->paged != nullptr
-                        ? std::make_unique<exec::TouchedAggregateOp>(
-                              obj->paged, action.agg)
-                        : std::make_unique<exec::TouchedAggregateOp>(
-                              obj->BaseColumn(), action.agg);
+      obj->agg_op = std::make_unique<exec::TouchedAggregateOp>(
+          obj->BoundSource(), action.agg);
       break;
     case ActionKind::kFilteredScan:
       DBTOUCH_CHECK(action.predicate.has_value());
-      obj->filter_op = obj->paged != nullptr
-                           ? std::make_unique<exec::FilteredScanOp>(
-                                 obj->paged, *action.predicate)
-                           : std::make_unique<exec::FilteredScanOp>(
-                                 obj->BaseColumn(), *action.predicate);
+      obj->filter_op = std::make_unique<exec::FilteredScanOp>(
+          obj->BoundSource(), *action.predicate);
       break;
     case ActionKind::kGroupBy:
+      // Paged always: zero-copy block slices on a resident table, pinned
+      // pool blocks on a reclaimed one — same values either way, and the
+      // group-by no longer needs the matrix to exist.
       obj->groupby_op = std::make_unique<exec::IncrementalGroupBy>(
-          obj->table->ColumnViewAt(action.group_key_attribute),
-          obj->table->ColumnViewAt(action.group_value_attribute),
+          obj->table->PagedColumnAt(action.group_key_attribute),
+          obj->table->PagedColumnAt(action.group_value_attribute),
           action.agg);
       break;
     case ActionKind::kScan:
@@ -272,8 +287,12 @@ Status Kernel::EnableJoin(ObjectId left, ObjectId right) {
   if (!l->column.has_value() || !r->column.has_value()) {
     return Status::InvalidArgument("joins bind column objects");
   }
-  const storage::DataType lt = l->BaseColumn().type();
-  const storage::DataType rt = r->BaseColumn().type();
+  // Per-side sources — each side independently, so joining a reclaimed
+  // column against a resident one works.
+  const std::shared_ptr<storage::PagedColumnSource> lsrc = l->BoundSource();
+  const std::shared_ptr<storage::PagedColumnSource> rsrc = r->BoundSource();
+  const storage::DataType lt = lsrc->type();
+  const storage::DataType rt = rsrc->type();
   if (lt == storage::DataType::kFloat || lt == storage::DataType::kDouble ||
       rt == storage::DataType::kFloat || rt == storage::DataType::kDouble) {
     return Status::InvalidArgument("join keys must be integer or string");
@@ -294,8 +313,7 @@ Status Kernel::EnableJoin(ObjectId left, ObjectId right) {
       pins->second.first == l->table && pins->second.second == r->table) {
     ++stats_.join_cache_hits;
   } else {
-    join = std::make_shared<exec::SymmetricHashJoin>(l->BaseColumn(),
-                                                     r->BaseColumn());
+    join = std::make_shared<exec::SymmetricHashJoin>(lsrc, rsrc);
     join_cache_.Put(cache_key, join);
     join_cache_tables_[cache_key] = {l->table, r->table};
     // Drop identity pins for joins the LRU just evicted, so the pin map
@@ -381,8 +399,19 @@ Result<bool> Kernel::ProbeGesture(const GestureEvent& event,
       event.type == GestureType::kTap || event.phase == GesturePhase::kBegan
           ? FindObjectAt(event.position)
           : gesture_target_;
-  if (obj == nullptr || obj->paged == nullptr ||
-      !obj->paged->may_block()) {
+  if (obj == nullptr) {
+    return true;
+  }
+  if (obj->view->kind() == ObjectKind::kTable) {
+    // Fat-table gestures read per-attribute sources; only a reclaimed
+    // table's sources can fault from a slow tier (resident tables read
+    // raw views or zero-copy slices).
+    if (!obj->table->raw_released()) {
+      return true;
+    }
+    return ProbeTableGesture(*obj, event, non_blocking, stall);
+  }
+  if (obj->paged == nullptr || !obj->paged->may_block()) {
     return true;  // No slow-tier reads possible.
   }
 
@@ -391,9 +420,6 @@ Result<bool> Kernel::ProbeGesture(const GestureEvent& event,
   RowId first = -1;
   RowId last = -1;
   if (event.type == GestureType::kTap) {
-    if (obj->view->kind() == ObjectKind::kTable) {
-      return true;  // Tuple taps read the raw table, not the paged column.
-    }
     const sim::PointCm local = obj->view->ScreenToLocal(event.position);
     first = last = touch::MapTouch(*obj->view, local).row;
   } else if (event.type == GestureType::kSlide &&
@@ -416,7 +442,7 @@ Result<bool> Kernel::ProbeGesture(const GestureEvent& event,
         break;
       }
       case ActionKind::kGroupBy:
-        return true;  // Reads raw table columns.
+        return true;  // Table-object action; unreachable for columns.
     }
   } else {
     return true;  // Pinch / rotate / begin / end read no base data.
@@ -424,8 +450,82 @@ Result<bool> Kernel::ProbeGesture(const GestureEvent& event,
   if (first < 0) {
     return true;
   }
+  return ProbeBlocks(obj->paged, first, last, non_blocking, stall);
+}
 
-  const std::shared_ptr<storage::PagedColumnSource>& source = obj->paged;
+Result<bool> Kernel::ProbeTableGesture(const ObjectState& obj,
+                                       const GestureEvent& event,
+                                       bool non_blocking,
+                                       TouchStall* stall) {
+  // Which attributes this gesture's execution will read, at which rows.
+  RowId row = -1;
+  std::vector<std::size_t> attributes;
+  RowId band_first = -1;
+  RowId band_last = -1;
+  if (event.type == GestureType::kTap) {
+    // "A single tap anywhere on a table data object reveals a full
+    // tuple": every attribute's covering block must be resident.
+    const sim::PointCm local = obj.view->ScreenToLocal(event.position);
+    row = touch::MapTouch(*obj.view, local).row;
+    for (std::size_t c = 0; c < obj.table->schema().num_fields(); ++c) {
+      attributes.push_back(c);
+    }
+  } else if (event.type == GestureType::kSlide &&
+             event.phase == GesturePhase::kChanged) {
+    const sim::PointCm local = obj.view->ScreenToLocal(event.position);
+    const touch::TouchMapping mapping = touch::MapTouch(*obj.view, local);
+    row = mapping.row;
+    switch (obj.action.kind) {
+      case ActionKind::kScan:
+        attributes.push_back(mapping.attribute);
+        break;
+      case ActionKind::kGroupBy:
+        attributes.push_back(obj.action.group_key_attribute);
+        if (obj.action.group_value_attribute !=
+            obj.action.group_key_attribute) {
+          attributes.push_back(obj.action.group_value_attribute);
+        }
+        break;
+      case ActionKind::kAggregate:
+      case ActionKind::kFilteredScan:
+        attributes.push_back(obj.column.value_or(0));
+        break;
+      case ActionKind::kSummary: {
+        const std::int64_t k = SummaryBandK(obj);
+        band_first = std::max<RowId>(row - k, 0);
+        band_last = std::min<RowId>(row + k, obj.table->row_count() - 1);
+        attributes.push_back(obj.column.value_or(0));
+        break;
+      }
+    }
+  } else {
+    return true;  // Pinch / rotate / begin / end read no base data.
+  }
+  if (row < 0) {
+    return true;
+  }
+  for (const std::size_t attribute : attributes) {
+    const RowId first = band_first >= 0 ? band_first : row;
+    const RowId last = band_last >= 0 ? band_last : row;
+    DBTOUCH_ASSIGN_OR_RETURN(
+        const bool ready,
+        ProbeBlocks(obj.AttributeSource(attribute), first, last,
+                    non_blocking, stall));
+    if (!ready) {
+      // Suspend on this attribute's stall; attributes probed so far stay
+      // pinned in probe_pins_ and the resume continues from here.
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> Kernel::ProbeBlocks(
+    const std::shared_ptr<storage::PagedColumnSource>& source, RowId first,
+    RowId last, bool non_blocking, TouchStall* stall) {
+  if (source == nullptr || !source->may_block()) {
+    return true;
+  }
   const std::int64_t first_block = source->BlockFor(first);
   const std::int64_t last_block = source->BlockFor(last);
   if (!non_blocking && last_block > first_block) {
@@ -440,7 +540,7 @@ Result<bool> Kernel::ProbeGesture(const GestureEvent& event,
   for (std::int64_t block = first_block; block <= last_block; ++block) {
     bool held = false;
     for (const storage::BlockPin& pin : probe_pins_) {
-      if (pin.block() == block) {
+      if (pin.block() == block && pin.source() == source.get()) {
         held = true;  // Pinned by a previous attempt of this gesture.
         break;
       }
@@ -491,32 +591,28 @@ std::int64_t Kernel::SummaryBandK(const ObjectState& obj) const {
 
 void Kernel::MaybePrefetch(ObjectState* obj, RowId row,
                            const GestureEvent& event) {
-  if (!config_.prefetch_enabled || obj->paged == nullptr ||
-      !obj->paged->may_block()) {
+  const std::shared_ptr<storage::PagedColumnSource> source =
+      obj->BoundSource();
+  if (!config_.prefetch_enabled || source == nullptr ||
+      !source->may_block()) {
     return;
   }
   obj->extrapolator.Observe(event.timestamp_us, row);
   const prefetch::RowRange range = obj->extrapolator.PredictRange(
-      event.timestamp_us, config_.prefetch_horizon_s,
-      obj->paged->row_count());
+      event.timestamp_us, config_.prefetch_horizon_s, source->row_count());
   if (range.empty()) {
     return;
   }
-  const std::shared_ptr<storage::PagedColumnSource>& source = obj->paged;
-  const std::int64_t last_block = source->BlockFor(range.last);
-  std::int64_t issued = 0;
-  for (std::int64_t block = source->BlockFor(range.first);
-       block <= last_block &&
-       issued < config_.max_prefetch_blocks_per_touch;
-       ++block) {
-    // Only real enqueues spend the per-touch budget: during a steady
-    // slide the head of the predicted range is already resident, and the
-    // cold tail is exactly what needs warming.
-    if (source->RequestPrefetch(block)) {
-      ++issued;
-      ++stats_.prefetch_requests;
-    }
-  }
+  // The whole predicted path goes down as ranged warm-up tickets: the
+  // horizon expresses itself in the read size (one backing read per cold
+  // stretch) instead of block-by-block enqueues re-merged at pop time.
+  // Only real enqueues spend the per-touch budget: during a steady slide
+  // the head of the predicted range is already resident, and the cold
+  // tail is exactly what needs warming.
+  const std::int64_t issued = source->RequestPrefetchRange(
+      source->BlockFor(range.first), source->BlockFor(range.last),
+      config_.max_prefetch_blocks_per_touch);
+  stats_.prefetch_requests += issued;
 }
 
 void Kernel::Replay(const sim::GestureTrace& trace) {
@@ -598,14 +694,20 @@ void Kernel::OnGesture(const GestureEvent& event) {
     // working pins drop too: an idle session must not hold buffer-pool
     // blocks pinned (retained blocks stay cached, so the next touch on
     // the region is still a hit).
-    if (obj->paged != nullptr) {
-      obj->paged->OnGesturePause();
-      obj->cursor.ReleasePin();
-      if (obj->agg_op != nullptr) {
-        obj->agg_op->ReleasePin();
-      }
-      if (obj->filter_op != nullptr) {
-        obj->filter_op->ReleasePin();
+    obj->BoundSource()->OnGesturePause();
+    obj->cursor.ReleasePin();
+    if (obj->agg_op != nullptr) {
+      obj->agg_op->ReleasePin();
+    }
+    if (obj->filter_op != nullptr) {
+      obj->filter_op->ReleasePin();
+    }
+    if (obj->groupby_op != nullptr) {
+      obj->groupby_op->ReleasePins();
+    }
+    for (JoinBinding& binding : joins_) {
+      if (binding.left == obj->id || binding.right == obj->id) {
+        binding.join->ReleasePins();
       }
     }
   }
@@ -810,14 +912,11 @@ std::int64_t Kernel::ExecuteAction(ObjectState* obj,
         // Base-data band of equivalent width, truncated to the per-touch
         // budget so one touch can never stall unboundedly.
         const std::int64_t k_base = SummaryBandK(*obj);
-        // Paged objects scan the band block-at-a-time through pinned
-        // blocks of the shared pool; unpaged fall back to the raw view.
-        exec::InteractiveSummaryOp op =
-            obj->paged != nullptr
-                ? exec::InteractiveSummaryOp(obj->paged, k_base,
-                                             obj->action.agg)
-                : exec::InteractiveSummaryOp(obj->BaseColumn(), k_base,
-                                             obj->action.agg);
+        // The band scans block-at-a-time whatever the tier: pool blocks
+        // for paged objects, gated zero-copy slices on resident tables,
+        // rebind-source pins once the matrix was reclaimed.
+        exec::InteractiveSummaryOp op(obj->BoundSource(), k_base,
+                                      obj->action.agg);
         sr = op.ComputeAt(base_row);
         scanned = op.rows_scanned();
       }
@@ -883,12 +982,10 @@ std::int64_t Kernel::ExecuteAction(ObjectState* obj,
       if (!obj->groupby_op->Feed(base_row)) {
         return 0;  // Revisited tuple.
       }
-      // Surface the touched tuple's group with its fresh aggregate.
-      const storage::ColumnView keys =
-          obj->table->ColumnViewAt(obj->action.group_key_attribute);
-      const std::int64_t key =
-          keys.type() == storage::DataType::kInt64 ? keys.GetInt64(base_row)
-                                                   : keys.GetInt32(base_row);
+      // Surface the touched tuple's group with its fresh aggregate. The
+      // key re-read goes through the operator's own backing (pinned
+      // blocks on a reclaimed table), not a raw table view.
+      const std::int64_t key = obj->groupby_op->KeyAt(base_row);
       double group_value = 0.0;
       std::int64_t group_count = 0;
       for (const auto& g : obj->groupby_op->Snapshot()) {
@@ -934,6 +1031,12 @@ void Kernel::HandleRotate(const GestureEvent& event, ObjectState* obj) {
   }
   obj->rotation_fired_this_gesture = true;
   obj->view->FlipOrientation();
+  if (obj->table->raw_released()) {
+    // A spilled-and-reclaimed table has no matrix to rewrite; the gesture
+    // still flips the on-screen orientation, the physical layout lives in
+    // the block files (frozen, like registered tables under sharing).
+    return;
+  }
   if (obj->view->kind() == ObjectKind::kTable) {
     // "Rotating a row-oriented table changes its physical layout to a
     // column-store structure ... (and vice versa)" — incrementally.

@@ -284,6 +284,21 @@ class Kernel {
   /// filled with the missing blocks. Error = the backing read failed.
   Result<bool> ProbeGesture(const gesture::GestureEvent& event,
                             bool non_blocking, TouchStall* stall);
+  /// Probe for gestures on fat-table objects whose matrix was reclaimed:
+  /// taps pin every attribute's covering block, scans / group-bys /
+  /// summaries pin the attributes their execution reads. Multi-attribute
+  /// stalls suspend one attribute at a time (a TouchStall names one
+  /// source); already-probed attributes stay pinned across the resume.
+  Result<bool> ProbeTableGesture(const ObjectState& obj,
+                                 const gesture::GestureEvent& event,
+                                 bool non_blocking, TouchStall* stall);
+  /// Pins `source`'s blocks covering base rows [first, last] into
+  /// probe_pins_ (blocking or try-pin per `non_blocking`); shared tail of
+  /// both probes above.
+  Result<bool> ProbeBlocks(
+      const std::shared_ptr<storage::PagedColumnSource>& source,
+      storage::RowId first, storage::RowId last, bool non_blocking,
+      TouchStall* stall);
   /// Half-width (base rows) of the summary band at level 0 — shared by
   /// execution and the residency probe so they can never diverge.
   std::int64_t SummaryBandK(const ObjectState& obj) const;

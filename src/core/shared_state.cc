@@ -34,9 +34,16 @@ SharedState::GetOrBuildHierarchy(const std::string& table,
     return it->second.hierarchy;
   }
   // First build, or the name was re-registered with a different table:
-  // (re)build and retire any index set over the stale hierarchy.
-  auto hierarchy = std::make_shared<sampling::SampleHierarchy>(
-      t->ColumnViewAt(column), sampling_);
+  // (re)build and retire any index set over the stale hierarchy. A
+  // reclaimed table has no matrix to stride over — the rebuild pins
+  // blocks of its paged rebind source instead (streamed through the
+  // shared pool, so even this build honours the byte budget).
+  auto hierarchy =
+      t->raw_released()
+          ? std::make_shared<sampling::SampleHierarchy>(
+                t->PagedColumnAt(column), sampling_)
+          : std::make_shared<sampling::SampleHierarchy>(
+                t->ColumnViewAt(column), sampling_);
   if (it != hierarchies_.end()) {
     indexes_.erase(it->second.hierarchy.get());
   }
@@ -118,7 +125,8 @@ Status SharedState::BindColumnProvider(
 }
 
 Status SharedState::SpillTable(const std::string& table,
-                               storage::TableSpiller& spiller) {
+                               storage::TableSpiller& spiller,
+                               bool reclaim_raw) {
   DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> t,
                            catalog_.Get(table));
   // Write (and validate) every column's file before rebinding any: a
@@ -136,10 +144,37 @@ Status SharedState::SpillTable(const std::string& table,
     // lookup: a concurrent re-registration of the name must not get the
     // old table's spill files pinned under the new table's identity (the
     // identity mismatch then retires the binding, as for any provider).
-    DBTOUCH_RETURN_IF_ERROR(
-        BindColumnProvider(t, column, std::move(providers[column])));
+    DBTOUCH_RETURN_IF_ERROR(BindColumnProvider(t, column, providers[column]));
   }
-  return Status::OK();
+  if (!reclaim_raw) {
+    return Status::OK();
+  }
+  // Reclamation: every file is written, validated and bound — the matrix
+  // is now a redundant copy. Build the paged rebind sources (pool-backed,
+  // same binding GetColumnSource hands out, so probe pins and point reads
+  // share cache keys), move the hierarchies onto them, then free the raw
+  // storage. ReleaseRaw waits out raw readers still in flight.
+  std::vector<std::shared_ptr<storage::PagedColumnSource>> sources;
+  sources.reserve(providers.size());
+  for (std::size_t column = 0; column < providers.size(); ++column) {
+    sources.push_back(
+        buffer_.SourceFor(t->name(), column, providers[column]));
+  }
+  // One critical section for rebind + release: a concurrent
+  // GetOrBuildHierarchy (same mutex) either runs before — and is rebound
+  // here — or after, when raw_released() already steers it to the paged
+  // build. Releasing between the two would let it build over a matrix
+  // about to be freed. Lock order is mu_ then the table's release gate;
+  // no raw-gate holder ever takes mu_.
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : hierarchies_) {
+    if (entry.table == t) {
+      // Materialises any unbuilt levels from the still-valid matrix,
+      // then pins blocks for everything after.
+      entry.hierarchy->RebindBase(sources[key.second]);
+    }
+  }
+  return t->ReleaseRaw(std::move(sources));
 }
 
 std::size_t SharedState::hierarchy_count() const {

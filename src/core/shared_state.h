@@ -107,8 +107,27 @@ class SharedState {
   /// from the spill files. Columns are rebound only after every file is
   /// written and validated, so a failed spill leaves the in-memory
   /// binding fully intact.
-  Status SpillTable(const std::string& table,
-                    storage::TableSpiller& spiller);
+  ///
+  /// With `reclaim_raw`, the spill then actually frees memory: every
+  /// shared sample hierarchy over the table is rebound to the paged tier
+  /// (its level copies are materialised first — they are all that
+  /// survives in RAM), and the table's matrix storage is released
+  /// (storage::Table::ReleaseRaw), so the tracked resident bytes of the
+  /// table drop to ~0 and the pool's byte budget becomes the only bound
+  /// on base-data residency — the out-of-core promise made literal.
+  /// Remaining readers go through PagedColumnSource pins: taps and
+  /// group-bys via Table::GetValue's paged fallback, hierarchies rebuilt
+  /// later via GetOrBuildHierarchy's paged build, zone maps via the
+  /// paged index builds. Racing readers are safe, not transparent:
+  /// transient raw reads drain behind the table's release gate, a live
+  /// zero-copy pin (an operator mid-gesture) makes the reclaim itself
+  /// fail cleanly — the spill files stay written and bound, so retry
+  /// once gestures pause — and pool sources handed out BEFORE the
+  /// reclaim keep their in-memory binding and fail cleanly (shedding
+  /// one gesture) if they fault after the matrix is gone. Reclaim
+  /// before opening the table to sessions for zero disruption.
+  Status SpillTable(const std::string& table, storage::TableSpiller& spiller,
+                    bool reclaim_raw = false);
 
   /// Number of distinct (table, column) hierarchies built so far.
   std::size_t hierarchy_count() const;

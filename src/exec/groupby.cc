@@ -1,18 +1,40 @@
 #include "exec/groupby.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/macros.h"
 
 namespace dbtouch::exec {
+
+namespace {
+
+bool IntegerKeyType(storage::DataType type) {
+  return type != storage::DataType::kFloat &&
+         type != storage::DataType::kDouble;
+}
+
+}  // namespace
 
 IncrementalGroupBy::IncrementalGroupBy(storage::ColumnView keys,
                                        storage::ColumnView values,
                                        AggKind kind)
     : keys_(keys), values_(values), kind_(kind) {
   DBTOUCH_CHECK(keys.row_count() == values.row_count());
-  DBTOUCH_CHECK(keys.type() != storage::DataType::kFloat &&
-                keys.type() != storage::DataType::kDouble);
+  DBTOUCH_CHECK(IntegerKeyType(keys.type()));
+}
+
+IncrementalGroupBy::IncrementalGroupBy(
+    std::shared_ptr<storage::PagedColumnSource> keys,
+    std::shared_ptr<storage::PagedColumnSource> values, AggKind kind)
+    : keys_(std::move(keys)), values_(std::move(values)), kind_(kind) {
+  DBTOUCH_CHECK(keys_.row_count() == values_.row_count());
+  DBTOUCH_CHECK(IntegerKeyType(keys_.type()));
+}
+
+std::int64_t IncrementalGroupBy::KeyAt(storage::RowId row) {
+  return keys_.type() == storage::DataType::kInt64 ? keys_.GetInt64(row)
+                                                   : keys_.GetInt32(row);
 }
 
 bool IncrementalGroupBy::Feed(storage::RowId row) {
@@ -22,9 +44,7 @@ bool IncrementalGroupBy::Feed(storage::RowId row) {
   if (!seen_.insert(row).second) {
     return false;
   }
-  const std::int64_t key = keys_.type() == storage::DataType::kInt64
-                               ? keys_.GetInt64(row)
-                               : keys_.GetInt32(row);
+  const std::int64_t key = KeyAt(row);
   auto [it, inserted] = groups_.try_emplace(key, kind_);
   it->second.Add(values_.GetAsDouble(row));
   return true;

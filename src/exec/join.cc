@@ -6,13 +6,19 @@ namespace dbtouch::exec {
 
 SymmetricHashJoin::SymmetricHashJoin(storage::ColumnView left,
                                      storage::ColumnView right) {
-  inputs_[0] = left;
-  inputs_[1] = right;
+  cursors_[0] = storage::PagedColumnCursor(left);
+  cursors_[1] = storage::PagedColumnCursor(right);
 }
 
-std::int64_t SymmetricHashJoin::KeyAt(JoinSide side,
-                                      storage::RowId row) const {
-  const storage::ColumnView& c = inputs_[static_cast<int>(side)];
+SymmetricHashJoin::SymmetricHashJoin(
+    std::shared_ptr<storage::PagedColumnSource> left,
+    std::shared_ptr<storage::PagedColumnSource> right) {
+  cursors_[0] = storage::PagedColumnCursor(std::move(left));
+  cursors_[1] = storage::PagedColumnCursor(std::move(right));
+}
+
+std::int64_t SymmetricHashJoin::KeyAt(JoinSide side, storage::RowId row) {
+  storage::PagedColumnCursor& c = cursors_[static_cast<int>(side)];
   switch (c.type()) {
     case storage::DataType::kInt32:
     case storage::DataType::kString:
@@ -33,7 +39,7 @@ std::vector<JoinMatch> SymmetricHashJoin::Feed(JoinSide side,
   std::vector<JoinMatch> out;
   const int s = static_cast<int>(side);
   const int other = 1 - s;
-  if (!inputs_[s].InRange(row)) {
+  if (!cursors_[s].InRange(row)) {
     return out;
   }
   if (!fed_[s].insert(row).second) {

@@ -12,11 +12,13 @@
 #define DBTOUCH_EXEC_JOIN_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "storage/column.h"
+#include "storage/paged_column.h"
 #include "storage/types.h"
 
 namespace dbtouch::exec {
@@ -34,8 +36,15 @@ struct JoinMatch {
 class SymmetricHashJoin {
  public:
   /// Joins on integer keys (int32/int64/dictionary codes); `left` and
-  /// `right` are the key columns.
+  /// `right` are the key columns (wrapped in zero-copy cursors).
   SymmetricHashJoin(storage::ColumnView left, storage::ColumnView right);
+
+  /// Paged form: key reads pin blocks of the sources — the buffer-pool
+  /// read path, and the only one that works once a side's table has been
+  /// spilled and its matrix reclaimed. Both forms read through the same
+  /// cursors; only where the bytes live differs.
+  SymmetricHashJoin(std::shared_ptr<storage::PagedColumnSource> left,
+                    std::shared_ptr<storage::PagedColumnSource> right);
 
   /// Feeds the tuple the user just touched on `side`. Re-fed rows are
   /// no-ops (a slide may revisit data; each pair matches exactly once).
@@ -51,10 +60,17 @@ class SymmetricHashJoin {
   /// Memory-ish cost proxy: entries resident across both hash tables.
   std::int64_t hash_entries() const;
 
- private:
-  std::int64_t KeyAt(JoinSide side, storage::RowId row) const;
+  /// Drops the working pins — gesture-pause hygiene: an idle session
+  /// must not hold buffer-pool blocks pinned (free for zero-copy sides).
+  void ReleasePins() {
+    cursors_[0].ReleasePin();
+    cursors_[1].ReleasePin();
+  }
 
-  storage::ColumnView inputs_[2];
+ private:
+  std::int64_t KeyAt(JoinSide side, storage::RowId row);
+
+  storage::PagedColumnCursor cursors_[2];
   /// key -> rows with that key, per side.
   std::unordered_map<std::int64_t, std::vector<storage::RowId>> tables_[2];
   std::unordered_set<storage::RowId> fed_[2];

@@ -22,7 +22,11 @@ const ZoneMap& LevelIndexSet::ZoneMapAt(int level) {
     // Shrink zone size with the level so zones cover similar object area.
     const std::int64_t rows = std::max<std::int64_t>(
         rows_per_zone_ >> level, 16);
-    slot = std::make_unique<ZoneMap>(hierarchy_->LevelView(level), rows);
+    // A spilled base has no raw level-0 view; build by pinning blocks.
+    slot = level == 0 && hierarchy_->base_is_paged()
+               ? std::make_unique<ZoneMap>(hierarchy_->paged_base(), rows)
+               : std::make_unique<ZoneMap>(hierarchy_->LevelView(level),
+                                           rows);
     ++stats_.zone_map_builds;
   }
   ++stats_.zone_map_uses;
@@ -33,7 +37,9 @@ const SortedIndex& LevelIndexSet::SortedAt(int level) {
   DBTOUCH_CHECK(level >= 0 && level < hierarchy_->num_levels());
   auto& slot = sorted_[static_cast<std::size_t>(level)];
   if (slot == nullptr) {
-    slot = std::make_unique<SortedIndex>(hierarchy_->LevelView(level));
+    slot = level == 0 && hierarchy_->base_is_paged()
+               ? std::make_unique<SortedIndex>(hierarchy_->paged_base())
+               : std::make_unique<SortedIndex>(hierarchy_->LevelView(level));
     ++stats_.sorted_builds;
   }
   ++stats_.sorted_uses;

@@ -7,16 +7,28 @@
 #define DBTOUCH_INDEX_SORTED_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "storage/column.h"
+#include "storage/paged_column.h"
 #include "storage/types.h"
 
 namespace dbtouch::index {
 
 class SortedIndex {
  public:
+  struct Entry {
+    double value;
+    storage::RowId row;
+  };
+
   explicit SortedIndex(storage::ColumnView column);
+
+  /// Builds by scanning `source` block-at-a-time (spilled/cold columns:
+  /// the index materialises from pinned blocks, never a raw matrix).
+  explicit SortedIndex(
+      const std::shared_ptr<storage::PagedColumnSource>& source);
 
   std::int64_t size() const {
     return static_cast<std::int64_t>(entries_.size());
@@ -42,10 +54,6 @@ class SortedIndex {
   std::int64_t CountInValueRange(double lo, double hi) const;
 
  private:
-  struct Entry {
-    double value;
-    storage::RowId row;
-  };
   std::vector<Entry> entries_;
 };
 

@@ -30,6 +30,37 @@ ZoneMap::ZoneMap(storage::ColumnView column, std::int64_t rows_per_zone)
   }
 }
 
+ZoneMap::ZoneMap(const std::shared_ptr<storage::PagedColumnSource>& source,
+                 std::int64_t rows_per_zone)
+    : rows_per_zone_(rows_per_zone) {
+  DBTOUCH_CHECK(rows_per_zone > 0);
+  DBTOUCH_CHECK(source != nullptr);
+  const std::int64_t n = source->row_count();
+  global_min_ = std::numeric_limits<double>::infinity();
+  global_max_ = -std::numeric_limits<double>::infinity();
+  storage::PagedColumnCursor cursor(source);
+  for (storage::RowId first = 0; first < n; first += rows_per_zone) {
+    Zone z;
+    z.first = first;
+    z.last = std::min<storage::RowId>(first + rows_per_zone - 1, n - 1);
+    z.min = std::numeric_limits<double>::infinity();
+    z.max = -std::numeric_limits<double>::infinity();
+    // One block-slice callback per overlapping block: the scan pins each
+    // block once however many zones it spans.
+    cursor.Scan(z.first, z.last,
+                [&](const storage::ColumnView& rows, storage::RowId) {
+                  for (storage::RowId r = 0; r < rows.row_count(); ++r) {
+                    const double v = rows.GetAsDouble(r);
+                    z.min = std::min(z.min, v);
+                    z.max = std::max(z.max, v);
+                  }
+                });
+    global_min_ = std::min(global_min_, z.min);
+    global_max_ = std::max(global_max_, z.max);
+    zones_.push_back(z);
+  }
+}
+
 std::int64_t ZoneMap::ZoneOf(storage::RowId row) const {
   DBTOUCH_CHECK(row >= 0);
   const std::int64_t z = row / rows_per_zone_;

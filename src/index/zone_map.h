@@ -7,9 +7,11 @@
 #define DBTOUCH_INDEX_ZONE_MAP_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "storage/column.h"
+#include "storage/paged_column.h"
 #include "storage/types.h"
 
 namespace dbtouch::index {
@@ -26,6 +28,13 @@ class ZoneMap {
   /// Builds over `column`, one zone per `rows_per_zone` rows (last zone may
   /// be short).
   ZoneMap(storage::ColumnView column, std::int64_t rows_per_zone);
+
+  /// Builds by scanning `source` block-at-a-time — the out-of-core path:
+  /// a spilled column's base zone map streams through pinned cache blocks
+  /// instead of dereferencing a (possibly reclaimed) matrix. Same zones,
+  /// bounded residency.
+  ZoneMap(const std::shared_ptr<storage::PagedColumnSource>& source,
+          std::int64_t rows_per_zone);
 
   std::int64_t num_zones() const {
     return static_cast<std::int64_t>(zones_.size());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "common/macros.h"
 
@@ -14,6 +15,23 @@ using storage::RowId;
 SampleHierarchy::SampleHierarchy(ColumnView base,
                                  const SampleHierarchyConfig& config)
     : base_(base), config_(config) {
+  Init();
+}
+
+SampleHierarchy::SampleHierarchy(
+    std::shared_ptr<storage::PagedColumnSource> base,
+    const SampleHierarchyConfig& config)
+    : paged_base_(std::move(base)), config_(config) {
+  DBTOUCH_CHECK(paged_base_ != nullptr);
+  // Metadata-only view: null data, real type/row-count/dictionary. Level
+  // geometry questions read it; cell reads go through paged_base_.
+  base_ = ColumnView(paged_base_->type(), nullptr,
+                     storage::TypeWidth(paged_base_->type()),
+                     paged_base_->row_count(), paged_base_->dictionary());
+  Init();
+}
+
+void SampleHierarchy::Init() {
   // Count how many levels clear the minimum-row threshold.
   int levels = 1;
   while (levels <= config_.max_level &&
@@ -58,12 +76,20 @@ void SampleHierarchy::EnsureLevel(int level) {
     if (IsMaterialized(l)) {
       continue;
     }
-    const ColumnView src =
-        (l - 1 == 0) ? base_
-                     : levels_[static_cast<std::size_t>(l - 2)].View();
     Column& dst = levels_[static_cast<std::size_t>(l - 1)];
     const std::int64_t rows = LevelRows(l);
     dst.Reserve(rows);
+    // One read path for every source tier: a paged base strides over
+    // pinned blocks (the cursor keeps the block under the read pinned,
+    // so a stride smaller than a block re-pins nothing and the build
+    // streams through the cache); in-memory parents and raw bases wrap
+    // in zero-copy cursors.
+    storage::PagedColumnCursor src =
+        (l - 1 == 0)
+            ? (base_is_paged() ? storage::PagedColumnCursor(paged_base_)
+                               : storage::PagedColumnCursor(base_))
+            : storage::PagedColumnCursor(
+                  levels_[static_cast<std::size_t>(l - 2)].View());
     const std::int64_t src_stride = (l - 1 == 0) ? LevelStride(l) : 2;
     for (std::int64_t s = 0; s < rows; ++s) {
       const RowId src_row = s * src_stride;
@@ -90,6 +116,9 @@ void SampleHierarchy::EnsureLevel(int level) {
 ColumnView SampleHierarchy::LevelView(int level) {
   DBTOUCH_CHECK(level >= 0 && level < num_levels_);
   if (level == 0) {
+    // A paged base has no raw whole-column view; base-fidelity readers
+    // hold the paged source instead (kernel objects, zone-map builds).
+    DBTOUCH_CHECK(!base_is_paged());
     return base_;
   }
   EnsureLevel(level);
@@ -129,6 +158,25 @@ std::size_t SampleHierarchy::sample_bytes() const {
     }
   }
   return total;
+}
+
+void SampleHierarchy::RebindBase(
+    std::shared_ptr<storage::PagedColumnSource> base) {
+  DBTOUCH_CHECK(base != nullptr);
+  DBTOUCH_CHECK(base->type() == base_.type());
+  DBTOUCH_CHECK(base->row_count() == base_.row_count());
+  // Copy every level out of the raw base while it is still addressable —
+  // "hierarchies already copy their sample levels"; the rebind just
+  // finishes the job for levels a lazy hierarchy had not built yet.
+  for (int l = 1; l < num_levels_; ++l) {
+    EnsureLevel(l);
+  }
+  // base_ keeps its (now stale) data pointer but is never dereferenced
+  // again: LevelView(0) CHECKs base_is_paged, and with every level
+  // materialised EnsureLevel never reads the base. Leaving the view
+  // untouched means concurrent readers of its metadata (row counts,
+  // type, dictionary) race with nothing.
+  paged_base_ = std::move(base);
 }
 
 }  // namespace dbtouch::sampling

@@ -7,14 +7,25 @@
 // 2^l-th tuple densely, so sample row s at level l is base row s << l. The
 // power-of-two strides make levels nested: every tuple present at level l
 // is also present at all levels below it.
+//
+// The base can live in two places:
+//   - a raw ColumnView into the owning table's matrix (the classic
+//     in-memory setup; LevelView(0) returns it directly), or
+//   - a PagedColumnSource (a spilled/cold column): level builds pin
+//     blocks instead of dereferencing the matrix, and LevelView(0) is a
+//     programmer error — base-fidelity reads go through the paged source
+//     the kernel already holds. RebindBase flips an in-memory hierarchy
+//     to this mode before its matrix is reclaimed.
 
 #ifndef DBTOUCH_SAMPLING_SAMPLE_HIERARCHY_H_
 #define DBTOUCH_SAMPLING_SAMPLE_HIERARCHY_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "storage/column.h"
+#include "storage/paged_column.h"
 #include "storage/types.h"
 
 namespace dbtouch::sampling {
@@ -38,6 +49,12 @@ class SampleHierarchy {
   SampleHierarchy(storage::ColumnView base,
                   const SampleHierarchyConfig& config = {});
 
+  /// Builds over a paged base — the out-of-core rebuild path: level copies
+  /// are filled by pinning blocks of `base` (streamed through whatever
+  /// cache backs it), never by dereferencing a raw matrix pointer.
+  SampleHierarchy(std::shared_ptr<storage::PagedColumnSource> base,
+                  const SampleHierarchyConfig& config = {});
+
   /// Number of addressable levels (level 0 always exists).
   int num_levels() const { return num_levels_; }
 
@@ -50,6 +67,8 @@ class SampleHierarchy {
   void EnsureLevel(int level);
 
   /// View of the rows at `level`. Materialises lazily if needed.
+  /// CHECK-fails for level 0 of a paged-base hierarchy (there is no raw
+  /// whole-column view to return); use paged_base() there.
   storage::ColumnView LevelView(int level);
 
   /// Rows at `level` without materialising it.
@@ -67,8 +86,27 @@ class SampleHierarchy {
   /// Bytes held by materialised sample copies (excludes the base).
   std::size_t sample_bytes() const;
 
+  /// True when level 0 lives behind a PagedColumnSource (spilled base).
+  bool base_is_paged() const { return paged_base_ != nullptr; }
+  const std::shared_ptr<storage::PagedColumnSource>& paged_base() const {
+    return paged_base_;
+  }
+
+  /// Switches level 0 from the raw base view to `base` — the spill
+  /// reclamation step. Every level is materialised first (while the raw
+  /// view is still valid: the caller runs this BEFORE releasing the
+  /// matrix), so after the switch nothing ever dereferences the old view.
+  /// `base` must have the same type and row count as the raw base.
+  void RebindBase(std::shared_ptr<storage::PagedColumnSource> base);
+
  private:
+  /// Shared tail of both constructors (base_ metadata already set).
+  void Init();
+
   storage::ColumnView base_;
+  /// Non-null iff the base is paged. base_ then carries metadata only
+  /// (type, row count, dictionary) with a null data pointer.
+  std::shared_ptr<storage::PagedColumnSource> paged_base_;
   SampleHierarchyConfig config_;
   int num_levels_;
   /// levels_[l-1] holds level l (level 0 is base_). Unmaterialised levels

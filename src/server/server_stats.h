@@ -47,6 +47,13 @@ struct BufferStatsSnapshot {
   std::int64_t resident_bytes = 0;
   std::int64_t peak_resident_bytes = 0;
   std::int64_t budget_bytes = 0;
+  /// Raw column storage resident OUTSIDE the pool, from
+  /// storage::MemoryTracker: table matrices (drops to ~0 for a table
+  /// spilled with reclamation) and standalone columns (sample-hierarchy
+  /// copies and the like). The pool budget is the real memory ceiling
+  /// only when tracked_matrix_bytes of the served tables is gone.
+  std::int64_t tracked_matrix_bytes = 0;
+  std::int64_t tracked_column_bytes = 0;
 
   double hit_rate() const {
     return lookups == 0 ? 0.0
@@ -75,6 +82,12 @@ struct FetchStatsSnapshot {
   std::int64_t shed_on_fetch_error = 0;
   /// Queued demand fetches retracted because their session closed.
   std::int64_t cancelled_fetches = 0;
+  /// In-flight fetches whose retry loop a session close cut short (capped
+  /// at one attempt instead of a full retry budget).
+  std::int64_t aborted_fetches = 0;
+  /// Pre-formed ranged warm-up tickets issued along extrapolated slide
+  /// paths (>= 2 blocks riding one ReadRange each).
+  std::int64_t prefetch_ranges = 0;
   /// Batched demand fetches: adjacent cold misses coalesced into single
   /// provider range reads (async queue + blocking Preload combined), the
   /// blocks those ranged reads covered, and the payload bytes faulted in

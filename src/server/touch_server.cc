@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/macros.h"
+#include "storage/memory_tracker.h"
 
 namespace dbtouch::server {
 
@@ -420,6 +421,10 @@ ServerStatsSnapshot TouchServer::stats() const {
     snapshot.buffer.peak_resident_bytes = buffer.peak_resident_bytes;
     snapshot.buffer.budget_bytes =
         shared_->buffer_manager().config().budget_bytes;
+    const storage::MemoryTracker& tracker =
+        storage::MemoryTracker::Instance();
+    snapshot.buffer.tracked_matrix_bytes = tracker.matrix_bytes();
+    snapshot.buffer.tracked_column_bytes = tracker.column_bytes();
   }
   {
     const cache::FetchQueueStats fetch =
@@ -436,6 +441,8 @@ ServerStatsSnapshot TouchServer::stats() const {
     snapshot.fetch.shed_on_fetch_error =
         total_shed_on_fetch_error_.load(std::memory_order_relaxed);
     snapshot.fetch.cancelled_fetches = fetch.cancelled;
+    snapshot.fetch.aborted_fetches = fetch.aborted;
+    snapshot.fetch.prefetch_ranges = fetch.prefetch_ranges;
     snapshot.fetch.ranged_reads =
         fetch.ranged_reads +
         shared_->buffer_manager().sync_ranged_reads();

@@ -88,6 +88,7 @@ Column Column::FromStrings(std::string name,
 
 void Column::Reserve(std::int64_t rows) {
   data_.reserve(static_cast<std::size_t>(rows) * width_);
+  tracked_.Update(data_.capacity());
 }
 
 void Column::AppendString(std::string_view s) {
@@ -121,6 +122,7 @@ void Column::AppendRaw(const void* src, std::size_t n) {
   const std::size_t old = data_.size();
   data_.resize(old + n);
   std::memcpy(data_.data() + old, src, n);
+  tracked_.Update(data_.capacity());
 }
 
 }  // namespace dbtouch::storage

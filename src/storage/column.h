@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "storage/dictionary.h"
+#include "storage/memory_tracker.h"
 #include "storage/types.h"
 #include "storage/value.h"
 
@@ -148,6 +149,7 @@ class Column {
   DataType type_;
   std::size_t width_;
   std::vector<std::byte> data_;
+  TrackedBytes tracked_{MemoryCategory::kColumn};
   std::shared_ptr<Dictionary> dictionary_;  // non-null iff type == kString
 };
 

@@ -20,6 +20,7 @@ void Matrix::Reserve(std::int64_t rows) {
 }
 
 void Matrix::GrowCapacity(std::int64_t at_least_rows) {
+  DBTOUCH_CHECK(!released_);
   std::int64_t new_capacity = std::max<std::int64_t>(row_capacity_, 64);
   while (new_capacity < at_least_rows) {
     new_capacity *= 2;
@@ -46,9 +47,19 @@ void Matrix::GrowCapacity(std::int64_t at_least_rows) {
   }
   data_ = std::move(new_data);
   row_capacity_ = new_capacity;
+  tracked_.Update(data_.capacity());
+}
+
+void Matrix::ReleaseStorage() {
+  // swap-with-empty actually returns the capacity; clear() would keep it.
+  std::vector<std::byte>().swap(data_);
+  tracked_.Update(0);
+  row_capacity_ = 0;
+  released_ = true;
 }
 
 std::size_t Matrix::CellOffset(RowId row, std::size_t col) const {
+  DBTOUCH_CHECK(!released_);
   DBTOUCH_CHECK(row >= 0 && row < row_count_ && col < schema_.num_fields());
   if (order_ == MajorOrder::kRowMajor) {
     return static_cast<std::size_t>(row) * schema_.row_width() +

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "storage/column.h"
+#include "storage/memory_tracker.h"
 #include "storage/schema.h"
 #include "storage/types.h"
 #include "storage/value.h"
@@ -76,6 +77,15 @@ class Matrix {
   /// Total bytes of cell storage.
   std::size_t byte_size() const { return data_.size(); }
 
+  /// Frees the cell buffer — the spill tier's reclamation step: once every
+  /// reader has been rebound to the paged tier (see Table::ReleaseRaw),
+  /// keeping the matrix resident would defeat the buffer pool's byte
+  /// budget. Shape metadata (schema, row count) survives so geometry
+  /// queries keep answering; any cell access afterwards is a programmer
+  /// error and CHECK-fails.
+  void ReleaseStorage();
+  bool storage_released() const { return released_; }
+
  private:
   std::size_t CellOffset(RowId row, std::size_t col) const;
   /// In column-major order, growth may require spreading columns out;
@@ -86,7 +96,9 @@ class Matrix {
   MajorOrder order_;
   std::int64_t row_count_ = 0;
   std::int64_t row_capacity_ = 0;
+  bool released_ = false;
   std::vector<std::byte> data_;
+  TrackedBytes tracked_{MemoryCategory::kMatrix};
 };
 
 }  // namespace dbtouch::storage

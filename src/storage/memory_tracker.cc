@@ -1,0 +1,43 @@
+#include "storage/memory_tracker.h"
+
+namespace dbtouch::storage {
+
+MemoryTracker& MemoryTracker::Instance() {
+  static MemoryTracker tracker;
+  return tracker;
+}
+
+void MemoryTracker::OnAlloc(MemoryCategory category, std::int64_t bytes) {
+  auto& counter =
+      category == MemoryCategory::kMatrix ? matrix_bytes_ : column_bytes_;
+  counter.fetch_add(bytes, std::memory_order_relaxed);
+  // Peak maintenance: racy reads are fine — the peak only needs to be a
+  // value resident_bytes() actually passed through.
+  const std::int64_t now = resident_bytes();
+  std::int64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_bytes_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::OnFree(MemoryCategory category, std::int64_t bytes) {
+  auto& counter =
+      category == MemoryCategory::kMatrix ? matrix_bytes_ : column_bytes_;
+  counter.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void TrackedBytes::Update(std::size_t bytes) {
+  if (bytes == reported_) {
+    return;
+  }
+  if (bytes > reported_) {
+    MemoryTracker::Instance().OnAlloc(
+        category_, static_cast<std::int64_t>(bytes - reported_));
+  } else {
+    MemoryTracker::Instance().OnFree(
+        category_, static_cast<std::int64_t>(reported_ - bytes));
+  }
+  reported_ = bytes;
+}
+
+}  // namespace dbtouch::storage

@@ -59,6 +59,10 @@ class BlockPin {
   bool valid() const { return source_ != nullptr; }
   /// Rows in the view are block-local: base row r maps to r - first_row().
   const ColumnView& view() const { return view_; }
+  /// The source this pin holds a block of (callers juggling pins over
+  /// several sources — the kernel's multi-column table probe — need it to
+  /// tell same-index blocks of different columns apart).
+  PagedColumnSource* source() const { return source_; }
   std::int64_t block() const { return block_; }
   RowId first_row() const { return first_row_; }
   RowId last_row() const { return first_row_ + view_.row_count() - 1; }
@@ -171,6 +175,27 @@ class PagedColumnSource {
     return false;
   }
 
+  /// Ranged sibling of RequestPrefetch: the extrapolator predicted the
+  /// whole slide path [first_block, last_block], so the horizon should
+  /// express itself in the read size — a caching source turns each missing
+  /// stretch into ONE ranged warm-up ticket (one backing read) instead of
+  /// block-by-block enqueues re-merged at pop time. At most
+  /// `max_new_blocks` blocks are actually enqueued (already-resident or
+  /// already-queued blocks are free); returns how many were. Default:
+  /// per-block loop, same budget semantics.
+  virtual std::int64_t RequestPrefetchRange(std::int64_t first_block,
+                                            std::int64_t last_block,
+                                            std::int64_t max_new_blocks) {
+    std::int64_t issued = 0;
+    for (std::int64_t block = first_block;
+         block <= last_block && issued < max_new_blocks; ++block) {
+      if (RequestPrefetch(block)) {
+        ++issued;
+      }
+    }
+    return issued;
+  }
+
   /// The gesture driving reads of this column paused — a caching source
   /// re-enables admission for it. No-op for sources without a policy.
   virtual void OnGesturePause() {}
@@ -227,6 +252,23 @@ class PagedColumnCursor {
   /// swaps the working pin.
   double GetAsDouble(RowId row);
   Value GetValue(RowId row);
+
+  /// Typed point reads (the caller guarantees the type, as with
+  /// ColumnView): what lets paged readers copy fields bit-exactly — the
+  /// sample-hierarchy build path over a spilled base must produce the same
+  /// bytes it produced from the raw matrix.
+  std::int32_t GetInt32(RowId row) {
+    return Ensure(row).GetInt32(row - pin_.first_row());
+  }
+  std::int64_t GetInt64(RowId row) {
+    return Ensure(row).GetInt64(row - pin_.first_row());
+  }
+  float GetFloat(RowId row) {
+    return Ensure(row).GetFloat(row - pin_.first_row());
+  }
+  double GetDouble(RowId row) {
+    return Ensure(row).GetDouble(row - pin_.first_row());
+  }
 
   /// Block-at-a-time scan of base rows [first, last], both clamped to the
   /// column. `fn` sees each overlapping block's slice (rows local to the

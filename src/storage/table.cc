@@ -1,8 +1,74 @@
 #include "storage/table.h"
 
+#include <mutex>
+#include <utility>
+
 #include "common/macros.h"
 
 namespace dbtouch::storage {
+
+/// Zero-copy paged source over a resident table column, gated against
+/// spill reclamation: every pin registers in the table's pin counter
+/// before touching the matrix, and ReleaseRaw refuses to free while any
+/// pin is live — so operators holding block views (group-bys, joins,
+/// summary cursors) can never dangle; a reclaim racing them fails
+/// cleanly and is retried once gestures pause. Pins attempted after the
+/// release fail with FailedPrecondition.
+class GatedTableColumnSource final : public PagedColumnSource {
+ public:
+  GatedTableColumnSource(const Table* table, std::size_t column,
+                         std::int64_t rows_per_block)
+      : table_(table),
+        column_(column),
+        type_(table->schema().field(column).type),
+        rows_per_block_(rows_per_block > 0
+                            ? rows_per_block
+                            : std::max<std::int64_t>(table->row_count(), 1)),
+        row_count_(table->row_count()) {}
+
+  DataType type() const override { return type_; }
+  const Dictionary* dictionary() const override {
+    return table_->dictionaries_[column_].get();
+  }
+  std::int64_t row_count() const override { return row_count_; }
+  std::int64_t rows_per_block() const override { return rows_per_block_; }
+
+  Result<BlockPin> PinBlock(std::int64_t block,
+                            RowId /*row_hint*/ = -1) override {
+    if (block < 0 || block >= num_blocks()) {
+      return Status::OutOfRange("block " + std::to_string(block) +
+                                " out of range");
+    }
+    // Register first, check second; ReleaseRaw flips the flag first and
+    // checks the counter second — whichever interleaving, either the pin
+    // sees the flag (and backs out) or the release sees the pin (and
+    // backs out). seq_cst keeps the four accesses in one total order.
+    table_->zero_copy_pins_.fetch_add(1, std::memory_order_seq_cst);
+    if (table_->raw_released_.load(std::memory_order_seq_cst)) {
+      table_->zero_copy_pins_.fetch_sub(1, std::memory_order_seq_cst);
+      return Status::FailedPrecondition(
+          "raw storage of table '" + table_->name() +
+          "' was released after a spill; rebind through PagedColumnAt");
+    }
+    const RowId first = BlockFirstRow(block);
+    const ColumnView view =
+        table_->storage_.ColumnAt(column_, dictionary());
+    return BlockPin(this, block, view.Slice(first, BlockRowCount(block)),
+                    first);
+  }
+
+ protected:
+  void UnpinBlock(std::int64_t /*block*/) override {
+    table_->zero_copy_pins_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+ private:
+  const Table* table_;  // Borrowed; callers hold the owning shared_ptr.
+  std::size_t column_;
+  DataType type_;
+  std::int64_t rows_per_block_;
+  std::int64_t row_count_;
+};
 
 Table::Table(std::string name, Schema schema, MajorOrder order)
     : name_(std::move(name)),
@@ -51,6 +117,13 @@ Result<std::shared_ptr<Table>> Table::FromColumns(std::string name,
 }
 
 Status Table::AppendRow(const std::vector<Value>& row) {
+  // The gate covers the whole append: a reclaim cannot free the matrix
+  // between the released check and the mutation.
+  const std::shared_lock<std::shared_mutex> lock(raw_mu_);
+  if (raw_released_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "table '" + name_ + "' is spilled and frozen; cannot append");
+  }
   if (row.size() != schema_.num_fields()) {
     return Status::InvalidArgument(
         "row arity " + std::to_string(row.size()) + " != schema arity " +
@@ -80,17 +153,32 @@ Status Table::AppendRow(const std::vector<Value>& row) {
 }
 
 Value Table::GetValue(RowId row, std::size_t col) const {
-  const Value raw = storage_.GetCell(row, col);
-  if (schema_.field(col).type == DataType::kString &&
-      dictionaries_[col] != nullptr) {
-    return Value(
-        dictionaries_[col]->Lookup(static_cast<std::int32_t>(raw.AsInt())));
+  {
+    const std::shared_lock<std::shared_mutex> lock(raw_mu_);
+    if (!raw_released_.load(std::memory_order_acquire)) {
+      const Value raw = storage_.GetCell(row, col);
+      if (schema_.field(col).type == DataType::kString &&
+          dictionaries_[col] != nullptr) {
+        return Value(dictionaries_[col]->Lookup(
+            static_cast<std::int32_t>(raw.AsInt())));
+      }
+      return raw;
+    }
   }
-  return raw;
+  // Released: pin the covering block through the paged tier. The view
+  // carries the provider's dictionary, so strings decode as before.
+  const std::shared_ptr<PagedColumnSource>& source = paged_rebind_[col];
+  Result<BlockPin> pin = source->PinBlock(source->BlockFor(row), row);
+  DBTOUCH_CHECK(pin.ok());
+  return pin->view().GetValue(row - pin->first_row());
 }
 
 ColumnView Table::ColumnViewAt(std::size_t col) const {
   DBTOUCH_CHECK(col < schema_.num_fields());
+  // Raw views escape any lock scope, so they cannot exist at all once the
+  // matrix may be freed; every surviving caller reads under WithRawColumn
+  // or through PagedColumnAt.
+  DBTOUCH_CHECK(!raw_released());
   return storage_.ColumnAt(col, dictionaries_[col].get());
 }
 
@@ -99,10 +187,27 @@ Result<ColumnView> Table::ColumnViewByName(const std::string& name) const {
   return ColumnViewAt(idx);
 }
 
+Status Table::WithRawColumn(
+    std::size_t col,
+    const std::function<Status(const ColumnView&)>& fn) const {
+  DBTOUCH_CHECK(col < schema_.num_fields());
+  const std::shared_lock<std::shared_mutex> lock(raw_mu_);
+  if (raw_released_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "raw storage of table '" + name_ +
+        "' was released after a spill; read the paged tier instead");
+  }
+  return fn(storage_.ColumnAt(col, dictionaries_[col].get()));
+}
+
 std::shared_ptr<PagedColumnSource> Table::PagedColumnAt(
     std::size_t col, std::int64_t rows_per_block) const {
-  return std::make_shared<UnpagedColumnSource>(ColumnViewAt(col),
-                                               rows_per_block);
+  DBTOUCH_CHECK(col < schema_.num_fields());
+  if (raw_released()) {
+    return paged_rebind_[col];
+  }
+  return std::make_shared<GatedTableColumnSource>(this, col,
+                                                  rows_per_block);
 }
 
 Column Table::ExtractColumn(std::size_t col) const {
@@ -110,23 +215,27 @@ Column Table::ExtractColumn(std::size_t col) const {
   const Field& f = schema_.field(col);
   Column out(f.name, f.type);
   out.Reserve(row_count());
-  const ColumnView view = ColumnViewAt(col);
-  for (RowId r = 0; r < view.row_count(); ++r) {
+  // Block-at-a-time through whatever tier backs the column: raw slices on
+  // a resident table, pinned cache blocks on a released one.
+  PagedColumnCursor cursor(PagedColumnAt(col));
+  for (RowId r = 0; r < row_count(); ++r) {
     switch (f.type) {
       case DataType::kInt32:
-        out.AppendInt32(view.GetInt32(r));
+        out.AppendInt32(cursor.GetInt32(r));
         break;
       case DataType::kInt64:
-        out.AppendInt64(view.GetInt64(r));
+        out.AppendInt64(cursor.GetInt64(r));
         break;
       case DataType::kFloat:
-        out.AppendFloat(view.GetFloat(r));
+        out.AppendFloat(cursor.GetFloat(r));
         break;
       case DataType::kDouble:
-        out.AppendDouble(view.GetDouble(r));
+        out.AppendDouble(cursor.GetDouble(r));
         break;
       case DataType::kString:
-        out.AppendString(dictionaries_[col]->Lookup(view.GetInt32(r)));
+        // Codes are interned in row order, matching the original column's
+        // dictionary order for first occurrences.
+        out.AppendString(dictionaries_[col]->Lookup(cursor.GetInt32(r)));
         break;
     }
   }
@@ -134,6 +243,12 @@ Column Table::ExtractColumn(std::size_t col) const {
 }
 
 Status Table::ReplaceStorage(Matrix replacement) {
+  const std::unique_lock<std::shared_mutex> lock(raw_mu_);
+  if (raw_released_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "table '" + name_ +
+        "' is spilled; its layout lives in the block files");
+  }
   if (!(replacement.schema() == schema_)) {
     return Status::InvalidArgument("replacement schema mismatch");
   }
@@ -141,6 +256,50 @@ Status Table::ReplaceStorage(Matrix replacement) {
     return Status::InvalidArgument("replacement row count mismatch");
   }
   storage_ = std::move(replacement);
+  return Status::OK();
+}
+
+Status Table::ReleaseRaw(
+    std::vector<std::shared_ptr<PagedColumnSource>> paged) {
+  if (paged.size() != schema_.num_fields()) {
+    return Status::InvalidArgument(
+        "release needs one paged source per column: got " +
+        std::to_string(paged.size()) + ", want " +
+        std::to_string(schema_.num_fields()));
+  }
+  for (std::size_t c = 0; c < paged.size(); ++c) {
+    if (paged[c] == nullptr) {
+      return Status::InvalidArgument("null paged source for column " +
+                                     std::to_string(c));
+    }
+    if (paged[c]->row_count() != row_count() ||
+        paged[c]->type() != schema_.field(c).type) {
+      return Status::InvalidArgument(
+          "paged source geometry mismatch for column " + std::to_string(c) +
+          " of table '" + name_ + "'");
+    }
+  }
+  // Exclusive lock: every transient raw reader in flight drains first,
+  // every later one observes the released state. Zero-copy pins
+  // (GatedTableColumnSource) are longer-lived than a lock hold, so they
+  // are handled by counter instead: flip the flag, then look for
+  // survivors — a pin registers before checking the flag, so whichever
+  // side moves second backs out. Live pins abort the release cleanly
+  // (the matrix stays; the caller retries once gestures pause).
+  const std::unique_lock<std::shared_mutex> lock(raw_mu_);
+  if (raw_released_.load(std::memory_order_seq_cst)) {
+    return Status::FailedPrecondition("raw storage of table '" + name_ +
+                                      "' already released");
+  }
+  raw_released_.store(true, std::memory_order_seq_cst);
+  if (zero_copy_pins_.load(std::memory_order_seq_cst) != 0) {
+    raw_released_.store(false, std::memory_order_seq_cst);
+    return Status::FailedPrecondition(
+        "table '" + name_ +
+        "' has live zero-copy pins; pause gestures and retry the reclaim");
+  }
+  paged_rebind_ = std::move(paged);
+  storage_.ReleaseStorage();
   return Status::OK();
 }
 

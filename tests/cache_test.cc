@@ -930,8 +930,10 @@ TEST(FetchQueueTest, CancelTaggedDropsQueuedButNotInFlightFetches) {
                 [&other_status](const Status& s) { other_status = s; },
                 /*tag=*/8);
 
-  // Session 7 closes: its queued tickets die now, its in-flight fetch
-  // settles normally.
+  // Session 7 closes: its queued tickets die now, and its in-flight
+  // waiter fails fast too (the ticket balance a caller counts on) — the
+  // read itself finishes its current attempt and still delivers to the
+  // shared cache, it just spends no retries on the dead session.
   EXPECT_EQ(queue.CancelTagged(7), 2u);
   {
     const std::lock_guard<std::mutex> lock(cancelled_mu);
@@ -940,16 +942,18 @@ TEST(FetchQueueTest, CancelTaggedDropsQueuedButNotInFlightFetches) {
       EXPECT_EQ(s.code(), StatusCode::kAborted);
     }
   }
+  EXPECT_EQ(in_flight_status.code(), StatusCode::kAborted);
   provider->OpenGate();
   queue.WaitIdle();
 
-  EXPECT_TRUE(in_flight_status.ok());
   EXPECT_TRUE(other_status.ok());
-  // Blocks 10 and 20 were never read from the provider.
+  // Blocks 10 and 20 were never read from the provider; block 0's read
+  // was already running, so its payload still lands in the shared pool.
   const std::vector<RangedGatedProvider::Call> calls = provider->calls();
   ASSERT_EQ(calls.size(), 2u);
   EXPECT_EQ(calls[0].first, 0);
   EXPECT_EQ(calls[1].first, 30);
+  EXPECT_TRUE(cache.Contains(BlockKey{1, 0}));
   EXPECT_FALSE(cache.Contains(BlockKey{1, 10}));
   EXPECT_FALSE(cache.Contains(BlockKey{1, 20}));
   EXPECT_EQ(queue.stats().cancelled, 2);
@@ -986,6 +990,153 @@ TEST(FetchQueueTest, CancelTaggedKeepsRequestsWithOtherWaiters) {
   EXPECT_TRUE(survivor_status.ok());
   EXPECT_TRUE(cache.Contains(BlockKey{1, 5}));
   EXPECT_EQ(queue.stats().cancelled, 0);
+}
+
+TEST(FetchQueueTest, CancelTaggedAbortsInFlightRetryLoop) {
+  /// Gates the first attempt, then fails transiently forever: without an
+  /// abort the queue would grind through every retry (with backoff).
+  class GatedFailingProvider final : public BlockProvider {
+   public:
+    GatedFailingProvider() {
+      geometry_.type = storage::DataType::kInt64;
+      geometry_.row_count = 10'000;
+      geometry_.rows_per_block = 1'000;
+    }
+    const BlockGeometry& geometry() const override { return geometry_; }
+    bool async() const override { return true; }
+    Result<std::vector<std::byte>> Fetch(std::int64_t) override {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++attempts_;
+      entered_cv_.notify_all();
+      gate_cv_.wait_for(lock, std::chrono::seconds(10),
+                        [this] { return open_; });
+      return Status::Aborted("injected transport failure");
+    }
+    void OpenGate() {
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        open_ = true;
+      }
+      gate_cv_.notify_all();
+    }
+    void AwaitAttempt() {
+      std::unique_lock<std::mutex> lock(mu_);
+      entered_cv_.wait_for(lock, std::chrono::seconds(10),
+                           [this] { return attempts_ >= 1; });
+    }
+    int attempts() const {
+      const std::lock_guard<std::mutex> lock(mu_);
+      return attempts_;
+    }
+
+   private:
+    BlockGeometry geometry_;
+    mutable std::mutex mu_;
+    std::condition_variable gate_cv_;
+    std::condition_variable entered_cv_;
+    bool open_ = false;
+    int attempts_ = 0;
+  };
+
+  BlockCache cache(SmallCache(false, 16));
+  FetchQueueConfig config;
+  config.num_fetchers = 1;
+  config.max_retries = 8;            // A full fetch would spend 8 retries.
+  config.retry_backoff_us = 10'000;  // ...and ~2.5s of backoff.
+  FetchQueue queue(config, InsertSink(cache));
+  auto provider = std::make_shared<GatedFailingProvider>();
+
+  Status waiter_status = Status::Internal("never fired");
+  queue.Enqueue(BlockKey{1, 0}, provider, 0, FetchPriority::kDemand,
+                [&waiter_status](const Status& s) { waiter_status = s; },
+                /*tag=*/7);
+  provider->AwaitAttempt();
+  // The session closes mid-attempt: its waiter fails now, the abort
+  // latch caps the read at the attempt already running.
+  EXPECT_EQ(queue.CancelTagged(7), 0u);  // In flight: not "dropped".
+  EXPECT_EQ(waiter_status.code(), StatusCode::kAborted);
+  provider->OpenGate();
+  queue.WaitIdle();
+
+  EXPECT_EQ(provider->attempts(), 1);  // One attempt, zero retries.
+  const FetchQueueStats stats = queue.stats();
+  EXPECT_EQ(stats.aborted, 1);
+  EXPECT_EQ(stats.retries, 0);
+  EXPECT_EQ(stats.failures, 1);
+}
+
+TEST(FetchQueueTest, EnqueueRangePopsAsOnePreFormedRangedRead) {
+  BlockCache::Config cache_config = SmallCache(false, 16);
+  cache_config.staged_cap_bytes = 16 * kBlockBytes;
+  BlockCache cache(cache_config);
+  FetchQueueConfig config;
+  config.num_fetchers = 1;
+  // Coalescing OFF: a pre-formed ranged ticket needs no pop-time
+  // re-merging — the horizon sized it at enqueue time.
+  config.max_coalesce_blocks = 1;
+  FetchQueue queue(config, InsertSink(cache));
+  auto provider = std::make_shared<RangedGatedProvider>();
+
+  // Hold the fetcher on an unrelated block so the ticket is popped whole.
+  queue.Enqueue(BlockKey{1, 100}, provider, 100, FetchPriority::kDemand,
+                nullptr);
+  provider->AwaitCallEntered(1);
+  EXPECT_EQ(queue.EnqueueRange(1, provider, 3, 5), 5u);
+  // Re-requesting overlapping blocks coalesces into the queued ticket.
+  EXPECT_EQ(queue.EnqueueRange(1, provider, 4, 2), 0u);
+  provider->OpenGate();
+  queue.WaitIdle();
+
+  const std::vector<RangedGatedProvider::Call> calls = provider->calls();
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[1].first, 3);
+  EXPECT_EQ(calls[1].count, 5);  // ONE ReadRange despite the merge cap.
+  for (std::int64_t b = 3; b <= 7; ++b) {
+    EXPECT_TRUE(cache.Contains(BlockKey{1, b})) << "block " << b;
+  }
+  const FetchQueueStats stats = queue.stats();
+  EXPECT_EQ(stats.prefetch_enqueued, 5);
+  EXPECT_EQ(stats.prefetch_ranges, 1);
+  EXPECT_EQ(stats.ranged_reads, 1);
+  EXPECT_EQ(stats.ranged_blocks, 5);
+  EXPECT_EQ(stats.coalesced, 2);
+}
+
+TEST(FetchQueueTest, DemandEnqueueSplitsQueuedPrefetchRange) {
+  BlockCache::Config cache_config = SmallCache(false, 16);
+  cache_config.staged_cap_bytes = 16 * kBlockBytes;
+  BlockCache cache(cache_config);
+  FetchQueueConfig config;
+  config.num_fetchers = 1;
+  config.max_coalesce_blocks = 1;
+  FetchQueue queue(config, InsertSink(cache));
+  auto provider = std::make_shared<RangedGatedProvider>();
+
+  queue.Enqueue(BlockKey{1, 100}, provider, 100, FetchPriority::kDemand,
+                nullptr);
+  provider->AwaitCallEntered(1);
+  EXPECT_EQ(queue.EnqueueRange(1, provider, 0, 4), 4u);  // Blocks 0..3.
+  // A session faults on block 2: it must pop block-sized in the demand
+  // lane, ahead of — and carved out of — the warm-up ticket.
+  Status demand_status = Status::Internal("never fired");
+  queue.Enqueue(BlockKey{1, 2}, provider, 2, FetchPriority::kDemand,
+                [&demand_status](const Status& s) { demand_status = s; });
+  provider->OpenGate();
+  queue.WaitIdle();
+
+  EXPECT_TRUE(demand_status.ok());
+  const std::vector<RangedGatedProvider::Call> calls = provider->calls();
+  ASSERT_EQ(calls.size(), 4u);
+  EXPECT_EQ(calls[1].first, 2);  // Demand first, alone.
+  EXPECT_EQ(calls[1].count, 1);
+  EXPECT_EQ(calls[2].first, 0);  // Left remainder of the ticket.
+  EXPECT_EQ(calls[2].count, 2);
+  EXPECT_EQ(calls[3].first, 3);  // Right remainder, re-headed.
+  EXPECT_EQ(calls[3].count, 1);
+  for (std::int64_t b = 0; b <= 3; ++b) {
+    EXPECT_TRUE(cache.Contains(BlockKey{1, b})) << "block " << b;
+  }
+  EXPECT_EQ(queue.stats().upgraded, 1);
 }
 
 // ---- HashTableCache --------------------------------------------------------

@@ -25,6 +25,7 @@
 #include "sim/motion_profile.h"
 #include "sim/trace_builder.h"
 #include "storage/datagen.h"
+#include "storage/memory_tracker.h"
 #include "storage/paged_column.h"
 #include "storage/spill.h"
 #include "storage/table.h"
@@ -240,11 +241,19 @@ TEST(FileTierAcceptanceTest, BeyondBudgetTableServesSlideSummaryWithinBudget) {
   auto table = SequenceTable("big", rows);
   ASSERT_TRUE(shared->RegisterTable(table).ok());
 
+  const std::int64_t matrix_before =
+      storage::MemoryTracker::Instance().matrix_bytes();
   TableSpiller spiller(dir.path(),
                        SpillOptions{.rows_per_block = rows_per_block});
-  const auto provider = spiller.SpillColumn(table, 0);
-  ASSERT_TRUE(provider.ok()) << provider.status();
-  ASSERT_TRUE(shared->SetColumnProvider("big", 0, *provider).ok());
+  // Spill with reclamation: the matrix is gone, so the whole script below
+  // genuinely runs a 4x-budget table out of core.
+  ASSERT_TRUE(
+      shared->SpillTable("big", spiller, /*reclaim_raw=*/true).ok());
+  EXPECT_TRUE(table->raw_released());
+  EXPECT_EQ(table->resident_raw_bytes(), 0);
+  // MemoryTracker accounting: the reclaim gave the table's bytes back.
+  EXPECT_LE(storage::MemoryTracker::Instance().matrix_bytes(),
+            matrix_before - table_bytes);
 
   KernelConfig config;
   config.use_sampling = false;  // Every summary reads base bands (disk).
@@ -280,17 +289,21 @@ TEST(FileTierAcceptanceTest, BeyondBudgetTableServesSlideSummaryWithinBudget) {
   }
 
   // The bounded-residency contract: the whole script ran against a table
-  // 4x the budget and the pool's resident high-water mark never crossed
-  // it.
+  // 4x the budget — whose raw storage no longer exists — and the pool's
+  // resident high-water mark never crossed the budget.
   const cache::BlockCacheStats stats = shared->buffer_manager().stats();
   EXPECT_GT(stats.faults, 0);
   EXPECT_LE(stats.peak_resident_bytes, buffer.budget_bytes);
   EXPECT_LE(stats.resident_bytes, buffer.budget_bytes);
+  // ...and the reclaimed matrix stayed gone throughout.
+  EXPECT_EQ(table->resident_raw_bytes(), 0);
 
   // Batched demand fetches: adjacent cold-band misses coalesced into
-  // ranged reads — strictly fewer provider round trips than blocks read.
-  EXPECT_GT((*provider)->ranged_reads(), 0);
-  EXPECT_LT((*provider)->reads(), (*provider)->blocks_read());
+  // ranged reads (the blocking probe path's Preload) — strictly fewer
+  // provider round trips than blocks covered.
+  EXPECT_GT(shared->buffer_manager().sync_ranged_reads(), 0);
+  EXPECT_LT(shared->buffer_manager().sync_ranged_reads(),
+            shared->buffer_manager().sync_ranged_blocks());
 }
 
 // ---- Fault battery ----------------------------------------------------------

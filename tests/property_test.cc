@@ -287,13 +287,15 @@ INSTANTIATE_TEST_SUITE_P(Seeds, AggregateOrderProperty,
 
 // ---- Storage-tier parity: identical gestures, bit-identical answers --------
 //
-// The same gesture script runs against three backends — raw in-memory
-// column reads, the paged buffer pool over the in-memory table, and the
-// pool over a file-spilled column — at 10/50/100% buffer budgets. The
-// storage tier and the budget are performance knobs; every answer must be
-// bit-identical across all of them.
+// The same gesture script — column summaries and taps PLUS fat-table taps
+// and a group-by slide — runs against four backends: raw in-memory
+// reads, the paged buffer pool over the in-memory table, the pool over
+// file-spilled columns, and the spilled table with its matrix actually
+// reclaimed (SpillTable reclaim_raw: every read must come off disk), at
+// 10/50/100% buffer budgets. The storage tier and the budget are
+// performance knobs; every answer must be bit-identical across all.
 
-enum class Backend { kInMemory, kPagedRam, kFileSpilled };
+enum class Backend { kInMemory, kPagedRam, kFileSpilled, kFileReclaimed };
 
 struct TierParityParam {
   Backend backend;
@@ -326,27 +328,34 @@ std::vector<AnswerFingerprint> RunTierScript(Backend backend,
   const auto make_table = [] {
     std::vector<Column> cols;
     cols.push_back(storage::GenSequenceInt64("v", kRows, 0, 1));
+    cols.push_back(storage::GenCategorical(
+        "g", kRows, {"red", "green", "blue", "grey"}, 11));
     return *Table::FromColumns("tier", std::move(cols));
   };
 
+  const bool spilled = backend == Backend::kFileSpilled ||
+                       backend == Backend::kFileReclaimed;
   std::shared_ptr<core::SharedState> shared;
   std::string spill_dir;
-  if (backend == Backend::kFileSpilled) {
+  if (spilled) {
     std::string tmpl = (std::filesystem::temp_directory_path() /
                         "dbtouch_tier_parity_XXXXXX")
                            .string();
     spill_dir = ::mkdtemp(tmpl.data());
     // Same private-state shape a plain Kernel builds (lazy hierarchies),
-    // with the column rebound to its spill file.
+    // with the columns rebound to their spill files — and, for the
+    // reclaimed backend, the matrix actually freed.
     shared = std::make_shared<core::SharedState>(
         config.sampling, /*force_eager=*/false, config.buffer);
     DBTOUCH_CHECK_OK(shared->RegisterTable(make_table()));
     storage::TableSpiller spiller(
         spill_dir, storage::SpillOptions{.rows_per_block = kRowsPerBlock});
-    DBTOUCH_CHECK_OK(shared->SpillTable("tier", spiller));
+    DBTOUCH_CHECK_OK(shared->SpillTable(
+        "tier", spiller,
+        /*reclaim_raw=*/backend == Backend::kFileReclaimed));
   }
   Kernel kernel(config, shared);
-  if (backend != Backend::kFileSpilled) {
+  if (!spilled) {
     DBTOUCH_CHECK_OK(kernel.RegisterTable(make_table()));
   }
   const auto object = kernel.CreateColumnObject(
@@ -354,9 +363,18 @@ std::vector<AnswerFingerprint> RunTierScript(Backend backend,
   DBTOUCH_CHECK_OK(object.status());
   DBTOUCH_CHECK_OK(
       kernel.SetAction(*object, ActionConfig::Summary(16)));
+  // A fat-table object beside the column: taps reveal whole tuples and a
+  // slide feeds the tag -> avg(v) group-by — the read paths that used to
+  // require the raw matrix.
+  const auto fat = kernel.CreateTableObject(
+      "tier", RectCm{6.0, 1.0, 3.0, 10.0});
+  DBTOUCH_CHECK_OK(fat.status());
+  DBTOUCH_CHECK_OK(kernel.SetAction(
+      *fat, ActionConfig::GroupBy(1, 0, exec::AggKind::kAvg)));
 
   // The script mixes speeds (sampled and base-band summaries), direction
-  // reversals (gesture-aware admission) and point taps.
+  // reversals (gesture-aware admission), point taps, a fat-table tap and
+  // a group-by slide.
   TraceBuilder builder(kernel.device());
   kernel.Replay(builder.Slide("down", PointCm{3.0, 1.0},
                               PointCm{3.0, 11.0},
@@ -369,15 +387,26 @@ std::vector<AnswerFingerprint> RunTierScript(Backend backend,
                             /*start_time_us=*/6'000'000));
   kernel.Replay(builder.Tap("tap-b", PointCm{3.0, 9.5}, 0.05,
                             /*start_time_us=*/7'000'000));
+  kernel.Replay(builder.Tap("fat-tap", PointCm{7.5, 6.0}, 0.05,
+                            /*start_time_us=*/8'000'000));
+  kernel.Replay(builder.Slide("groupby", PointCm{7.0, 1.0},
+                              PointCm{7.0, 11.0},
+                              MotionProfile::Constant(1.5),
+                              /*start_time_us=*/9'000'000));
 
   std::vector<AnswerFingerprint> out;
   out.reserve(kernel.results().items().size());
   for (const auto& item : kernel.results().items()) {
-    out.push_back(AnswerFingerprint{
-        item.kind, item.row,
-        std::bit_cast<std::uint64_t>(item.value.ToDouble()),
-        item.band_first, item.band_last, item.rows_aggregated,
-        item.approximate});
+    // Numeric answers compare as raw bits; string answers (fat-tap tuple
+    // fields decoded through the dictionary) by hash.
+    const std::uint64_t bits =
+        item.value.is_string()
+            ? std::hash<std::string>{}(item.value.AsString())
+            : std::bit_cast<std::uint64_t>(item.value.ToDouble());
+    out.push_back(AnswerFingerprint{item.kind, item.row, bits,
+                                    item.band_first, item.band_last,
+                                    item.rows_aggregated,
+                                    item.approximate});
   }
   if (!spill_dir.empty()) {
     std::error_code ec;
@@ -397,8 +426,11 @@ TEST_P(TierParityProperty, PagedAndSpilledTiersMatchInMemoryBitForBit) {
       RunTierScript(Backend::kPagedRam, budget_pct);
   const std::vector<AnswerFingerprint> spilled =
       RunTierScript(Backend::kFileSpilled, budget_pct);
+  const std::vector<AnswerFingerprint> reclaimed =
+      RunTierScript(Backend::kFileReclaimed, budget_pct);
   EXPECT_EQ(paged, reference);
   EXPECT_EQ(spilled, reference);
+  EXPECT_EQ(reclaimed, reference);
 }
 
 INSTANTIATE_TEST_SUITE_P(BufferBudgets, TierParityProperty,
