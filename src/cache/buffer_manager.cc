@@ -293,8 +293,18 @@ void BufferManager::EnsureFetchQueue() {
           cache_.Insert(key, std::move(payload),
                         priority == FetchPriority::kDemand);
         });
+    fetch_queue_->set_trace_recorder(
+        trace_recorder_.load(std::memory_order_acquire));
     fetch_queue_ptr_.store(fetch_queue_.get(), std::memory_order_release);
   });
+}
+
+void BufferManager::SetTraceRecorder(obs::TraceRecorder* recorder) {
+  trace_recorder_.store(recorder, std::memory_order_release);
+  FetchQueue* queue = fetch_queue();
+  if (queue != nullptr) {
+    queue->set_trace_recorder(recorder);
+  }
 }
 
 FetchQueueStats BufferManager::fetch_stats() const {

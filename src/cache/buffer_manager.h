@@ -118,6 +118,12 @@ class BufferManager {
   /// Blocks until no async fetch is queued or in flight (tests).
   void WaitForFetches();
 
+  /// Wires span tracing into the async fetch pipeline (see
+  /// FetchQueue::set_trace_recorder). The queue is created lazily on the
+  /// first async binding, so the recorder is remembered and handed over
+  /// whenever creation happens; safe before or after. Null = off.
+  void SetTraceRecorder(obs::TraceRecorder* recorder);
+
  private:
   class Source;
 
@@ -151,6 +157,8 @@ class BufferManager {
   std::once_flag fetch_queue_once_;
   std::unique_ptr<FetchQueue> fetch_queue_;
   std::atomic<FetchQueue*> fetch_queue_ptr_{nullptr};
+  /// Recorder to hand the queue at (lazy) creation; see SetTraceRecorder.
+  std::atomic<obs::TraceRecorder*> trace_recorder_{nullptr};
   std::atomic<std::int64_t> sync_retries_{0};
   std::atomic<std::int64_t> sync_ranged_reads_{0};
   std::atomic<std::int64_t> sync_ranged_blocks_{0};

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/macros.h"
+#include "obs/trace_recorder.h"
 
 namespace dbtouch::cache {
 
@@ -446,6 +447,13 @@ void FetchQueue::FetcherLoop() {
     const std::int64_t count = static_cast<std::int64_t>(keys.size());
 
     lock.unlock();
+    obs::TraceRecorder* trace = trace_.load(std::memory_order_acquire);
+    const std::int64_t trace_owner =
+        static_cast<std::int64_t>(keys.front().owner);
+    if (trace != nullptr) {
+      trace->Record(obs::SpanStage::kFetchStarted, 0, trace_owner,
+                    first_block, count);
+    }
     std::int64_t retries = 0;
     const std::int64_t t0 = NowUs();
     Result<std::vector<std::byte>> payload =
@@ -454,6 +462,10 @@ void FetchQueue::FetcherLoop() {
                    : FetchRangeWithRetry(*provider, first_block, count,
                                          config_, &retries, abort.get());
     const std::int64_t wall = NowUs() - t0;
+    if (trace != nullptr) {
+      trace->Record(obs::SpanStage::kFetchDone, 0, trace_owner,
+                    payload.ok() ? 1 : 0, wall);
+    }
     SettleFetch(lock, keys, std::move(payload), retries, wall);
   }
 }

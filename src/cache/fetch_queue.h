@@ -49,6 +49,10 @@
 #include "common/result.h"
 #include "common/status.h"
 
+namespace dbtouch::obs {
+class TraceRecorder;
+}  // namespace dbtouch::obs
+
 namespace dbtouch::cache {
 
 enum class FetchPriority : std::uint8_t {
@@ -200,6 +204,15 @@ class FetchQueue {
 
   FetchQueueStats stats() const;
 
+  /// Trace hook: each provider read the fetchers issue is recorded as a
+  /// kFetchStarted/kFetchDone span pair (session field = block owner tag,
+  /// a/b = first block + count, then ok + wall micros). Atomic because the
+  /// recorder may be wired after the fetcher threads are already running;
+  /// null = off.
+  void set_trace_recorder(obs::TraceRecorder* recorder) {
+    trace_.store(recorder, std::memory_order_release);
+  }
+
  private:
   struct Waiter {
     Completion done;
@@ -253,6 +266,7 @@ class FetchQueue {
 
   FetchQueueConfig config_;
   Sink sink_;
+  std::atomic<obs::TraceRecorder*> trace_{nullptr};
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;

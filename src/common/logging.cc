@@ -1,13 +1,33 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <iomanip>
 #include <mutex>
 
 namespace dbtouch {
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+/// Steady-clock micros since the first log line of the process — the same
+/// monotonic timebase the trace spans and stage histograms use, so a log
+/// line can be lined up against a span dump by timestamp.
+std::int64_t MonotonicLogUs() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+/// Small dense per-thread id (1, 2, 3, ...) — stable within the process
+/// and far easier to eyeball than std::thread::id hashes.
+int LogThreadId() {
+  static std::atomic<int> next{1};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 /// Serialises writes to the sink so concurrent server workers never
 /// interleave partial lines. Each LogMessage formats into its own buffer
@@ -55,7 +75,14 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
         base = p + 1;
       }
     }
-    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+    // "[    1.234567 T3 INFO file.cc:42] ..." — monotonic seconds since
+    // process start plus the writing thread, so interleaved worker output
+    // reads as a timeline.
+    const std::int64_t t_us = MonotonicLogUs();
+    stream_ << "[" << std::setw(5) << (t_us / 1'000'000) << "."
+            << std::setfill('0') << std::setw(6) << (t_us % 1'000'000)
+            << std::setfill(' ') << " T" << LogThreadId() << " "
+            << LevelName(level_) << " " << base << ":" << line << "] ";
   }
 }
 

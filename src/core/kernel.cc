@@ -8,6 +8,7 @@
 #include "common/macros.h"
 #include "exec/summary.h"
 #include "index/level_index_set.h"
+#include "obs/trace_recorder.h"
 #include "prefetch/extrapolator.h"
 #include "touch/touch_mapper.h"
 
@@ -381,6 +382,17 @@ TouchOutcome Kernel::DrainPending(bool non_blocking, TouchStall* stall) {
     }
     if (!*ready) {
       ++stats_.suspensions;
+      if (trace_ != nullptr) {
+        const std::int64_t first =
+            stall != nullptr && !stall->blocks.empty() ? stall->blocks.front()
+                                                       : -1;
+        const std::int64_t blocks =
+            stall != nullptr
+                ? static_cast<std::int64_t>(stall->blocks.size())
+                : 0;
+        trace_->Record(obs::SpanStage::kSuspended, trace_quantum_,
+                       trace_session_, first, blocks);
+      }
       return TouchOutcome::kSuspended;
     }
     pending_gestures_.pop_front();

@@ -52,6 +52,10 @@
 #include "touch/touch_mapper.h"
 #include "touch/view.h"
 
+namespace dbtouch::obs {
+class TraceRecorder;
+}  // namespace dbtouch::obs
+
 namespace dbtouch::core {
 
 struct KernelConfig {
@@ -269,6 +273,20 @@ class Kernel {
   }
   int shed_levels() const { return config_.level_policy.shed_levels; }
 
+  /// Trace hook for the touch server: the suspend transition inside
+  /// DrainPending is recorded (stage kSuspended, a = first missing block,
+  /// b = block count) against `session_tag` and the quantum last named by
+  /// set_trace_quantum. Null recorder = off (the single-user paths never
+  /// set one). Call under the session's execution lock, like everything
+  /// else on a kernel.
+  void set_trace_recorder(obs::TraceRecorder* recorder,
+                          std::int64_t session_tag) {
+    trace_ = recorder;
+    trace_session_ = session_tag;
+  }
+  /// Names the quantum the next OnTouchAsync/ResumePending runs for.
+  void set_trace_quantum(std::int64_t quantum) { trace_quantum_ = quantum; }
+
  private:
   struct ObjectState;
 
@@ -361,6 +379,11 @@ class Kernel {
            std::pair<std::shared_ptr<storage::Table>,
                      std::shared_ptr<storage::Table>>>
       join_cache_tables_;
+  /// Span recorder wired by the touch server (null in single-user use)
+  /// and the tags its suspend records carry.
+  obs::TraceRecorder* trace_ = nullptr;
+  std::int64_t trace_session_ = 0;
+  std::int64_t trace_quantum_ = 0;
   /// Gesture events recognised but not yet executed: non-empty only while
   /// suspended on a cold fetch (execution order is gesture order, so
   /// everything behind the stalled event waits with it).

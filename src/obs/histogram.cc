@@ -1,0 +1,197 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace dbtouch::obs {
+
+namespace {
+
+/// Stripe for the calling thread: round-robin assignment at first use, so
+/// a worker pool spreads evenly without hashing pointers.
+int ThreadStripe() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned mine =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(mine % Histogram::kStripes);
+}
+
+}  // namespace
+
+std::size_t Histogram::BucketIndex(std::int64_t value) {
+  if (value < 0) {
+    value = 0;
+  }
+  if (value < kSubBuckets) {
+    return static_cast<std::size_t>(value);
+  }
+  const int octave =
+      std::bit_width(static_cast<std::uint64_t>(value)) - 1;
+  if (octave >= kMaxOctave) {
+    return static_cast<std::size_t>(kNumBuckets - 1);
+  }
+  const std::int64_t sub =
+      (value >> (octave - kPrecisionBits)) - kSubBuckets;
+  return static_cast<std::size_t>(
+      kSubBuckets + (octave - kPrecisionBits) * kSubBuckets + sub);
+}
+
+std::int64_t Histogram::BucketLowerBound(std::size_t index) {
+  const auto i = static_cast<std::int64_t>(index);
+  if (i < kSubBuckets) {
+    return i;
+  }
+  const std::int64_t band = (i - kSubBuckets) / kSubBuckets;
+  const std::int64_t sub = (i - kSubBuckets) % kSubBuckets;
+  return (kSubBuckets + sub) << band;
+}
+
+Histogram::Histogram() : min_(std::numeric_limits<std::int64_t>::max()) {
+  for (auto& stripe : stripes_) {
+    stripe = std::make_unique<Stripe>();
+    for (auto& c : stripe->counts) {
+      c.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::UpdateMax(std::atomic<std::int64_t>& slot,
+                          std::int64_t value) {
+  std::int64_t seen = slot.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !slot.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::UpdateMin(std::atomic<std::int64_t>& slot,
+                          std::int64_t value) {
+  std::int64_t seen = slot.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !slot.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Record(std::int64_t value) {
+  if (value < 0) {
+    value = 0;
+  }
+  stripes_[ThreadStripe()]->counts[BucketIndex(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  UpdateMax(max_, value);
+  UpdateMin(min_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int s = 0; s < kStripes; ++s) {
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+      const std::int64_t n =
+          other.stripes_[s]->counts[b].load(std::memory_order_relaxed);
+      if (n != 0) {
+        stripes_[0]->counts[b].fetch_add(n, std::memory_order_relaxed);
+      }
+    }
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  UpdateMax(max_, other.max_.load(std::memory_order_relaxed));
+  UpdateMin(min_, other.min_.load(std::memory_order_relaxed));
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.buckets.assign(kNumBuckets, 0);
+  for (int s = 0; s < kStripes; ++s) {
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+      snapshot.buckets[b] +=
+          stripes_[s]->counts[b].load(std::memory_order_relaxed);
+    }
+  }
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.max = max_.load(std::memory_order_relaxed);
+  const std::int64_t min = min_.load(std::memory_order_relaxed);
+  snapshot.min =
+      snapshot.count == 0 || min == std::numeric_limits<std::int64_t>::max()
+          ? 0
+          : min;
+  if (snapshot.count == 0) {
+    snapshot.max = 0;
+  }
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (auto& stripe : stripes_) {
+    for (auto& c : stripe->counts) {
+      c.store(0, std::memory_order_relaxed);
+    }
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<std::int64_t>::max(),
+             std::memory_order_relaxed);
+}
+
+std::int64_t HistogramSnapshot::Percentile(double p) const {
+  if (count <= 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  if (p >= 1.0) {
+    return max;  // Exact: the extremes are tracked outside the buckets.
+  }
+  // Same rank convention as server::LatencyPercentile over raw samples:
+  // the value at 0-based index p*(count-1) of the sorted sample list.
+  const auto rank =
+      static_cast<std::int64_t>(p * static_cast<double>(count - 1));
+  std::int64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen > rank) {
+      // Report the bucket's lower bound, clamped into the tracked range
+      // so quantisation never reports below the true min or above max.
+      return std::clamp(Histogram::BucketLowerBound(b), min, max);
+    }
+  }
+  return max;
+}
+
+void HistogramSnapshot::AppendJson(JsonWriter& writer,
+                                   bool include_buckets) const {
+  writer.BeginObject();
+  writer.Field("count", count);
+  writer.Field("sum", sum);
+  writer.Field("min", min);
+  writer.Field("max", max);
+  writer.Field("mean", Mean());
+  writer.Field("p50", Percentile(0.50));
+  writer.Field("p95", Percentile(0.95));
+  writer.Field("p99", Percentile(0.99));
+  if (include_buckets) {
+    writer.Key("buckets");
+    writer.BeginArray();
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      if (buckets[b] == 0) {
+        continue;  // Sparse: most of the 1k+ buckets are empty.
+      }
+      writer.BeginArray();
+      writer.Int(Histogram::BucketLowerBound(b));
+      writer.Int(buckets[b]);
+      writer.EndArray();
+    }
+    writer.EndArray();
+  }
+  writer.EndObject();
+}
+
+}  // namespace dbtouch::obs

@@ -1,0 +1,117 @@
+// obs::Histogram — fixed log-spaced latency histogram for the hot path.
+//
+// The server used to keep a reservoir of raw latency samples; that capped
+// how much history a long-lived server could represent and made percentiles
+// reflect whichever samples survived the reservoir. A histogram has neither
+// problem: every recorded value lands in a bucket, memory is fixed, and
+// percentiles are exact at bucket resolution no matter how long the server
+// runs.
+//
+// Bucket layout (HdrHistogram-style, microsecond values):
+//   - values in [0, 2^kPrecisionBits) get one bucket each (exact);
+//   - above that, each power-of-two octave is subdivided into
+//     2^kPrecisionBits log-spaced buckets, so the relative quantisation
+//     error is bounded by 2^-kPrecisionBits (~3.1% at 5 bits) at any
+//     magnitude up to kMaxTrackableUs (values beyond clamp into the last
+//     bucket).
+//
+// Concurrency: recording is wait-free — a relaxed atomic increment into a
+// lock-striped counter bank (stripe picked by thread id) so concurrent
+// server workers never contend on one cache line for hot buckets. Snapshot
+// and Merge sum across stripes; snapshots are plain structs safe to copy
+// around and serialise.
+
+#ifndef DBTOUCH_OBS_HISTOGRAM_H_
+#define DBTOUCH_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dbtouch::obs {
+
+class JsonWriter;
+
+/// Coherent copy of a Histogram: plain counters, percentile math, JSON.
+struct HistogramSnapshot {
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  /// Exact extremes (tracked outside the buckets, so p100 is not
+  /// quantised).
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  /// Dense bucket counts, index per Histogram::BucketIndex.
+  std::vector<std::int64_t> buckets;
+
+  /// Exact-bucket percentile: the lower bound of the bucket holding the
+  /// p-th ranked value (p in [0, 1]). 0 when empty. p=1 returns the exact
+  /// tracked max.
+  std::int64_t Percentile(double p) const;
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// {"count":N,"sum":S,"min":m,"max":M,"mean":x,"p50":...,"p95":...,
+  ///  "p99":...} plus, when `include_buckets`, a compact sparse
+  ///  "buckets":[[lower_bound,count],...] array.
+  void AppendJson(JsonWriter& writer, bool include_buckets = false) const;
+};
+
+class Histogram {
+ public:
+  /// Sub-bucket precision: relative error <= 2^-kPrecisionBits.
+  static constexpr int kPrecisionBits = 5;
+  static constexpr std::int64_t kSubBuckets = 1ll << kPrecisionBits;
+  /// Largest distinguishable value (~1.1e12 us ≈ 13 days); larger values
+  /// clamp into the final bucket.
+  static constexpr int kMaxOctave = 40;
+  static constexpr std::int64_t kNumBuckets =
+      kSubBuckets + (kMaxOctave - kPrecisionBits) * kSubBuckets;
+  /// Counter stripes; recording threads hash onto one.
+  static constexpr int kStripes = 4;
+
+  Histogram();
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Wait-free; negative values clamp to 0.
+  void Record(std::int64_t value);
+
+  /// Adds another histogram's counts into this one (not atomic as a whole;
+  /// callers merge quiescent histograms).
+  void Merge(const Histogram& other);
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Discards all counts (tests / between bench regimes).
+  void Reset();
+
+  /// Bucket index for `value` (>= 0).
+  static std::size_t BucketIndex(std::int64_t value);
+  /// Smallest value mapping to bucket `index`.
+  static std::int64_t BucketLowerBound(std::size_t index);
+
+ private:
+  struct alignas(64) Stripe {
+    std::array<std::atomic<std::int64_t>, kNumBuckets> counts;
+  };
+
+  /// Monotone-max update with relaxed CAS.
+  static void UpdateMax(std::atomic<std::int64_t>& slot, std::int64_t value);
+  static void UpdateMin(std::atomic<std::int64_t>& slot, std::int64_t value);
+
+  std::array<std::unique_ptr<Stripe>, kStripes> stripes_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+}  // namespace dbtouch::obs
+
+#endif  // DBTOUCH_OBS_HISTOGRAM_H_

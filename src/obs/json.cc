@@ -1,0 +1,147 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/macros.h"
+
+namespace dbtouch::obs {
+
+void JsonWriter::Separate() {
+  if (scopes_.empty()) {
+    return;
+  }
+  if (key_pending_) {
+    return;  // "key": <value> — the colon was already written.
+  }
+  if (has_member_.back()) {
+    out_.push_back(',');
+  }
+  has_member_.back() = true;
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  key_pending_ = false;
+  out_.push_back('{');
+  scopes_.push_back(Scope::kObject);
+  has_member_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  DBTOUCH_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  DBTOUCH_CHECK(!key_pending_);
+  out_.push_back('}');
+  scopes_.pop_back();
+  has_member_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  key_pending_ = false;
+  out_.push_back('[');
+  scopes_.push_back(Scope::kArray);
+  has_member_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  DBTOUCH_CHECK(!scopes_.empty() && scopes_.back() == Scope::kArray);
+  DBTOUCH_CHECK(!key_pending_);
+  out_.push_back(']');
+  scopes_.pop_back();
+  has_member_.pop_back();
+}
+
+void JsonWriter::Key(std::string_view key) {
+  DBTOUCH_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  DBTOUCH_CHECK(!key_pending_);
+  Separate();
+  Escaped(key);
+  out_.push_back(':');
+  key_pending_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  Separate();
+  key_pending_ = false;
+  Escaped(value);
+}
+
+void JsonWriter::Int(std::int64_t value) {
+  Separate();
+  key_pending_ = false;
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::UInt(std::uint64_t value) {
+  Separate();
+  key_pending_ = false;
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  Separate();
+  key_pending_ = false;
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  // %.17g round-trips any double but litters simple values with digits;
+  // shortest-first: try increasing precision until the value round-trips.
+  char buf[32];
+  for (const int precision : {6, 12, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) {
+      break;
+    }
+  }
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  Separate();
+  key_pending_ = false;
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  Separate();
+  key_pending_ = false;
+  out_ += "null";
+}
+
+void JsonWriter::Escaped(std::string_view raw) {
+  out_.push_back('"');
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out_ += buf;
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+}  // namespace dbtouch::obs

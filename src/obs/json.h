@@ -1,0 +1,97 @@
+// Minimal JSON emitter for the observability layer. Every machine-readable
+// artefact the server produces — ServerStatsSnapshot::ToJson, trace span
+// dumps, the BENCH_*.json perf trajectory — goes through this one writer so
+// the output is valid JSON by construction: commas, nesting and string
+// escaping are handled by the writer, not by callers gluing strings.
+//
+// No parsing, no DOM, no allocation beyond the output string. Not a general
+// JSON library; it emits exactly the subset the project needs.
+
+#ifndef DBTOUCH_OBS_JSON_H_
+#define DBTOUCH_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dbtouch::obs {
+
+/// Streaming JSON writer with automatic comma placement. Usage:
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("executed"); w.Int(42);
+///   w.Key("stages"); w.BeginArray(); ... w.EndArray();
+///   w.EndObject();
+///   std::string json = std::move(w).str();
+///
+/// Misnesting (EndObject without BeginObject, a bare value where a key is
+/// required) is a programming error and asserts in debug builds.
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(256); }
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Next member's key; must be inside an object.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(std::int64_t value);
+  void UInt(std::uint64_t value);
+  /// Non-finite doubles serialise as null (JSON has no NaN/Inf).
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Key + value in one call, for flat metric maps.
+  void Field(std::string_view key, std::int64_t value) {
+    Key(key);
+    Int(value);
+  }
+  void Field(std::string_view key, double value) {
+    Key(key);
+    Double(value);
+  }
+  void Field(std::string_view key, std::string_view value) {
+    Key(key);
+    String(value);
+  }
+  /// Without this overload a string literal or C string would prefer the
+  /// bool overload (pointer->bool is a standard conversion, ->string_view
+  /// is user-defined) and serialise as `true`.
+  void Field(std::string_view key, const char* value) {
+    Key(key);
+    String(value);
+  }
+  void Field(std::string_view key, bool value) {
+    Key(key);
+    Bool(value);
+  }
+
+  /// The finished document. Call once, after the root value is closed.
+  std::string str() && { return std::move(out_); }
+  const std::string& view() const { return out_; }
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  /// Emits the separating comma before a value/key when needed.
+  void Separate();
+  void Escaped(std::string_view raw);
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  /// Whether the current scope already holds a member (comma needed).
+  std::vector<bool> has_member_;
+  /// A Key() was written and its value is pending.
+  bool key_pending_ = false;
+};
+
+}  // namespace dbtouch::obs
+
+#endif  // DBTOUCH_OBS_JSON_H_

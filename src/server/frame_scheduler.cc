@@ -61,6 +61,10 @@ std::optional<TouchTask> FrameScheduler::PopRunnable() {
       TouchTask task = std::move(best->second.front());
       best->second.pop_front();
       busy_.insert(task.session_id);
+      if (trace_ != nullptr) {
+        trace_->Record(obs::SpanStage::kDispatched, task.quantum_id,
+                       task.session_id, task.resume ? 1 : 0);
+      }
       return task;
     }
     if (have_next_release) {
@@ -85,6 +89,9 @@ void FrameScheduler::ParkForFetch(TouchTask task) {
     const std::lock_guard<std::mutex> lock(mu_);
     const std::int64_t session = task.session_id;
     task.resume = true;
+    if (trace_ != nullptr) {
+      trace_->Record(obs::SpanStage::kParked, task.quantum_id, session);
+    }
     queues_[session].push_front(std::move(task));
     parked_.insert(session);
     busy_.erase(session);
@@ -98,6 +105,15 @@ void FrameScheduler::Unpark(std::int64_t session_id) {
     const std::lock_guard<std::mutex> lock(mu_);
     if (parked_.erase(session_id) == 0) {
       return;
+    }
+    if (trace_ != nullptr) {
+      // The parked quantum sits at the head of its session queue.
+      const auto it = queues_.find(session_id);
+      const std::int64_t quantum =
+          it != queues_.end() && !it->second.empty()
+              ? it->second.front().quantum_id
+              : 0;
+      trace_->Record(obs::SpanStage::kUnparked, quantum, session_id);
     }
   }
   cv_.notify_all();

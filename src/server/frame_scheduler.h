@@ -29,6 +29,7 @@
 #include <optional>
 #include <set>
 
+#include "obs/trace_recorder.h"
 #include "sim/touch_event.h"
 #include "sim/virtual_clock.h"
 
@@ -52,6 +53,19 @@ struct TouchTask {
   /// touch was already consumed by the recognizer — the worker re-enters
   /// via Kernel::ResumePending instead of feeding the event again.
   bool resume = false;
+  /// Server-assigned id, unique across sessions; tags this quantum's trace
+  /// spans (0 = untraced path).
+  std::int64_t quantum_id = 0;
+  /// Stage-latency accounting, maintained by the TouchServer worker loop
+  /// and carried across suspend/resume cycles: the instant of the first
+  /// dispatch (-1 = never dispatched), accumulated in-kernel execution
+  /// time, accumulated parked-on-fetch time, and the instant the quantum
+  /// last parked (-1 = not parked). queue wait + exec + stall add up to
+  /// the end-to-end latency by construction; see TouchServer::WorkerLoop.
+  sim::Micros first_dispatch_us = -1;
+  sim::Micros exec_accum_us = 0;
+  sim::Micros stall_accum_us = 0;
+  sim::Micros parked_at_us = -1;
 };
 
 class FrameScheduler {
@@ -112,6 +126,14 @@ class FrameScheduler {
   /// Returns false if the task was rejected.
   bool PushIfUnder(TouchTask task, std::size_t bound);
 
+  /// Trace hook: dispatch / park / unpark transitions are recorded when
+  /// set. Wire it before workers start (plain pointer, not re-settable
+  /// while PopRunnable may run concurrently); null = tracing off, one
+  /// branch per transition.
+  void set_trace_recorder(obs::TraceRecorder* recorder) {
+    trace_ = recorder;
+  }
+
  private:
   bool IdleLocked() const;
 
@@ -123,6 +145,7 @@ class FrameScheduler {
   /// Sessions waiting on a block fetch; not runnable until Unpark.
   std::set<std::int64_t> parked_;
   bool shutdown_ = false;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 /// Steady-clock micros since an arbitrary epoch; the time base for

@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "sim/virtual_clock.h"
 
 namespace dbtouch::server {
@@ -107,6 +109,24 @@ struct FetchStatsSnapshot {
   }
 };
 
+/// Where a frame's budget went, across every executed quantum: exact-bucket
+/// latency histograms per pipeline stage. The stages partition the
+/// end-to-end latency (queue wait + in-kernel execution + parked-on-fetch
+/// stall = end-to-end, up to bucket quantisation), so a p99 regression can
+/// be attributed to queueing, kernel work or cold fetches instead of being
+/// one opaque number.
+struct StageLatencySnapshot {
+  /// Scheduled release -> first dispatch to a worker.
+  obs::HistogramSnapshot queue_wait;
+  /// Time inside kernel execution, summed across suspend/resume cycles.
+  obs::HistogramSnapshot exec;
+  /// Time parked on cold-block fetches (park -> re-dispatch), summed
+  /// across cycles; zero for quanta that never suspended.
+  obs::HistogramSnapshot fetch_stall;
+  /// Scheduled release -> completion: what a live user waited.
+  obs::HistogramSnapshot e2e;
+};
+
 struct ServerStatsSnapshot {
   std::int64_t sessions_opened = 0;
   std::int64_t sessions_active = 0;
@@ -117,9 +137,14 @@ struct ServerStatsSnapshot {
   /// Touches that executed but completed after their frame deadline.
   std::int64_t deadline_misses = 0;
   /// Latency = completion - scheduled arrival, steady-clock micros.
+  /// Derived from stages.e2e (exact-bucket percentiles over EVERY executed
+  /// touch — no sample cap, no reservoir bias); kept as top-level fields
+  /// because they are the headline numbers.
   sim::Micros p50_latency_us = 0;
   sim::Micros p99_latency_us = 0;
   sim::Micros max_latency_us = 0;
+  /// Per-stage latency histograms over all executed touches.
+  StageLatencySnapshot stages;
   /// Jain's fairness index over per-session executed touches: 1.0 =
   /// perfectly even service, 1/n = one session starving the rest.
   double fairness = 1.0;
@@ -134,6 +159,12 @@ struct ServerStatsSnapshot {
                          : static_cast<double>(deadline_misses) /
                                static_cast<double>(executed);
   }
+
+  /// The whole snapshot as one JSON document (counters, buffer/fetch
+  /// roll-ups, per-stage histograms, per-session table) — the
+  /// machine-readable form BENCH_*.json and postmortem dumps build on.
+  /// `include_buckets` adds the sparse bucket arrays of each histogram.
+  std::string ToJson(bool include_buckets = false) const;
 };
 
 /// Percentile over a scratch copy (nth_element reorders it).

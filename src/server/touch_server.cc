@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "common/logging.h"
 #include "common/macros.h"
@@ -40,7 +41,16 @@ TouchServer::TouchServer(const TouchServerConfig& config)
       shared_(std::make_shared<core::SharedState>(
           config.session_defaults.sampling, /*force_eager=*/true,
           ServerBufferConfig(config))),
-      sessions_(shared_) {}
+      sessions_(shared_) {
+  if (config_.enable_tracing) {
+    trace_ = std::make_unique<obs::TraceRecorder>(config_.trace);
+    // Wire every stage of the request path before any worker or fetcher
+    // can run: EDF dispatch/park/unpark, fetcher reads, and (per session
+    // in OpenSession) the kernels' suspend transitions.
+    scheduler_.set_trace_recorder(trace_.get());
+    shared_->buffer_manager().SetTraceRecorder(trace_.get());
+  }
+}
 
 TouchServer::~TouchServer() { (void)Stop(); }
 
@@ -92,7 +102,15 @@ Result<SessionId> TouchServer::OpenSession() {
     config.rotation_trigger_rad = 1e9;
   }
   config.non_blocking_faults = config_.async_fetch;
-  return sessions_.Open(config);
+  Result<SessionId> id = sessions_.Open(config);
+  if (id.ok() && trace_ != nullptr) {
+    const auto s = sessions_.Get(*id);
+    if (s.ok()) {
+      const std::lock_guard<std::mutex> lock((*s)->exec_mu());
+      (*s)->kernel().set_trace_recorder(trace_.get(), *id);
+    }
+  }
+  return id;
 }
 
 Status TouchServer::CloseSession(SessionId id) {
@@ -186,13 +204,25 @@ Status TouchServer::Enqueue(SessionId session, const sim::TouchEvent& event,
   task.deadline_us = deadline_us;
   task.budget_us = budget_us;
   task.droppable = droppable;
+  if (trace_ != nullptr) {
+    task.quantum_id =
+        next_quantum_id_.fetch_add(1, std::memory_order_relaxed);
+    trace_->Record(obs::SpanStage::kSubmitted, task.quantum_id, session,
+                   budget_us, droppable ? 1 : 0);
+  }
   if (droppable) {
     // Admission shed: bound checked and enforced under the scheduler's
     // own lock so concurrent submitters cannot overshoot it.
+    const std::int64_t quantum_id = task.quantum_id;
     if (!scheduler_.PushIfUnder(std::move(task),
                                 config_.max_session_queue)) {
       s->dropped_quanta.fetch_add(1, std::memory_order_relaxed);
       total_dropped_.fetch_add(1, std::memory_order_relaxed);
+      if (trace_ != nullptr) {
+        trace_->Record(
+            obs::SpanStage::kShed, quantum_id, session,
+            static_cast<std::int64_t>(obs::ShedReason::kAdmission));
+      }
     }
     return Status::OK();
   }
@@ -259,6 +289,14 @@ void TouchServer::WorkerLoop() {
     const std::shared_ptr<ServerSession>& s = *session;
 
     const sim::Micros popped = SteadyNowUs();
+    // Stage accounting. The invariant this maintains: queue wait (release
+    // -> first dispatch) + exec segments (each dispatch -> park/done) +
+    // stall segments (each park -> re-dispatch) tile [release, done] with
+    // no gaps, so the stage histograms sum to the end-to-end latency.
+    if (task->parked_at_us >= 0) {
+      task->stall_accum_us += popped - task->parked_at_us;
+      task->parked_at_us = -1;
+    }
     if (!task->resume && task->droppable &&
         popped > task->deadline_us + config_.drop_slack_us) {
       // Hopelessly late: shed the quantum, coarsen the session. Resume
@@ -271,8 +309,22 @@ void TouchServer::WorkerLoop() {
                     config_.max_shed_levels),
           std::memory_order_relaxed);
       total_dropped_.fetch_add(1, std::memory_order_relaxed);
+      if (trace_ != nullptr) {
+        trace_->Record(obs::SpanStage::kShed, task->quantum_id,
+                       task->session_id,
+                       static_cast<std::int64_t>(obs::ShedReason::kLate),
+                       popped - task->deadline_us);
+      }
       scheduler_.OnTaskDone(task->session_id);
       continue;
+    }
+    if (task->first_dispatch_us < 0) {
+      task->first_dispatch_us = popped;
+    }
+    if (trace_ != nullptr) {
+      trace_->Record(task->resume ? obs::SpanStage::kResumed
+                                  : obs::SpanStage::kExecuting,
+                     task->quantum_id, task->session_id);
     }
 
     core::TouchStall stall;
@@ -281,6 +333,9 @@ void TouchServer::WorkerLoop() {
       const std::lock_guard<std::mutex> lock(s->exec_mu());
       const int shed = s->shed_levels.load(std::memory_order_relaxed);
       s->kernel().set_shed_levels(shed);
+      if (trace_ != nullptr) {
+        s->kernel().set_trace_quantum(task->quantum_id);
+      }
       if (task->resume) {
         total_resumed_.fetch_add(1, std::memory_order_relaxed);
         if (s->fetch_failed.exchange(false, std::memory_order_acq_rel)) {
@@ -297,10 +352,16 @@ void TouchServer::WorkerLoop() {
       }
     }
     if (outcome == core::TouchOutcome::kSuspended) {
+      // Close this exec segment and open a stall segment; the next
+      // dispatch of this quantum closes the stall above.
+      const sim::Micros parked = SteadyNowUs();
+      task->exec_accum_us += parked - popped;
+      task->parked_at_us = parked;
       SuspendOnStall(*task, s, std::move(stall));
       continue;  // ParkForFetch released the busy mark; serve others.
     }
     const sim::Micros done = SteadyNowUs();
+    task->exec_accum_us += done - popped;
 
     // Latency is measured against the scheduled arrival: the time a live
     // user at the screen would have waited for this touch's answer.
@@ -320,7 +381,7 @@ void TouchServer::WorkerLoop() {
                     config_.max_shed_levels),
           std::memory_order_relaxed);
     }
-    RecordLatency(latency, missed);
+    RecordCompletion(*task, latency, missed);
     scheduler_.OnTaskDone(task->session_id);
   }
 }
@@ -371,23 +432,33 @@ void TouchServer::SuspendOnStall(const TouchTask& task,
   }
 }
 
-void TouchServer::RecordLatency(sim::Micros latency, bool missed) {
+void TouchServer::RecordCompletion(const TouchTask& task,
+                                   sim::Micros latency, bool missed) {
   total_executed_.fetch_add(1, std::memory_order_relaxed);
   if (missed) {
     total_misses_.fetch_add(1, std::memory_order_relaxed);
   }
-  const std::lock_guard<std::mutex> lock(stats_mu_);
-  // Reservoir sampling: every executed touch has an equal chance of being
-  // retained, so percentiles stay unbiased while memory stays bounded.
-  ++latency_count_;
-  if (latencies_us_.size() < config_.max_latency_samples) {
-    latencies_us_.push_back(latency);
-  } else {
-    const std::uint64_t slot = latency_rng_.NextBounded(
-        static_cast<std::uint64_t>(latency_count_));
-    if (slot < latencies_us_.size()) {
-      latencies_us_[slot] = latency;
-    }
+  // Every executed touch is recorded — histograms have no sample cap, so
+  // long-run percentiles reflect the whole run, not whichever samples a
+  // bounded reservoir happened to keep.
+  const sim::Micros queue_wait =
+      task.first_dispatch_us - task.release_us;
+  queue_wait_hist_.Record(queue_wait);
+  exec_hist_.Record(task.exec_accum_us);
+  fetch_stall_hist_.Record(task.stall_accum_us);
+  e2e_hist_.Record(latency);
+  if (trace_ != nullptr) {
+    trace_->Record(obs::SpanStage::kCompleted, task.quantum_id,
+                   task.session_id, latency, missed ? 1 : 0);
+    obs::SlowQuantumExemplar exemplar;
+    exemplar.quantum = task.quantum_id;
+    exemplar.session = task.session_id;
+    exemplar.e2e_us = latency;
+    exemplar.queue_wait_us = queue_wait;
+    exemplar.exec_us = task.exec_accum_us;
+    exemplar.fetch_stall_us = task.stall_accum_us;
+    exemplar.missed = missed;
+    trace_->NoteCompletion(exemplar);
   }
 }
 
@@ -395,21 +466,17 @@ ServerStatsSnapshot TouchServer::stats() const {
   ServerStatsSnapshot snapshot;
   snapshot.sessions_opened = sessions_.opened();
   snapshot.sessions_active = static_cast<std::int64_t>(sessions_.size());
-  std::vector<sim::Micros> latencies;
   snapshot.submitted = total_submitted_.load(std::memory_order_relaxed);
   snapshot.executed = total_executed_.load(std::memory_order_relaxed);
   snapshot.dropped_quanta = total_dropped_.load(std::memory_order_relaxed);
   snapshot.deadline_misses = total_misses_.load(std::memory_order_relaxed);
-  {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
-    latencies = latencies_us_;
-  }
-  if (!latencies.empty()) {
-    snapshot.max_latency_us =
-        *std::max_element(latencies.begin(), latencies.end());
-    snapshot.p50_latency_us = LatencyPercentile(latencies, 0.50);
-    snapshot.p99_latency_us = LatencyPercentile(std::move(latencies), 0.99);
-  }
+  snapshot.stages.queue_wait = queue_wait_hist_.Snapshot();
+  snapshot.stages.exec = exec_hist_.Snapshot();
+  snapshot.stages.fetch_stall = fetch_stall_hist_.Snapshot();
+  snapshot.stages.e2e = e2e_hist_.Snapshot();
+  snapshot.p50_latency_us = snapshot.stages.e2e.Percentile(0.50);
+  snapshot.p99_latency_us = snapshot.stages.e2e.Percentile(0.99);
+  snapshot.max_latency_us = snapshot.stages.e2e.max;
   {
     const cache::BlockCacheStats buffer = shared_->buffer_manager().stats();
     snapshot.buffer.lookups = buffer.lookups;

@@ -39,16 +39,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
-
-#include "common/rng.h"
 
 #include "common/result.h"
 #include "common/status.h"
 #include "core/kernel.h"
 #include "core/shared_state.h"
+#include "obs/histogram.h"
+#include "obs/trace_recorder.h"
 #include "server/frame_scheduler.h"
 #include "server/server_stats.h"
 #include "server/session_manager.h"
@@ -83,10 +82,13 @@ struct TouchServerConfig {
   /// Layout rotation physically rewrites the (shared) table, so it is
   /// disabled in server sessions unless explicitly allowed.
   bool allow_layout_rotation = false;
-  /// Cap on retained latency samples. Beyond it, reservoir sampling keeps
-  /// an unbiased subset, so percentiles stay honest on long-lived servers
-  /// with bounded memory.
-  std::size_t max_latency_samples = 65'536;
+  /// Per-quantum lifecycle tracing (obs::TraceRecorder): every quantum's
+  /// submit/dispatch/execute/suspend/fetch/resume/complete transitions
+  /// land in a fixed ring, slow-quantum exemplars are retained, and
+  /// trace_recorder()->DumpJson() yields a postmortem document. Off = the
+  /// ring is never allocated and every hook is one null-pointer branch.
+  bool enable_tracing = false;
+  obs::TraceRecorderConfig trace;
   /// Async block fetch: a quantum that faults on a cold slow-tier block
   /// suspends (the EDF scheduler parks the session on the fetch and the
   /// worker serves other sessions) instead of blocking inside the fault.
@@ -169,6 +171,9 @@ class TouchServer {
 
   ServerStatsSnapshot stats() const;
 
+  /// The span recorder, or nullptr when config.enable_tracing is false.
+  obs::TraceRecorder* trace_recorder() const { return trace_.get(); }
+
  private:
   void WorkerLoop();
   /// Parks `task`'s session and starts demand fetches for every block in
@@ -183,7 +188,11 @@ class TouchServer {
                  sim::Micros release_us, sim::Micros deadline_us,
                  sim::Micros budget_us, bool droppable);
 
-  void RecordLatency(sim::Micros latency, bool missed);
+  /// Folds a finished quantum into the stage histograms (queue wait,
+  /// execution, fetch stall, end-to-end) and, when tracing, records the
+  /// kCompleted span and offers a slow-quantum exemplar.
+  void RecordCompletion(const TouchTask& task, sim::Micros latency,
+                        bool missed);
 
   TouchServerConfig config_;
   std::shared_ptr<core::SharedState> shared_;
@@ -192,13 +201,19 @@ class TouchServer {
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
 
-  /// Latency samples (completion - scheduled arrival, reservoir-bounded
-  /// at config_.max_latency_samples). Only the reservoir needs the mutex;
-  /// counters are atomics so submits and completions never contend on it.
-  mutable std::mutex stats_mu_;
-  std::vector<sim::Micros> latencies_us_;
-  std::int64_t latency_count_ = 0;
-  Rng latency_rng_{0x5eed};
+  /// Per-quantum lifecycle spans; null unless config_.enable_tracing.
+  std::unique_ptr<obs::TraceRecorder> trace_;
+  /// Server-unique quantum ids; tags trace spans across stages.
+  std::atomic<std::int64_t> next_quantum_id_{1};
+
+  /// Stage-latency histograms over EVERY executed touch (wait-free
+  /// recording, fixed memory, no sample cap — the reservoir this replaces
+  /// stopped reflecting steady state once it filled). queue wait + exec +
+  /// fetch stall partition the end-to-end latency; see WorkerLoop.
+  obs::Histogram queue_wait_hist_;
+  obs::Histogram exec_hist_;
+  obs::Histogram fetch_stall_hist_;
+  obs::Histogram e2e_hist_;
   std::atomic<std::int64_t> total_submitted_{0};
   std::atomic<std::int64_t> total_executed_{0};
   std::atomic<std::int64_t> total_dropped_{0};

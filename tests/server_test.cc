@@ -9,6 +9,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -419,6 +420,98 @@ TEST(TouchServerTest, StatsRollUpAndFairness) {
   EXPECT_GT(stats.fairness, 0.99);
   EXPECT_GE(stats.p99_latency_us, stats.p50_latency_us);
   EXPECT_GE(stats.max_latency_us, stats.p99_latency_us);
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(TouchServerTest, StageHistogramsTileEndToEndLatencyExactly) {
+  // The worker loop accounts every quantum's lifetime into exactly one of
+  // queue-wait / exec / fetch-stall at any instant, so the stage sums must
+  // equal the end-to-end sum to the microsecond — no tolerance.
+  TouchServer server(RelaxedConfig(2));
+  ASSERT_TRUE(server.RegisterTable(SequenceTable("t", 0)).ok());
+  ASSERT_TRUE(server.Start().ok());
+  Kernel reference;
+  const sim::GestureTrace trace = SlideOver(server, reference, 1.0);
+  for (int i = 0; i < 3; ++i) {
+    const auto session = server.OpenSession();
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE(server
+                    .CreateColumnObject(*session, "t", "v",
+                                        RectCm{2.0, 1.0, 2.0, 10.0})
+                    .ok());
+    ASSERT_TRUE(server.SubmitTrace(*session, trace, {/*paced=*/false}).ok());
+  }
+  ASSERT_TRUE(server.Drain().ok());
+  const ServerStatsSnapshot stats = server.stats();
+  ASSERT_GT(stats.executed, 0);
+  EXPECT_EQ(stats.stages.e2e.count, stats.executed);
+  EXPECT_EQ(stats.stages.queue_wait.count, stats.executed);
+  EXPECT_EQ(stats.stages.exec.count, stats.executed);
+  EXPECT_EQ(stats.stages.fetch_stall.count, stats.executed);
+  EXPECT_EQ(stats.stages.queue_wait.sum + stats.stages.exec.sum +
+                stats.stages.fetch_stall.sum,
+            stats.stages.e2e.sum);
+  // In-memory tables never suspend, so the stall stage is all zeros.
+  EXPECT_EQ(stats.stages.fetch_stall.max, 0);
+  // The legacy headline percentiles are now derived from the e2e stage.
+  EXPECT_EQ(stats.p50_latency_us, stats.stages.e2e.Percentile(0.50));
+  EXPECT_EQ(stats.p99_latency_us, stats.stages.e2e.Percentile(0.99));
+  EXPECT_EQ(stats.max_latency_us, stats.stages.e2e.max);
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(TouchServerTest, TracedRunRecordsFullQuantumLifecycles) {
+  TouchServerConfig config = RelaxedConfig(2);
+  config.enable_tracing = true;
+  TouchServer server(config);
+  ASSERT_TRUE(server.RegisterTable(SequenceTable("t", 0)).ok());
+  ASSERT_TRUE(server.Start().ok());
+  Kernel reference;
+  const auto session = server.OpenSession();
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(server
+                  .CreateColumnObject(*session, "t", "v",
+                                      RectCm{2.0, 1.0, 2.0, 10.0})
+                  .ok());
+  ASSERT_TRUE(server
+                  .SubmitTrace(*session, SlideOver(server, reference, 1.0),
+                               {/*paced=*/false})
+                  .ok());
+  ASSERT_TRUE(server.Drain().ok());
+  const ServerStatsSnapshot stats = server.stats();
+  ASSERT_NE(server.trace_recorder(), nullptr);
+  const std::vector<obs::SpanEvent> events =
+      server.trace_recorder()->Snapshot();
+  ASSERT_FALSE(events.empty());
+  // Every executed quantum logged a full submit->dispatch->execute->
+  // complete lifecycle, in that order.
+  std::map<std::int64_t, std::vector<obs::SpanStage>> lifecycles;
+  for (const obs::SpanEvent& event : events) {
+    if (event.quantum != 0) {
+      lifecycles[event.quantum].push_back(event.stage);
+    }
+  }
+  EXPECT_EQ(lifecycles.size(), static_cast<std::size_t>(stats.executed));
+  std::int64_t completed = 0;
+  for (const auto& [quantum, stages] : lifecycles) {
+    ASSERT_GE(stages.size(), 4u);
+    EXPECT_EQ(stages.front(), obs::SpanStage::kSubmitted);
+    EXPECT_EQ(stages[1], obs::SpanStage::kDispatched);
+    EXPECT_EQ(stages[2], obs::SpanStage::kExecuting);
+    if (stages.back() == obs::SpanStage::kCompleted) {
+      ++completed;
+    }
+  }
+  EXPECT_EQ(completed, stats.executed);
+  // The slowest completions were retained as exemplars, and each exemplar
+  // roll-up obeys the same stage-partition identity as the histograms.
+  const auto exemplars = server.trace_recorder()->Exemplars();
+  ASSERT_FALSE(exemplars.empty());
+  for (const auto& exemplar : exemplars) {
+    EXPECT_EQ(exemplar.queue_wait_us + exemplar.exec_us +
+                  exemplar.fetch_stall_us,
+              exemplar.e2e_us);
+  }
   ASSERT_TRUE(server.Stop().ok());
 }
 

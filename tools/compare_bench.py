@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json report against its checked-in baseline.
+
+Usage: compare_bench.py BASELINE CURRENT
+
+The baseline file carries the gates: per metric, which direction is an
+improvement ("higher" or "lower") and the fractional regression `tol`
+the CI job tolerates before failing (default 0.2 = 20%, per-metric
+overrides live in the baseline so it documents its own tolerances).
+Metrics without a gate are printed as informational. Near-zero baselines
+get a small absolute slack instead of a relative one, so a 0.0 -> 0.003
+wobble on a rate metric does not fail the build.
+
+Exit status: 0 when every gated metric is within tolerance, 1 otherwise
+(failures are listed), 2 on malformed input.
+"""
+
+import json
+import sys
+
+DEFAULT_TOL = 0.2
+# Absolute slack for near-zero baselines (rates/ratios that are exactly
+# 0 or ~0 in the baseline run).
+ABS_SLACK = 0.01
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"compare_bench: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    baseline = load(argv[1])
+    current = load(argv[2])
+    base_metrics = baseline.get("metrics", {})
+    cur_metrics = current.get("metrics", {})
+    gates = baseline.get("gates", {})
+
+    name = current.get("bench", "?")
+    print(f"[{name}] current vs baseline ({argv[1]})")
+    header = f"{'metric':<32}{'baseline':>14}{'current':>14}{'delta':>10}  status"
+    print(header)
+    print("-" * len(header))
+
+    failures = []
+    for key, gate in gates.items():
+        if key not in base_metrics:
+            failures.append(f"{key}: gated but missing from baseline metrics")
+            continue
+        if key not in cur_metrics:
+            failures.append(f"{key}: missing from current report")
+            continue
+        base = float(base_metrics[key])
+        cur = float(cur_metrics[key])
+        tol = float(gate.get("tol", DEFAULT_TOL))
+        direction = gate.get("direction", "higher")
+        if direction not in ("higher", "lower"):
+            failures.append(f"{key}: bad direction {direction!r} in baseline")
+            continue
+        slack = max(abs(base) * tol, ABS_SLACK)
+        if direction == "higher":
+            ok = cur >= base - slack
+        else:
+            ok = cur <= base + slack
+        delta = (cur - base) / base * 100.0 if base != 0.0 else float("inf")
+        delta_s = f"{delta:+9.1f}%" if base != 0.0 else "       n/a"
+        status = "ok" if ok else f"FAIL ({direction} is better, tol {tol:.0%})"
+        print(f"{key:<32}{base:>14.4g}{cur:>14.4g}{delta_s}  {status}")
+        if not ok:
+            failures.append(
+                f"{key}: {cur:.6g} vs baseline {base:.6g} "
+                f"(direction={direction}, tol={tol})"
+            )
+
+    informational = sorted(set(cur_metrics) - set(gates))
+    if informational:
+        print("\ninformational (ungated):")
+        for key in informational:
+            print(f"  {key:<30} {cur_metrics[key]:.6g}")
+
+    if failures:
+        print(f"\n{len(failures)} gate(s) FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(gates)} gate(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
