@@ -27,18 +27,26 @@
 #include "common/result.h"
 #include "remote/remote_store.h"
 #include "storage/dictionary.h"
+#include "storage/pax.h"
 #include "storage/table.h"
 #include "storage/types.h"
 
 namespace dbtouch::cache {
 
-/// Shape of the column a provider serves.
+/// Shape of the column (or PAX row-group) a provider serves.
 struct BlockGeometry {
   storage::DataType type = storage::DataType::kInt32;
   std::int64_t row_count = 0;
   std::int64_t rows_per_block = 0;
+  /// Bytes one row contributes to a block payload. 0 (the default) means
+  /// "derive from `type`" — the single-column case. PAX multi-column
+  /// providers set it to the summed field widths, so every size formula
+  /// below (payload = BlockRowCount * width()) holds unchanged.
+  std::size_t row_bytes = 0;
 
-  std::size_t width() const { return storage::TypeWidth(type); }
+  std::size_t width() const {
+    return row_bytes != 0 ? row_bytes : storage::TypeWidth(type);
+  }
   std::int64_t num_blocks() const {
     return rows_per_block == 0
                ? 0
@@ -86,6 +94,19 @@ class BlockProvider {
   /// rather than block a worker (remote / disk tiers). Immediate providers
   /// (in-memory copies) fill synchronously even on the non-blocking path.
   virtual bool async() const { return false; }
+
+  /// Multi-column (PAX) providers: how each block payload is carved into
+  /// per-column minipages. Null for single-column providers. The layout
+  /// must stay valid for the provider's lifetime.
+  virtual const storage::PaxLayout* pax_layout() const { return nullptr; }
+
+  /// Dictionary of PAX column `column` (string columns), else null. Only
+  /// meaningful when pax_layout() is non-null.
+  virtual const storage::Dictionary* pax_dictionary(
+      std::size_t column) const {
+    (void)column;
+    return nullptr;
+  }
 };
 
 /// Fast tier: blocks copied out of an in-memory table column. Reads the

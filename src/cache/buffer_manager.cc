@@ -1,6 +1,7 @@
 #include "cache/buffer_manager.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/macros.h"
 
@@ -36,7 +37,7 @@ BlockCache::Config CacheConfigFrom(const BufferManagerConfig& config) {
 
 /// PagedColumnSource pinning blocks in the shared BlockCache and faulting
 /// from one provider. Cheap to create; one per bound data object.
-class BufferManager::Source final : public storage::PagedColumnSource {
+class BufferManager::Source : public storage::PagedColumnSource {
  public:
   Source(BufferManager* manager, std::uint64_t owner,
          std::shared_ptr<BlockProvider> provider)
@@ -53,6 +54,11 @@ class BufferManager::Source final : public storage::PagedColumnSource {
   }
   std::int64_t rows_per_block() const override {
     return provider_->geometry().rows_per_block;
+  }
+  /// Sources of one binding share blocks, so they share a token: two PAX
+  /// column sources of the same table dedup to one stall entry.
+  std::uintptr_t share_token() const override {
+    return static_cast<std::uintptr_t>(owner_);
   }
 
   void OnGesturePause() override {
@@ -192,6 +198,20 @@ class BufferManager::Source final : public storage::PagedColumnSource {
     manager_->cache_.Unpin(BlockKey{owner_, block});
   }
 
+  /// View over the pinned payload handed to BlockPin. Virtual so PAX
+  /// sources can carve their column's minipage out of the shared payload.
+  virtual storage::BlockPin MakePin(std::int64_t block,
+                                    const BlockCache::Pinned& pinned) {
+    const storage::ColumnView view(
+        type(), pinned.data, provider_->geometry().width(),
+        provider_->geometry().BlockRowCount(block), dictionary());
+    return storage::BlockPin(this, block, view, BlockFirstRow(block));
+  }
+
+  BufferManager* manager_;  // Not owned; outlives the source.
+  std::uint64_t owner_;
+  std::shared_ptr<BlockProvider> provider_;
+
  private:
   /// Walks [first_block, last_block] (clamped) and invokes `fn(start,
   /// count)` for each maximal run of blocks not resident in the cache —
@@ -259,17 +279,37 @@ class BufferManager::Source final : public storage::PagedColumnSource {
     return Status::OK();
   }
 
+};
+
+/// One schema column of a PAX binding: pins the shared multi-column block
+/// and views only its own minipage. Everything else — fetch, stall,
+/// prefetch, residency — is the base Source against the shared owner.
+class BufferManager::PaxSource final : public BufferManager::Source {
+ public:
+  PaxSource(BufferManager* manager, std::uint64_t owner,
+            std::shared_ptr<BlockProvider> provider, std::size_t column)
+      : Source(manager, owner, std::move(provider)), column_(column) {}
+
+  storage::DataType type() const override {
+    return provider_->pax_layout()->type(column_);
+  }
+  const storage::Dictionary* dictionary() const override {
+    return provider_->pax_dictionary(column_);
+  }
+
+ protected:
   storage::BlockPin MakePin(std::int64_t block,
-                            const BlockCache::Pinned& pinned) {
+                            const BlockCache::Pinned& pinned) override {
+    const storage::PaxLayout& layout = *provider_->pax_layout();
+    const std::int64_t rows = provider_->geometry().BlockRowCount(block);
     const storage::ColumnView view(
-        type(), pinned.data, provider_->geometry().width(),
-        provider_->geometry().BlockRowCount(block), dictionary());
+        type(), pinned.data + layout.MinipageOffset(rows, column_),
+        storage::TypeWidth(type()), rows, dictionary());
     return storage::BlockPin(this, block, view, BlockFirstRow(block));
   }
 
-  BufferManager* manager_;  // Not owned; outlives the source.
-  std::uint64_t owner_;
-  std::shared_ptr<BlockProvider> provider_;
+ private:
+  std::size_t column_;
 };
 
 BufferManager::BufferManager(const BufferManagerConfig& config)
@@ -376,6 +416,28 @@ std::shared_ptr<storage::PagedColumnSource> BufferManager::SourceFor(
   const Binding binding = BindOwner(name, column, provider.get(),
                                     [&] { return provider; });
   return std::make_shared<Source>(this, binding.owner, binding.provider);
+}
+
+Result<std::shared_ptr<storage::PagedColumnSource>>
+BufferManager::PaxSourceFor(const std::string& name, std::size_t column,
+                            std::shared_ptr<BlockProvider> provider) {
+  if (provider == nullptr || provider->pax_layout() == nullptr) {
+    return Status::InvalidArgument("provider for '" + name +
+                                   "' is not a PAX provider");
+  }
+  if (column >= provider->pax_layout()->num_columns()) {
+    return Status::OutOfRange("PAX column " + std::to_string(column) +
+                              " out of range for '" + name + "'");
+  }
+  // All columns bind under one sentinel column key: one owner, one block
+  // namespace — a fault for any column is a hit for the rest.
+  constexpr std::size_t kPaxBindingColumn =
+      std::numeric_limits<std::size_t>::max();
+  const Binding binding = BindOwner(name, kPaxBindingColumn, provider.get(),
+                                    [&] { return provider; });
+  return std::shared_ptr<storage::PagedColumnSource>(
+      std::make_shared<PaxSource>(this, binding.owner, binding.provider,
+                                  column));
 }
 
 }  // namespace dbtouch::cache

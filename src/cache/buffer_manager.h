@@ -85,6 +85,17 @@ class BufferManager {
       const std::string& name, std::size_t column,
       std::shared_ptr<BlockProvider> provider);
 
+  /// A paged source over schema column `column` of a PAX multi-column
+  /// provider (provider->pax_layout() != nullptr). Every column of `name`
+  /// binds to ONE shared owner and block namespace: a block pinned for
+  /// any column is resident for all of them, so a fat-table tuple probe
+  /// costs one fault instead of one per attribute. Sources of the same
+  /// binding report one share_token(), which is how the kernel's stall
+  /// dedup knows two attribute cursors wait on the same payload.
+  Result<std::shared_ptr<storage::PagedColumnSource>> PaxSourceFor(
+      const std::string& name, std::size_t column,
+      std::shared_ptr<BlockProvider> provider);
+
   /// Gesture pause: interest in the current region, admission resumes.
   void OnGesturePause() { cache_.OnGesturePause(); }
 
@@ -126,6 +137,7 @@ class BufferManager {
 
  private:
   class Source;
+  class PaxSource;
 
   struct Binding {
     const void* identity = nullptr;

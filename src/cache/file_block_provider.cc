@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/macros.h"
@@ -55,28 +56,84 @@ Result<std::int64_t> PreadFully(int fd, std::byte* dst, std::int64_t size,
   return done;
 }
 
+/// Full-coverage pwrite: loops over short writes and EINTR.
+Status PwriteFully(int fd, const std::byte* src, std::int64_t size,
+                   std::int64_t offset, const std::string& path) {
+  std::int64_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::pwrite(fd, src + done,
+                               static_cast<std::size_t>(size - done),
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("pwrite", path, errno);
+    }
+    done += n;
+  }
+  return Status::OK();
+}
+
+/// Opens `path` for writing, trying O_DIRECT first when requested.
+/// Filesystems without O_DIRECT support (tmpfs) fail the open with
+/// EINVAL; fall back to buffered and report which engaged.
+int OpenForWrite(const std::string& path, bool want_direct,
+                 bool* direct_active) {
+  *direct_active = false;
+#ifdef O_DIRECT
+  if (want_direct) {
+    const int fd =
+        ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_DIRECT, 0644);
+    if (fd >= 0) {
+      *direct_active = true;
+      return fd;
+    }
+  }
+#else
+  (void)want_direct;
+#endif
+  return ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+}
+
 }  // namespace
 
 // ---- BlockFileWriter --------------------------------------------------------
 
 BlockFileWriter::BlockFileWriter(std::string path,
-                                 const BlockGeometry& geometry)
-    : path_(std::move(path)), geometry_(geometry) {
+                                 const BlockGeometry& geometry,
+                                 BlockFileWriterOptions options)
+    : path_(std::move(path)),
+      geometry_(geometry),
+      options_(std::move(options)) {
   DBTOUCH_CHECK(geometry_.rows_per_block > 0);
-  fd_ = ::open(path_.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (options_.use_direct) {
+    options_.aligned_extents = true;  // O_DIRECT needs aligned offsets.
+  }
+  if (!options_.pax_columns.empty()) {
+    // The geometry must agree with the layout the columns imply — the
+    // reader reconstructs minipage offsets from the column directory
+    // alone.
+    const storage::PaxLayout layout(options_.pax_columns);
+    DBTOUCH_CHECK(geometry_.width() == layout.row_bytes());
+  }
+  fd_ = OpenForWrite(path_, options_.use_direct, &direct_active_);
   if (fd_ < 0) {
     open_status_ = ErrnoStatus("open", path_, errno);
     return;
   }
-  // Reserve header + extent table; both are sealed by Finish, so a crashed
-  // spill leaves an invalid (zero-magic) file, never a half-readable one.
-  const std::int64_t payload_offset =
+  // Header + extent table + column directory are sealed by Finish, so a
+  // crashed spill leaves an invalid (zero-magic) file, never a
+  // half-readable one. Payload writes are positioned (pwrite), so nothing
+  // needs pre-extending.
+  std::int64_t payload_offset =
       static_cast<std::int64_t>(sizeof(BlockFileHeader)) +
       geometry_.num_blocks() *
-          static_cast<std::int64_t>(sizeof(BlockExtent));
-  if (::lseek(fd_, static_cast<off_t>(payload_offset), SEEK_SET) < 0) {
-    open_status_ = ErrnoStatus("lseek", path_, errno);
-    return;
+          static_cast<std::int64_t>(sizeof(BlockExtent)) +
+      static_cast<std::int64_t>(options_.pax_columns.size() *
+                                sizeof(std::uint32_t));
+  if (options_.aligned_extents) {
+    payload_offset = AlignUpDirect(payload_offset);
   }
   bytes_written_ = payload_offset;
   extents_.reserve(static_cast<std::size_t>(geometry_.num_blocks()));
@@ -86,6 +143,7 @@ BlockFileWriter::~BlockFileWriter() {
   if (fd_ >= 0) {
     ::close(fd_);
   }
+  std::free(staging_);
 }
 
 Status BlockFileWriter::Append(const std::byte* data, std::size_t size) {
@@ -106,20 +164,41 @@ Status BlockFileWriter::Append(const std::byte* data, std::size_t size) {
         "' is " + std::to_string(size) + " bytes, expected " +
         std::to_string(expected));
   }
-  std::size_t done = 0;
-  while (done < size) {
-    const ssize_t n = ::write(fd_, data + done, size - done);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return ErrnoStatus("write", path_, errno);
-    }
-    done += static_cast<std::size_t>(n);
+  if (options_.aligned_extents) {
+    bytes_written_ = AlignUpDirect(bytes_written_);
   }
-  extents_.push_back(
-      BlockExtent{bytes_written_, static_cast<std::int64_t>(size)});
-  bytes_written_ += static_cast<std::int64_t>(size);
+  const std::int64_t offset = bytes_written_;
+  if (direct_active_) {
+    // O_DIRECT writes need aligned buffer, offset and length: stage the
+    // payload in an aligned buffer with a zero tail. The padding lands in
+    // the inter-extent gap the aligned layout reserves anyway.
+    const std::size_t padded =
+        static_cast<std::size_t>(AlignUpDirect(
+            static_cast<std::int64_t>(size)));
+    if (staging_capacity_ < padded) {
+      std::free(staging_);
+      void* mem = nullptr;
+      if (posix_memalign(&mem, static_cast<std::size_t>(kDirectIoAlignment),
+                         padded) != 0) {
+        staging_ = nullptr;
+        staging_capacity_ = 0;
+        return Status::ResourceExhausted("aligned staging allocation of " +
+                                         std::to_string(padded) +
+                                         " bytes failed");
+      }
+      staging_ = static_cast<std::byte*>(mem);
+      staging_capacity_ = padded;
+    }
+    std::memcpy(staging_, data, size);
+    std::memset(staging_ + size, 0, padded - size);
+    DBTOUCH_RETURN_IF_ERROR(PwriteFully(
+        fd_, staging_, static_cast<std::int64_t>(padded), offset, path_));
+  } else {
+    DBTOUCH_RETURN_IF_ERROR(PwriteFully(
+        fd_, data, static_cast<std::int64_t>(size), offset, path_));
+  }
+  extents_.push_back(BlockExtent{offset, static_cast<std::int64_t>(size)});
+  bytes_written_ = offset + static_cast<std::int64_t>(size);
   ++next_block_;
   return Status::OK();
 }
@@ -135,6 +214,10 @@ Status BlockFileWriter::Finish() {
         std::to_string(geometry_.num_blocks()) + " blocks of '" + path_ +
         "'");
   }
+  const std::int64_t extent_bytes =
+      geometry_.num_blocks() * static_cast<std::int64_t>(sizeof(BlockExtent));
+  const std::int64_t dir_bytes = static_cast<std::int64_t>(
+      options_.pax_columns.size() * sizeof(std::uint32_t));
   BlockFileHeader header;
   header.type = static_cast<std::uint32_t>(geometry_.type);
   header.width = static_cast<std::uint32_t>(geometry_.width());
@@ -142,19 +225,54 @@ Status BlockFileWriter::Finish() {
   header.rows_per_block = geometry_.rows_per_block;
   header.num_blocks = geometry_.num_blocks();
   header.payload_offset =
-      static_cast<std::int64_t>(sizeof(BlockFileHeader)) +
-      header.num_blocks * static_cast<std::int64_t>(sizeof(BlockExtent));
-  if (::pwrite(fd_, extents_.data(),
-               extents_.size() * sizeof(BlockExtent),
-               static_cast<off_t>(sizeof(BlockFileHeader))) !=
-      static_cast<ssize_t>(extents_.size() * sizeof(BlockExtent))) {
-    return ErrnoStatus("pwrite extents", path_, errno);
+      static_cast<std::int64_t>(sizeof(BlockFileHeader)) + extent_bytes +
+      dir_bytes;
+  if (options_.aligned_extents) {
+    header.payload_offset = AlignUpDirect(header.payload_offset);
+    header.flags |= BlockFileHeader::kFlagAlignedExtents;
   }
-  // The header goes last: its magic is the commit record.
-  if (::pwrite(fd_, &header, sizeof(header), 0) !=
-      static_cast<ssize_t>(sizeof(header))) {
-    return ErrnoStatus("pwrite header", path_, errno);
+  if (!options_.pax_columns.empty()) {
+    header.flags |= BlockFileHeader::kFlagPax;
+    header.num_columns =
+        static_cast<std::uint32_t>(options_.pax_columns.size());
   }
+  // Metadata writes are small and unaligned; under O_DIRECT they go
+  // through a second, buffered descriptor to the same file.
+  int meta_fd = fd_;
+  int plain_fd = -1;
+  if (direct_active_) {
+    plain_fd = ::open(path_.c_str(), O_WRONLY);
+    if (plain_fd < 0) {
+      return ErrnoStatus("open (metadata)", path_, errno);
+    }
+    meta_fd = plain_fd;
+  }
+  const auto finish_meta = [&]() -> Status {
+    DBTOUCH_RETURN_IF_ERROR(PwriteFully(
+        meta_fd, reinterpret_cast<const std::byte*>(extents_.data()),
+        extent_bytes, static_cast<std::int64_t>(sizeof(BlockFileHeader)),
+        path_));
+    if (dir_bytes > 0) {
+      std::vector<std::uint32_t> dir;
+      dir.reserve(options_.pax_columns.size());
+      for (const storage::DataType type : options_.pax_columns) {
+        dir.push_back(static_cast<std::uint32_t>(type));
+      }
+      DBTOUCH_RETURN_IF_ERROR(PwriteFully(
+          meta_fd, reinterpret_cast<const std::byte*>(dir.data()), dir_bytes,
+          static_cast<std::int64_t>(sizeof(BlockFileHeader)) + extent_bytes,
+          path_));
+    }
+    // The header goes last: its magic is the commit record.
+    return PwriteFully(meta_fd,
+                       reinterpret_cast<const std::byte*>(&header),
+                       sizeof(header), 0, path_);
+  };
+  const Status meta = finish_meta();
+  if (plain_fd >= 0) {
+    ::close(plain_fd);
+  }
+  DBTOUCH_RETURN_IF_ERROR(meta);
   if (::close(fd_) != 0) {
     fd_ = -1;
     return ErrnoStatus("close", path_, errno);
@@ -162,6 +280,46 @@ Status BlockFileWriter::Finish() {
   fd_ = -1;
   finished_ = true;
   return Status::OK();
+}
+
+// ---- AlignedBufferPool ------------------------------------------------------
+
+AlignedBufferPool::~AlignedBufferPool() {
+  for (Buffer& buffer : free_) {
+    std::free(buffer.data);
+  }
+}
+
+AlignedBufferPool::Buffer AlignedBufferPool::Acquire(std::size_t bytes) {
+  const std::size_t capacity = static_cast<std::size_t>(
+      AlignUpDirect(static_cast<std::int64_t>(bytes)));
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].capacity >= capacity) {
+        const Buffer buffer = free_[i];
+        free_[i] = free_.back();
+        free_.pop_back();
+        return buffer;
+      }
+    }
+  }
+  void* mem = nullptr;
+  DBTOUCH_CHECK(posix_memalign(&mem,
+                               static_cast<std::size_t>(kDirectIoAlignment),
+                               capacity) == 0);
+  return Buffer{static_cast<std::byte*>(mem), capacity};
+}
+
+void AlignedBufferPool::Release(Buffer buffer) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (free_.size() < kMaxPooled) {
+      free_.push_back(buffer);
+      return;
+    }
+  }
+  std::free(buffer.data);
 }
 
 // ---- FileFaultInjector ------------------------------------------------------
@@ -198,7 +356,8 @@ FileFaultInjector::Fault FileFaultInjector::Next() {
 
 Result<std::shared_ptr<FileBlockProvider>> FileBlockProvider::Open(
     const std::string& path, const FileProviderOptions& options,
-    std::shared_ptr<storage::Dictionary> dictionary) {
+    std::shared_ptr<storage::Dictionary> dictionary,
+    std::vector<std::shared_ptr<storage::Dictionary>> pax_dictionaries) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return ErrnoStatus("open", path, errno);
@@ -239,13 +398,78 @@ Result<std::shared_ptr<FileBlockProvider>> FileBlockProvider::Open(
         std::to_string(header.version) + ", expected " +
         std::to_string(BlockFileHeader::kVersion)));
   }
+  constexpr std::uint32_t kKnownFlags =
+      BlockFileHeader::kFlagPax | BlockFileHeader::kFlagAlignedExtents;
+  if ((header.flags & ~kKnownFlags) != 0) {
+    return fail(Status::InvalidArgument(
+        "'" + path + "' carries unknown block-file flags " +
+        std::to_string(header.flags)));
+  }
+  const bool is_pax = (header.flags & BlockFileHeader::kFlagPax) != 0;
+  const bool aligned =
+      (header.flags & BlockFileHeader::kFlagAlignedExtents) != 0;
+  if (header.rows_per_block <= 0 || header.row_count < 0 ||
+      (is_pax ? header.num_columns == 0 : header.num_columns != 0)) {
+    return fail(Status::InvalidArgument("'" + path +
+                                        "' has an inconsistent header"));
+  }
+  const std::int64_t extent_bytes =
+      header.num_blocks * static_cast<std::int64_t>(sizeof(BlockExtent));
+  const std::int64_t dir_bytes = static_cast<std::int64_t>(
+      header.num_columns * sizeof(std::uint32_t));
+
   BlockGeometry geometry;
   geometry.type = static_cast<storage::DataType>(header.type);
   geometry.row_count = header.row_count;
   geometry.rows_per_block = header.rows_per_block;
-  if (header.rows_per_block <= 0 || header.row_count < 0 ||
-      header.width != geometry.width() ||
+
+  // PAX files: the column directory (after the extent table) is the
+  // source of truth for the row layout; it must reproduce the header's
+  // row width, and its first column the header's type.
+  std::optional<storage::PaxLayout> pax_layout;
+  if (is_pax) {
+    std::vector<std::uint32_t> dir(header.num_columns);
+    const Result<std::int64_t> dir_read = PreadFully(
+        fd, reinterpret_cast<std::byte*>(dir.data()), dir_bytes,
+        static_cast<std::int64_t>(sizeof(BlockFileHeader)) + extent_bytes,
+        path);
+    if (!dir_read.ok()) {
+      return fail(dir_read.status());
+    }
+    if (*dir_read != dir_bytes) {
+      return fail(Status::InvalidArgument("'" + path +
+                                          "' column directory is "
+                                          "truncated"));
+    }
+    std::vector<storage::DataType> types;
+    types.reserve(dir.size());
+    for (const std::uint32_t code : dir) {
+      if (code > static_cast<std::uint32_t>(storage::DataType::kString)) {
+        return fail(Status::InvalidArgument(
+            "'" + path + "' column directory has unknown type code " +
+            std::to_string(code)));
+      }
+      types.push_back(static_cast<storage::DataType>(code));
+    }
+    pax_layout.emplace(std::move(types));
+    geometry.row_bytes = pax_layout->row_bytes();
+    if (pax_layout->type(0) != geometry.type) {
+      return fail(Status::InvalidArgument("'" + path +
+                                          "' has an inconsistent header"));
+    }
+  }
+  if (header.width != geometry.width() ||
       header.num_blocks != geometry.num_blocks()) {
+    return fail(Status::InvalidArgument("'" + path +
+                                        "' has an inconsistent header"));
+  }
+  std::int64_t expected_payload =
+      static_cast<std::int64_t>(sizeof(BlockFileHeader)) + extent_bytes +
+      dir_bytes;
+  if (aligned) {
+    expected_payload = AlignUpDirect(expected_payload);
+  }
+  if (header.payload_offset != expected_payload) {
     return fail(Status::InvalidArgument("'" + path +
                                         "' has an inconsistent header"));
   }
@@ -254,12 +478,15 @@ Result<std::shared_ptr<FileBlockProvider>> FileBlockProvider::Open(
       std::shared_ptr<FileBlockProvider>(new FileBlockProvider());
   provider->path_ = path;
   provider->options_ = options;
-  provider->dictionary_ = std::move(dictionary);
+  provider->dictionary_ = is_pax ? nullptr : std::move(dictionary);
+  provider->pax_dictionaries_ =
+      is_pax ? std::move(pax_dictionaries)
+             : std::vector<std::shared_ptr<storage::Dictionary>>{};
+  provider->pax_layout_ = std::move(pax_layout);
   provider->geometry_ = geometry;
+  provider->aligned_extents_ = aligned;
   provider->file_size_ = static_cast<std::int64_t>(st.st_size);
   provider->extents_.resize(static_cast<std::size_t>(header.num_blocks));
-  const std::int64_t extent_bytes =
-      header.num_blocks * static_cast<std::int64_t>(sizeof(BlockExtent));
   const Result<std::int64_t> extents_read =
       PreadFully(fd, reinterpret_cast<std::byte*>(provider->extents_.data()),
                  extent_bytes, sizeof(BlockFileHeader), path);
@@ -270,13 +497,18 @@ Result<std::shared_ptr<FileBlockProvider>> FileBlockProvider::Open(
     return fail(Status::InvalidArgument("'" + path +
                                         "' extent table is truncated"));
   }
-  // Extents must tile [payload_offset, ...) contiguously with the sizes
-  // the geometry dictates — that contiguity is what lets ReadRange span
-  // adjacent blocks with one read.
+  // Extents must tile [payload_offset, ...) with the sizes the geometry
+  // dictates — plain files contiguously, aligned files with each payload
+  // rounded up to the next 4 KiB boundary. That determinism is what lets
+  // ReadRange span adjacent blocks with one read (compacting the gaps for
+  // aligned files).
   std::int64_t expected_offset = header.payload_offset;
   for (std::int64_t b = 0; b < header.num_blocks; ++b) {
     const BlockExtent& extent =
         provider->extents_[static_cast<std::size_t>(b)];
+    if (aligned) {
+      expected_offset = AlignUpDirect(expected_offset);
+    }
     const std::int64_t expected_bytes =
         geometry.BlockRowCount(b) *
         static_cast<std::int64_t>(geometry.width());
@@ -286,7 +518,7 @@ Result<std::shared_ptr<FileBlockProvider>> FileBlockProvider::Open(
           "'" + path + "' extent " + std::to_string(b) +
           " does not tile the payload"));
     }
-    expected_offset += extent.bytes;
+    expected_offset = extent.offset + extent.bytes;
   }
 
   if (options.use_mmap) {
@@ -304,9 +536,22 @@ Result<std::shared_ptr<FileBlockProvider>> FileBlockProvider::Open(
   }
   if (options.reopen_per_fetch || options.use_mmap) {
     ::close(fd);
-  } else {
-    provider->fd_ = fd;
+    return provider;
   }
+  provider->fd_ = fd;
+#ifdef O_DIRECT
+  if (options.use_direct) {
+    // Swap the validated descriptor for an O_DIRECT one. Filesystems
+    // without support (tmpfs) fail this open; keep the buffered fd and
+    // report direct_active() = false.
+    const int direct_fd = ::open(path.c_str(), O_RDONLY | O_DIRECT);
+    if (direct_fd >= 0) {
+      ::close(fd);
+      provider->fd_ = direct_fd;
+      provider->direct_active_ = true;
+    }
+  }
+#endif
   return provider;
 }
 
@@ -343,6 +588,33 @@ Status FileBlockProvider::ReadAt(std::int64_t offset, std::byte* dst,
     // length is fixed, so this cannot fault on a well-formed file.
     std::memcpy(dst, static_cast<const std::byte*>(map_) + offset,
                 static_cast<std::size_t>(size));
+    return Status::OK();
+  }
+  if (direct_active_) {
+    // O_DIRECT needs aligned offset, length and buffer: widen the read to
+    // the enclosing 4 KiB-aligned span, land it in a pooled aligned
+    // buffer, and slice the requested bytes out. A short kernel read at
+    // EOF is fine as long as it still covers the requested span.
+    const std::int64_t aligned_offset =
+        offset & ~(kDirectIoAlignment - 1);
+    const std::int64_t lead = offset - aligned_offset;
+    const std::int64_t span = AlignUpDirect(lead + size);
+    AlignedBufferPool::Buffer buffer =
+        buffer_pool_.Acquire(static_cast<std::size_t>(span));
+    const Result<std::int64_t> read =
+        PreadFully(fd_, buffer.data, span, aligned_offset, path_);
+    if (!read.ok()) {
+      buffer_pool_.Release(buffer);
+      return read.status();
+    }
+    if (*read < lead + size) {
+      buffer_pool_.Release(buffer);
+      return Status::Aborted("short read of " + what + " from '" + path_ +
+                             "': got " + std::to_string(*read) + " of " +
+                             std::to_string(lead + size) + " bytes");
+    }
+    std::memcpy(dst, buffer.data + lead, static_cast<std::size_t>(size));
+    buffer_pool_.Release(buffer);
     return Status::OK();
   }
   int fd = fd_;
@@ -392,18 +664,36 @@ Result<std::vector<std::byte>> FileBlockProvider::ReadRange(
   const BlockExtent& first = extents_[static_cast<std::size_t>(first_block)];
   const BlockExtent& last =
       extents_[static_cast<std::size_t>(first_block + count - 1)];
-  const std::int64_t total = last.offset + last.bytes - first.offset;
-  std::vector<std::byte> payload(static_cast<std::size_t>(total));
+  const std::int64_t raw = last.offset + last.bytes - first.offset;
+  std::int64_t payload_bytes = 0;
+  for (std::int64_t b = first_block; b < first_block + count; ++b) {
+    payload_bytes += extents_[static_cast<std::size_t>(b)].bytes;
+  }
+  std::vector<std::byte> payload(static_cast<std::size_t>(raw));
   DBTOUCH_RETURN_IF_ERROR(
-      ReadAt(first.offset, payload.data(), total,
+      ReadAt(first.offset, payload.data(), raw,
              "blocks " + std::to_string(first_block) + ".." +
                  std::to_string(first_block + count - 1)));
+  if (payload_bytes != raw) {
+    // Aligned-extent files pad between payloads; callers expect the
+    // blocks back to back, so compact the alignment gaps out in place
+    // (left-shifting, so overlapping memmove is safe).
+    std::int64_t out = 0;
+    for (std::int64_t b = first_block; b < first_block + count; ++b) {
+      const BlockExtent& extent = extents_[static_cast<std::size_t>(b)];
+      std::memmove(payload.data() + out,
+                   payload.data() + (extent.offset - first.offset),
+                   static_cast<std::size_t>(extent.bytes));
+      out += extent.bytes;
+    }
+    payload.resize(static_cast<std::size_t>(payload_bytes));
+  }
   reads_.fetch_add(1, std::memory_order_relaxed);
   if (count > 1) {
     ranged_reads_.fetch_add(1, std::memory_order_relaxed);
   }
   blocks_read_.fetch_add(count, std::memory_order_relaxed);
-  bytes_read_.fetch_add(total, std::memory_order_relaxed);
+  bytes_read_.fetch_add(payload_bytes, std::memory_order_relaxed);
   return payload;
 }
 

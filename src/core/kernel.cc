@@ -384,12 +384,12 @@ TouchOutcome Kernel::DrainPending(bool non_blocking, TouchStall* stall) {
       ++stats_.suspensions;
       if (trace_ != nullptr) {
         const std::int64_t first =
-            stall != nullptr && !stall->blocks.empty() ? stall->blocks.front()
-                                                       : -1;
+            stall != nullptr && !stall->entries.empty() &&
+                    !stall->entries.front().blocks.empty()
+                ? stall->entries.front().blocks.front()
+                : -1;
         const std::int64_t blocks =
-            stall != nullptr
-                ? static_cast<std::int64_t>(stall->blocks.size())
-                : 0;
+            stall != nullptr ? stall->total_blocks() : 0;
         trace_->Record(obs::SpanStage::kSuspended, trace_quantum_,
                        trace_session_, first, blocks);
       }
@@ -404,6 +404,11 @@ TouchOutcome Kernel::DrainPending(bool non_blocking, TouchStall* stall) {
 
 Result<bool> Kernel::ProbeGesture(const GestureEvent& event,
                                   bool non_blocking, TouchStall* stall) {
+  if (stall != nullptr) {
+    // Each probe attempt reports its own misses; entries from a previous
+    // attempt of this (or another) gesture are stale.
+    stall->entries.clear();
+  }
   // Mirror OnGesture's targeting without mutating it. Events queued
   // behind an unexecuted kBegan are never probed before it runs (FIFO),
   // so gesture_target_ is current whenever it is consulted here.
@@ -516,20 +521,22 @@ Result<bool> Kernel::ProbeTableGesture(const ObjectState& obj,
   if (row < 0) {
     return true;
   }
+  // Probe every attribute even after one misses: the stall then carries
+  // all the cold attributes' blocks, so ONE suspend (and one fetch
+  // ticket) covers the whole tuple instead of a round trip per
+  // attribute. Resident attributes stay pinned in probe_pins_ across the
+  // resume either way.
+  bool ready = true;
   for (const std::size_t attribute : attributes) {
     const RowId first = band_first >= 0 ? band_first : row;
     const RowId last = band_last >= 0 ? band_last : row;
     DBTOUCH_ASSIGN_OR_RETURN(
-        const bool ready,
+        const bool attr_ready,
         ProbeBlocks(obj.AttributeSource(attribute), first, last,
                     non_blocking, stall));
-    if (!ready) {
-      // Suspend on this attribute's stall; attributes probed so far stay
-      // pinned in probe_pins_ and the resume continues from here.
-      return false;
-    }
+    ready = ready && attr_ready;
   }
-  return true;
+  return ready;
 }
 
 Result<bool> Kernel::ProbeBlocks(
@@ -548,11 +555,16 @@ Result<bool> Kernel::ProbeBlocks(
     // stall's adjacent demand enqueues at pop time.)
     DBTOUCH_RETURN_IF_ERROR(source->Preload(first_block, last_block));
   }
+  const std::uintptr_t token = source->share_token();
   std::vector<std::int64_t> missing;
   for (std::int64_t block = first_block; block <= last_block; ++block) {
     bool held = false;
     for (const storage::BlockPin& pin : probe_pins_) {
-      if (pin.block() == block && pin.source() == source.get()) {
+      // Token comparison, not source identity: PAX column sources of one
+      // table share a block namespace, so a block pinned for one
+      // attribute already keeps the whole multi-column payload resident.
+      if (pin.block() == block &&
+          pin.source()->share_token() == token) {
         held = true;  // Pinned by a previous attempt of this gesture.
         break;
       }
@@ -578,8 +590,26 @@ Result<bool> Kernel::ProbeBlocks(
   }
   if (!missing.empty()) {
     if (stall != nullptr) {
-      stall->source = source;
-      stall->blocks = std::move(missing);
+      // Merge into the stall under the share token: two PAX column
+      // sources waiting on the same payload become one entry, and a
+      // block never gets fetched twice for one suspend.
+      TouchStall::Entry* entry = nullptr;
+      for (TouchStall::Entry& e : stall->entries) {
+        if (e.source->share_token() == token) {
+          entry = &e;
+          break;
+        }
+      }
+      if (entry == nullptr) {
+        stall->entries.push_back(TouchStall::Entry{source, {}});
+        entry = &stall->entries.back();
+      }
+      for (const std::int64_t block : missing) {
+        if (std::find(entry->blocks.begin(), entry->blocks.end(), block) ==
+            entry->blocks.end()) {
+          entry->blocks.push_back(block);
+        }
+      }
     }
     return false;
   }

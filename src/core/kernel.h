@@ -152,12 +152,28 @@ enum class TouchOutcome {
   kSuspended,  // Waiting on cold blocks; see the TouchStall.
 };
 
-/// What a suspended quantum waits on: blocks of one paged source that a
-/// slow tier has not delivered. The caller starts their fetches
-/// (source->StartFetch) and calls ResumePending once they complete.
+/// What a suspended quantum waits on: blocks the slow tiers have not
+/// delivered, grouped per paged source. A fat-table tuple probe that
+/// misses on several attributes reports them all in ONE stall (one
+/// suspend/resume round trip, one fetch ticket) instead of suspending per
+/// attribute; sources sharing a block namespace (PAX columns of one
+/// table) are deduplicated into a single entry. The caller starts every
+/// entry's fetches (entry.source->StartFetch) and calls ResumePending
+/// once all complete.
 struct TouchStall {
-  std::shared_ptr<storage::PagedColumnSource> source;
-  std::vector<std::int64_t> blocks;
+  struct Entry {
+    std::shared_ptr<storage::PagedColumnSource> source;
+    std::vector<std::int64_t> blocks;
+  };
+  std::vector<Entry> entries;
+
+  std::int64_t total_blocks() const {
+    std::int64_t n = 0;
+    for (const Entry& e : entries) {
+      n += static_cast<std::int64_t>(e.blocks.size());
+    }
+    return n;
+  }
 };
 
 class Kernel {
@@ -304,9 +320,11 @@ class Kernel {
                             bool non_blocking, TouchStall* stall);
   /// Probe for gestures on fat-table objects whose matrix was reclaimed:
   /// taps pin every attribute's covering block, scans / group-bys /
-  /// summaries pin the attributes their execution reads. Multi-attribute
-  /// stalls suspend one attribute at a time (a TouchStall names one
-  /// source); already-probed attributes stay pinned across the resume.
+  /// summaries pin the attributes their execution reads. Every attribute
+  /// is probed even after one misses, so a multi-attribute stall carries
+  /// ALL the cold attributes' blocks in one TouchStall — one suspend
+  /// covers them instead of one round trip per attribute; already-probed
+  /// attributes stay pinned across the resume.
   Result<bool> ProbeTableGesture(const ObjectState& obj,
                                  const gesture::GestureEvent& event,
                                  bool non_blocking, TouchStall* stall);

@@ -80,6 +80,11 @@ SharedState::GetColumnSource(const std::string& table, std::size_t column) {
     const auto it = providers_.find(ColumnKey{table, column});
     if (it != providers_.end()) {
       if (it->second.table == t) {
+        // PAX-spilled tables: every column reads its minipage of the one
+        // shared multi-column binding.
+        if (it->second.provider->pax_layout() != nullptr) {
+          return buffer_.PaxSourceFor(table, column, it->second.provider);
+        }
         return buffer_.SourceFor(table, column, it->second.provider);
       }
       // The name was re-registered with different data since the provider
@@ -171,6 +176,41 @@ Status SharedState::SpillTable(const std::string& table,
     if (entry.table == t) {
       // Materialises any unbuilt levels from the still-valid matrix,
       // then pins blocks for everything after.
+      entry.hierarchy->RebindBase(sources[key.second]);
+    }
+  }
+  return t->ReleaseRaw(std::move(sources));
+}
+
+Status SharedState::SpillTablePax(const std::string& table,
+                                  storage::TableSpiller& spiller,
+                                  bool reclaim_raw) {
+  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> t,
+                           catalog_.Get(table));
+  // One file for the whole table; written and validated before any column
+  // rebinds, so a failed spill leaves the in-memory binding intact.
+  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<cache::FileBlockProvider> provider,
+                           spiller.SpillTablePax(t));
+  for (std::size_t column = 0; column < t->schema().num_fields(); ++column) {
+    DBTOUCH_RETURN_IF_ERROR(BindColumnProvider(t, column, provider));
+  }
+  if (!reclaim_raw) {
+    return Status::OK();
+  }
+  // Mirrors SpillTable's reclamation, except every rebind source is a PAX
+  // column view of the one shared binding (see SpillTable for the
+  // locking/failure discussion).
+  std::vector<std::shared_ptr<storage::PagedColumnSource>> sources;
+  sources.reserve(t->schema().num_fields());
+  for (std::size_t column = 0; column < t->schema().num_fields(); ++column) {
+    DBTOUCH_ASSIGN_OR_RETURN(
+        std::shared_ptr<storage::PagedColumnSource> source,
+        buffer_.PaxSourceFor(t->name(), column, provider));
+    sources.push_back(std::move(source));
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : hierarchies_) {
+    if (entry.table == t) {
       entry.hierarchy->RebindBase(sources[key.second]);
     }
   }

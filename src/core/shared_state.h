@@ -129,6 +129,17 @@ class SharedState {
   Status SpillTable(const std::string& table, storage::TableSpiller& spiller,
                     bool reclaim_raw = false);
 
+  /// SpillTable's PAX variant: the whole table goes to ONE multi-column
+  /// block file (storage::TableSpiller::SpillTablePax) and every column
+  /// rebinds to that shared provider through the pool's shared PAX
+  /// binding — a block faulted for one attribute is resident for all of
+  /// them, so fat-table tuple probes cost one fault instead of one per
+  /// column. Same failure contract and `reclaim_raw` semantics as
+  /// SpillTable.
+  Status SpillTablePax(const std::string& table,
+                       storage::TableSpiller& spiller,
+                       bool reclaim_raw = false);
+
   /// Number of distinct (table, column) hierarchies built so far.
   std::size_t hierarchy_count() const;
 

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/macros.h"
+#include "exec/span_kernels.h"
 
 namespace dbtouch::exec {
 
@@ -74,6 +75,76 @@ bool AdaptiveConjunctionOp::Feed(storage::RowId row) {
   }
   ++rows_passed_;
   return true;
+}
+
+std::int64_t AdaptiveConjunctionOp::FeedRange(
+    storage::RowId first, storage::RowId last,
+    std::vector<storage::RowId>* out_rows) {
+  first = std::max<storage::RowId>(first, 0);
+  last = std::min<storage::RowId>(last, row_count_ - 1);
+  std::int64_t total_passed = 0;
+  std::vector<storage::RowId> sel;
+  std::vector<storage::RowId> next;
+  for (storage::RowId seg_first = first; seg_first <= last;) {
+    const std::int64_t region = RegionOf(seg_first);
+    // First row of the next region: rows r with RegionOf(r) == region are
+    // exactly those with r * num_regions / row_count_ == region.
+    const storage::RowId next_region_first =
+        ((region + 1) * row_count_ + config_.num_regions - 1) /
+        config_.num_regions;
+    const storage::RowId seg_last =
+        std::min<storage::RowId>(last, next_region_first - 1);
+    const std::int64_t seg_rows = seg_last - seg_first + 1;
+    rows_fed_ += seg_rows;
+    auto& region_stats = stats_[static_cast<std::size_t>(region)];
+    const std::vector<std::size_t> order = RegionOrder(region);
+    sel.clear();
+    bool have_sel = false;
+    for (const std::size_t t : order) {
+      const std::int64_t in_count =
+          have_sel ? static_cast<std::int64_t>(sel.size()) : seg_rows;
+      if (in_count == 0) {
+        break;  // Short-circuit: later terms see no candidates.
+      }
+      const Term& term = terms_[t];
+      next.clear();
+      if (!have_sel) {
+        const storage::ColumnView slice =
+            term.column.Slice(seg_first, seg_rows);
+        std::int64_t span_passed = 0;
+        if (!FilterSpan(slice, term.predicate, seg_first, &next,
+                        &span_passed)) {
+          for (storage::RowId r = seg_first; r <= seg_last; ++r) {
+            if (term.predicate.Matches(term.column.GetAsDouble(r))) {
+              next.push_back(r);
+            }
+          }
+        }
+        have_sel = true;
+      } else {
+        // Base row ids double as view-local indices: terms hold
+        // whole-column views.
+        if (!FilterSelected(term.column, term.predicate, sel, &next)) {
+          for (const storage::RowId r : sel) {
+            if (term.predicate.Matches(term.column.GetAsDouble(r))) {
+              next.push_back(r);
+            }
+          }
+        }
+      }
+      evaluations_ += in_count;
+      region_stats[t].evaluated += in_count;
+      region_stats[t].passed += static_cast<std::int64_t>(next.size());
+      sel.swap(next);
+    }
+    rows_passed_ += static_cast<std::int64_t>(sel.size());
+    total_passed += static_cast<std::int64_t>(sel.size());
+    if (out_rows != nullptr) {
+      out_rows->insert(out_rows->end(), sel.begin(), sel.end());
+    }
+    seg_first = seg_last + 1;
+  }
+  return total_passed;
 }
 
 }  // namespace dbtouch::exec

@@ -47,6 +47,22 @@ class AdaptiveConjunctionOp {
   /// region's current best order. Returns true when every term passes.
   bool Feed(storage::RowId row);
 
+  /// Vectorized conjunction over rows [first, last] (clamped): refines a
+  /// selection vector term by term — the first term filters whole
+  /// contiguous spans (FilterSpan), later terms re-filter only the
+  /// survivors (FilterSelected). Appends passing base RowIds, ascending,
+  /// to `out_rows` (null = count only) and returns how many passed.
+  ///
+  /// The PASS SET is identical to feeding each row through Feed. The
+  /// term order, however, is frozen per region segment at the order in
+  /// force when the segment starts (per-row Feed re-ranks after every
+  /// row), so `evaluations()` may differ between the two paths — the
+  /// selection-vector path cannot consult statistics mid-span. Region
+  /// pass-rate statistics accrue in bulk with the same totals a frozen
+  /// order would produce row by row.
+  std::int64_t FeedRange(storage::RowId first, storage::RowId last,
+                         std::vector<storage::RowId>* out_rows);
+
   /// Total individual predicate evaluations so far — the cost an
   /// optimizer tries to minimise.
   std::int64_t evaluations() const { return evaluations_; }

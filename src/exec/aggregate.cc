@@ -24,20 +24,6 @@ std::string_view AggKindName(AggKind kind) {
   return "?";
 }
 
-void RunningAggregate::Add(double v) {
-  ++count_;
-  sum_ += v;
-  const double delta = v - mean_;
-  mean_ += delta / static_cast<double>(count_);
-  m2_ += delta * (v - mean_);
-  if (v < min_) {
-    min_ = v;
-  }
-  if (v > max_) {
-    max_ = v;
-  }
-}
-
 double RunningAggregate::value() const {
   if (kind_ == AggKind::kCount) {
     return static_cast<double>(count_);
@@ -82,6 +68,25 @@ bool TouchedAggregateOp::Feed(storage::RowId row) {
   }
   agg_.Add(cursor_.GetAsDouble(row));
   return true;
+}
+
+std::int64_t TouchedAggregateOp::FeedRange(storage::RowId first,
+                                           storage::RowId last) {
+  if (!cursor_.valid() || cursor_.row_count() == 0) {
+    return 0;
+  }
+  std::int64_t added = 0;
+  cursor_.Scan(first, last,
+               [&](const storage::ColumnView& rows, storage::RowId base) {
+                 const std::int64_t count = rows.row_count();
+                 for (std::int64_t i = 0; i < count; ++i) {
+                   if (seen_.insert(base + i).second) {
+                     agg_.Add(rows.GetAsDouble(i));
+                     ++added;
+                   }
+                 }
+               });
+  return added;
 }
 
 double TouchedAggregateOp::coverage() const {

@@ -38,7 +38,23 @@ class RunningAggregate {
  public:
   explicit RunningAggregate(AggKind kind) : kind_(kind) {}
 
-  void Add(double v);
+  // Inline (and kept in one canonical spot): the span kernels replay this
+  // exact operation order over whole blocks, and bit-identical results
+  // across the scalar and vectorized paths depend on every caller
+  // compiling the same sequence of double ops.
+  void Add(double v) {
+    ++count_;
+    sum_ += v;
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (v - mean_);
+    if (v < min_) {
+      min_ = v;
+    }
+    if (v > max_) {
+      max_ = v;
+    }
+  }
 
   /// Current aggregate value; NaN when empty (except count, which is 0).
   double value() const;
@@ -75,6 +91,13 @@ class TouchedAggregateOp {
   /// Feeds row `row` if within range and unseen. Returns true when the row
   /// contributed (i.e. it was new).
   bool Feed(storage::RowId row);
+
+  /// Feeds every in-range, unseen row of [first, last] in ascending order:
+  /// the same contributions per-row Feed would make, but reading whole
+  /// pinned block slices instead of re-probing the cursor per row (the
+  /// dedup set is still consulted per row — revisits must not count
+  /// twice). Returns how many rows contributed.
+  std::int64_t FeedRange(storage::RowId first, storage::RowId last);
 
   double value() const { return agg_.value(); }
   std::int64_t rows_seen() const { return agg_.count(); }

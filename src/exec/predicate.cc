@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <limits>
 
+#include "exec/span_kernels.h"
+
 namespace dbtouch::exec {
 
 std::string_view CompareOpName(CompareOp op) {
@@ -85,6 +87,30 @@ bool FilteredScanOp::Feed(storage::RowId row) {
     return true;
   }
   return false;
+}
+
+std::int64_t FilteredScanOp::FeedRange(
+    storage::RowId first, storage::RowId last,
+    std::vector<storage::RowId>* out_rows) {
+  std::int64_t passed = 0;
+  cursor_.Scan(first, last,
+               [&](const storage::ColumnView& rows, storage::RowId base) {
+                 rows_fed_ += rows.row_count();
+                 if (FilterSpan(rows, predicate_, base, out_rows, &passed)) {
+                   return;
+                 }
+                 const std::int64_t count = rows.row_count();
+                 for (std::int64_t i = 0; i < count; ++i) {
+                   if (predicate_.Matches(rows.GetAsDouble(i))) {
+                     if (out_rows != nullptr) {
+                       out_rows->push_back(base + i);
+                     }
+                     ++passed;
+                   }
+                 }
+               });
+  rows_passed_ += passed;
+  return passed;
 }
 
 }  // namespace dbtouch::exec

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "storage/column.h"
 #include "storage/paged_column.h"
@@ -84,6 +85,16 @@ class FilteredScanOp {
 
   /// True when the row is in range and satisfies the predicate.
   bool Feed(storage::RowId row);
+
+  /// Block-at-a-time filtered scan of base rows [first, last] (clamped to
+  /// the column): appends every passing base RowId, ascending, to the
+  /// selection vector `out_rows` (null = count only) and returns the
+  /// number appended. Decision-for-decision identical to feeding each row
+  /// through Feed; pass/fed counts accrue the same way. Contiguous
+  /// numeric blocks run the vectorized FilterSpan kernel; string/strided
+  /// blocks fall back to per-row evaluation.
+  std::int64_t FeedRange(storage::RowId first, storage::RowId last,
+                         std::vector<storage::RowId>* out_rows);
 
   std::int64_t rows_fed() const { return rows_fed_; }
   std::int64_t rows_passed() const { return rows_passed_; }

@@ -1,8 +1,10 @@
 #include "exec/summary.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/macros.h"
+#include "exec/span_kernels.h"
 
 namespace dbtouch::exec {
 
@@ -28,19 +30,58 @@ SummaryResult InteractiveSummaryOp::ComputeAt(storage::RowId center) const {
   out.center = std::clamp<storage::RowId>(center, 0, n - 1);
   out.first = std::max<storage::RowId>(out.center - k_, 0);
   out.last = std::min<storage::RowId>(out.center + k_, n - 1);
-  RunningAggregate agg(kind_);
-  // Block-at-a-time over the window: each pinned block's slice aggregates
-  // through a tight local loop, rows in ascending order (so the paged and
-  // unpaged paths produce bit-identical floating-point results).
-  cursor_.Scan(out.first, out.last,
-               [&agg](const storage::ColumnView& rows, storage::RowId) {
-                 const std::int64_t count = rows.row_count();
-                 for (std::int64_t i = 0; i < count; ++i) {
-                   agg.Add(rows.GetAsDouble(i));
-                 }
-               });
-  out.rows = agg.count();
-  out.value = agg.value();
+  // Block-at-a-time over the window, span-vectorized where the block is a
+  // contiguous numeric span. min/max/count are order-independent, so they
+  // run through the SIMD MinMaxSpan kernel; every other kind is
+  // order-dependent (sum/avg/Welford) and runs the sequential
+  // AggregateSpan loop. Both replay RunningAggregate's exact update
+  // semantics, so the paged, unpaged, and vectorized paths all produce
+  // bit-identical results; string/strided blocks fall back to the per-row
+  // loop below.
+  if (kind_ == AggKind::kCount || kind_ == AggKind::kMin ||
+      kind_ == AggKind::kMax) {
+    MinMaxState state;
+    cursor_.Scan(out.first, out.last,
+                 [&state](const storage::ColumnView& rows, storage::RowId) {
+                   if (MinMaxSpan(rows, &state)) {
+                     return;
+                   }
+                   const std::int64_t count = rows.row_count();
+                   for (std::int64_t i = 0; i < count; ++i) {
+                     const double v = rows.GetAsDouble(i);
+                     ++state.count;
+                     if (v < state.min) {
+                       state.min = v;
+                     }
+                     if (v > state.max) {
+                       state.max = v;
+                     }
+                   }
+                 });
+    out.rows = state.count;
+    // Mirrors RunningAggregate::value() for these kinds.
+    if (kind_ == AggKind::kCount) {
+      out.value = static_cast<double>(state.count);
+    } else if (state.count == 0) {
+      out.value = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      out.value = kind_ == AggKind::kMin ? state.min : state.max;
+    }
+  } else {
+    RunningAggregate agg(kind_);
+    cursor_.Scan(out.first, out.last,
+                 [&agg](const storage::ColumnView& rows, storage::RowId) {
+                   if (AggregateSpan(rows, &agg)) {
+                     return;
+                   }
+                   const std::int64_t count = rows.row_count();
+                   for (std::int64_t i = 0; i < count; ++i) {
+                     agg.Add(rows.GetAsDouble(i));
+                   }
+                 });
+    out.rows = agg.count();
+    out.value = agg.value();
+  }
   rows_scanned_ += out.rows;
   return out;
 }

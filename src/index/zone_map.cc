@@ -4,8 +4,35 @@
 #include <limits>
 
 #include "common/macros.h"
+#include "exec/span_kernels.h"
 
 namespace dbtouch::index {
+
+namespace {
+
+// Span-vectorized zone min/max: `if (v < min)` update order matches the
+// scalar loop, so results are bit-identical (see span_kernels.h). String
+// and strided views fall back to the per-row loop.
+void AccumulateZone(const storage::ColumnView& rows, double* min_out,
+                    double* max_out) {
+  exec::MinMaxState state;
+  if (exec::MinMaxSpan(rows, &state)) {
+    if (state.min < *min_out) {
+      *min_out = state.min;
+    }
+    if (state.max > *max_out) {
+      *max_out = state.max;
+    }
+    return;
+  }
+  for (storage::RowId r = 0; r < rows.row_count(); ++r) {
+    const double v = rows.GetAsDouble(r);
+    *min_out = std::min(*min_out, v);
+    *max_out = std::max(*max_out, v);
+  }
+}
+
+}  // namespace
 
 ZoneMap::ZoneMap(storage::ColumnView column, std::int64_t rows_per_zone)
     : rows_per_zone_(rows_per_zone) {
@@ -19,11 +46,8 @@ ZoneMap::ZoneMap(storage::ColumnView column, std::int64_t rows_per_zone)
     z.last = std::min<storage::RowId>(first + rows_per_zone - 1, n - 1);
     z.min = std::numeric_limits<double>::infinity();
     z.max = -std::numeric_limits<double>::infinity();
-    for (storage::RowId r = z.first; r <= z.last; ++r) {
-      const double v = column.GetAsDouble(r);
-      z.min = std::min(z.min, v);
-      z.max = std::max(z.max, v);
-    }
+    AccumulateZone(column.Slice(z.first, z.last - z.first + 1), &z.min,
+                   &z.max);
     global_min_ = std::min(global_min_, z.min);
     global_max_ = std::max(global_max_, z.max);
     zones_.push_back(z);
@@ -49,11 +73,7 @@ ZoneMap::ZoneMap(const std::shared_ptr<storage::PagedColumnSource>& source,
     // block once however many zones it spans.
     cursor.Scan(z.first, z.last,
                 [&](const storage::ColumnView& rows, storage::RowId) {
-                  for (storage::RowId r = 0; r < rows.row_count(); ++r) {
-                    const double v = rows.GetAsDouble(r);
-                    z.min = std::min(z.min, v);
-                    z.max = std::max(z.max, v);
-                  }
+                  AccumulateZone(rows, &z.min, &z.max);
                 });
     global_min_ = std::min(global_min_, z.min);
     global_max_ = std::max(global_max_, z.max);

@@ -90,6 +90,10 @@ struct FetchStatsSnapshot {
   /// Pre-formed ranged warm-up tickets issued along extrapolated slide
   /// paths (>= 2 blocks riding one ReadRange each).
   std::int64_t prefetch_ranges = 0;
+  /// Suspend round trips saved by multi-attribute stalls: a fat-table
+  /// quantum whose probe missed on N sources suspends once, not N times;
+  /// each such suspend adds N - 1 here.
+  std::int64_t batched_stall_attrs = 0;
   /// Batched demand fetches: adjacent cold misses coalesced into single
   /// provider range reads (async queue + blocking Preload combined), the
   /// blocks those ranged reads covered, and the payload bytes faulted in

@@ -389,22 +389,28 @@ void TouchServer::WorkerLoop() {
 void TouchServer::SuspendOnStall(const TouchTask& task,
                                  const std::shared_ptr<ServerSession>& s,
                                  core::TouchStall stall) {
-  DBTOUCH_CHECK(stall.source != nullptr && !stall.blocks.empty());
+  DBTOUCH_CHECK(!stall.entries.empty());
   s->suspended_quanta.fetch_add(1, std::memory_order_relaxed);
   total_suspended_.fetch_add(1, std::memory_order_relaxed);
+  if (stall.entries.size() > 1) {
+    // N cold attributes riding one suspend saved N - 1 round trips over
+    // the old one-attribute-per-stall behaviour.
+    total_batched_stall_attrs_.fetch_add(
+        static_cast<std::int64_t>(stall.entries.size()) - 1,
+        std::memory_order_relaxed);
+  }
   // Park first: the session must be invisible to PopRunnable before any
   // completion can try to unpark it.
   scheduler_.ParkForFetch(task);
 
-  /// One ticket for the whole stall: the last completion unparks.
+  /// One ticket for the whole stall — every entry's blocks count toward
+  /// it, so the last completion across all attributes unparks.
   struct FetchTicket {
     std::atomic<std::int64_t> remaining;
     std::atomic<bool> failed{false};
     explicit FetchTicket(std::int64_t n) : remaining(n) {}
   };
-  auto ticket =
-      std::make_shared<FetchTicket>(static_cast<std::int64_t>(
-          stall.blocks.size()));
+  auto ticket = std::make_shared<FetchTicket>(stall.total_blocks());
   const SessionId id = task.session_id;
   const auto settle = [this, id, s, ticket](const Status& status) {
     if (!status.ok()) {
@@ -419,15 +425,17 @@ void TouchServer::SuspendOnStall(const TouchTask& task,
       scheduler_.Unpark(id);
     }
   };
-  for (const std::int64_t block : stall.blocks) {
-    // Tagged with the session id so CloseSession can retract tickets the
-    // fetchers have not picked up yet. A stall's blocks are adjacent
-    // (one summary band), so the queue coalesces them into a ranged read
-    // at pop time.
-    const Status started = stall.source->StartFetch(
-        block, settle, static_cast<std::uint64_t>(id));
-    if (!started.ok()) {
-      settle(started);  // Count it down; the resume sheds the work.
+  for (const core::TouchStall::Entry& entry : stall.entries) {
+    for (const std::int64_t block : entry.blocks) {
+      // Tagged with the session id so CloseSession can retract tickets
+      // the fetchers have not picked up yet. An entry's blocks are
+      // adjacent (one summary band), so the queue coalesces them into a
+      // ranged read at pop time.
+      const Status started = entry.source->StartFetch(
+          block, settle, static_cast<std::uint64_t>(id));
+      if (!started.ok()) {
+        settle(started);  // Count it down; the resume sheds the work.
+      }
     }
   }
 }
@@ -510,6 +518,8 @@ ServerStatsSnapshot TouchServer::stats() const {
     snapshot.fetch.cancelled_fetches = fetch.cancelled;
     snapshot.fetch.aborted_fetches = fetch.aborted;
     snapshot.fetch.prefetch_ranges = fetch.prefetch_ranges;
+    snapshot.fetch.batched_stall_attrs =
+        total_batched_stall_attrs_.load(std::memory_order_relaxed);
     snapshot.fetch.ranged_reads =
         fetch.ranged_reads +
         shared_->buffer_manager().sync_ranged_reads();

@@ -222,6 +222,9 @@ class TouchServer {
   std::atomic<std::int64_t> total_suspended_{0};
   std::atomic<std::int64_t> total_resumed_{0};
   std::atomic<std::int64_t> total_shed_on_fetch_error_{0};
+  /// Suspend round trips saved by multi-attribute stalls (see
+  /// FetchStatsSnapshot::batched_stall_attrs).
+  std::atomic<std::int64_t> total_batched_stall_attrs_{0};
 };
 
 }  // namespace dbtouch::server

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "storage/dictionary.h"
@@ -44,6 +45,27 @@ class ColumnView {
   const Dictionary* dictionary() const { return dictionary_; }
 
   bool InRange(RowId row) const { return row >= 0 && row < row_count_; }
+
+  /// True when fields are densely packed (stride == field width) — the
+  /// layout the span kernels can iterate as a typed array.
+  bool contiguous() const { return stride_ == TypeWidth(type_); }
+
+  /// Typed pointer to the packed fields, or nullptr when the view is
+  /// strided (row-major), the requested width does not match the field
+  /// width, or the storage is not naturally aligned for T. Callers fall
+  /// back to the per-row getters on nullptr; a non-null result is valid
+  /// for direct indexing p[0..row_count).
+  template <typename T>
+  const T* TypedData() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (!contiguous() || sizeof(T) != TypeWidth(type_)) {
+      return nullptr;
+    }
+    if (reinterpret_cast<std::uintptr_t>(data_) % alignof(T) != 0) {
+      return nullptr;
+    }
+    return reinterpret_cast<const T*>(data_);
+  }
 
   std::int32_t GetInt32(RowId row) const { return Load<std::int32_t>(row); }
   std::int64_t GetInt64(RowId row) const { return Load<std::int64_t>(row); }

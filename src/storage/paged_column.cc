@@ -43,21 +43,18 @@ Result<BlockPin> UnpagedColumnSource::PinBlock(std::int64_t block,
 
 void UnpagedColumnSource::UnpinBlock(std::int64_t /*block*/) {}
 
-const ColumnView& PagedColumnCursor::Ensure(RowId row) {
-  if (!pin_.Covers(row)) {
-    auto pin = source_->PinBlock(source_->BlockFor(row), row);
-    DBTOUCH_CHECK(pin.ok());
-    pin_ = std::move(*pin);
-  }
-  return pin_.view();
-}
-
-double PagedColumnCursor::GetAsDouble(RowId row) {
-  return Ensure(row).GetAsDouble(row - pin_.first_row());
+const ColumnView& PagedColumnCursor::EnsureSlow(RowId row) {
+  auto pin = source_->PinBlock(source_->BlockFor(row), row);
+  DBTOUCH_CHECK(pin.ok());
+  pin_ = std::move(*pin);
+  span_view_ = pin_.view();
+  span_first_ = pin_.first_row();
+  span_last_ = pin_.last_row();
+  return span_view_;
 }
 
 Value PagedColumnCursor::GetValue(RowId row) {
-  return Ensure(row).GetValue(row - pin_.first_row());
+  return Ensure(row).GetValue(row - span_first_);
 }
 
 void PagedColumnCursor::Scan(
@@ -68,8 +65,7 @@ void PagedColumnCursor::Scan(
   last = std::min<RowId>(last, n - 1);
   for (RowId row = first; row <= last;) {
     const ColumnView& block = Ensure(row);
-    const RowId block_first = pin_.first_row();
-    const RowId begin = row - block_first;
+    const RowId begin = row - span_first_;
     const std::int64_t count =
         std::min<std::int64_t>(block.row_count() - begin, last - row + 1);
     fn(block.Slice(begin, count), row);

@@ -32,6 +32,21 @@ namespace dbtouch::storage {
 
 class PagedColumnSource;
 
+/// Typed contiguous window over one pinned block: `data[i]` is base row
+/// `first_row + i`, for i in [0, rows). `data` is null when the block
+/// cannot be exposed as a packed T array (strided layout, type/width
+/// mismatch, misalignment) — callers fall back to per-row view() reads.
+/// The pointer borrows the pin's storage: it is valid only while the
+/// BlockPin that produced it lives.
+template <typename T>
+struct BlockSpan {
+  const T* data = nullptr;
+  RowId first_row = 0;
+  std::int64_t rows = 0;
+
+  explicit operator bool() const { return data != nullptr; }
+};
+
 /// RAII pin over one block of a paged column. While valid, `view()` reads
 /// the block's fields (rows local to the block); destruction unpins.
 class BlockPin {
@@ -70,6 +85,17 @@ class BlockPin {
     return valid() && row >= first_row_ && row <= last_row();
   }
 
+  /// The block as a typed contiguous span (see BlockSpan). Span lifetime
+  /// is this pin's lifetime.
+  template <typename T>
+  BlockSpan<T> Span() const {
+    BlockSpan<T> span;
+    span.data = view_.TypedData<T>();
+    span.first_row = first_row_;
+    span.rows = view_.row_count();
+    return span;
+  }
+
   void Release();
 
  private:
@@ -89,6 +115,15 @@ class PagedColumnSource {
   virtual const Dictionary* dictionary() const { return nullptr; }
   virtual std::int64_t row_count() const = 0;
   virtual std::int64_t rows_per_block() const = 0;
+
+  /// Residency-sharing identity: two sources with equal tokens pin the
+  /// same underlying blocks (same block index -> same backing bytes), so
+  /// a caller holding a pin from one may treat that block as resident
+  /// for the other. Per-column readers of one PAX multi-column block
+  /// file share a token; standalone sources are their own token.
+  virtual std::uintptr_t share_token() const {
+    return reinterpret_cast<std::uintptr_t>(this);
+  }
 
   std::int64_t num_blocks() const {
     const std::int64_t rpb = rows_per_block();
@@ -249,8 +284,11 @@ class PagedColumnCursor {
   }
 
   /// Point reads; the caller guarantees InRange. Crossing a block boundary
-  /// swaps the working pin.
-  double GetAsDouble(RowId row);
+  /// swaps the working pin. The in-range fast path is two compares against
+  /// the cached span bounds — no per-row residency probe.
+  double GetAsDouble(RowId row) {
+    return Ensure(row).GetAsDouble(row - span_first_);
+  }
   Value GetValue(RowId row);
 
   /// Typed point reads (the caller guarantees the type, as with
@@ -258,16 +296,16 @@ class PagedColumnCursor {
   /// sample-hierarchy build path over a spilled base must produce the same
   /// bytes it produced from the raw matrix.
   std::int32_t GetInt32(RowId row) {
-    return Ensure(row).GetInt32(row - pin_.first_row());
+    return Ensure(row).GetInt32(row - span_first_);
   }
   std::int64_t GetInt64(RowId row) {
-    return Ensure(row).GetInt64(row - pin_.first_row());
+    return Ensure(row).GetInt64(row - span_first_);
   }
   float GetFloat(RowId row) {
-    return Ensure(row).GetFloat(row - pin_.first_row());
+    return Ensure(row).GetFloat(row - span_first_);
   }
   double GetDouble(RowId row) {
-    return Ensure(row).GetDouble(row - pin_.first_row());
+    return Ensure(row).GetDouble(row - span_first_);
   }
 
   /// Block-at-a-time scan of base rows [first, last], both clamped to the
@@ -279,16 +317,36 @@ class PagedColumnCursor {
                                      RowId first_row)>& fn);
 
   /// Drops the working pin (returns the block to its cache).
-  void ReleasePin() { pin_ = BlockPin(); }
+  void ReleasePin() {
+    pin_ = BlockPin();
+    span_view_ = ColumnView();
+    span_first_ = 0;
+    span_last_ = -1;
+  }
 
   const std::shared_ptr<PagedColumnSource>& source() const { return source_; }
 
  private:
-  /// Pins the block covering `row` if the working pin does not already.
-  const ColumnView& Ensure(RowId row);
+  /// The view over the block covering `row`. Fast path: `row` is inside
+  /// the cached span of the working pin, no call leaves the header.
+  const ColumnView& Ensure(RowId row) {
+    if (row < span_first_ || row > span_last_) {
+      return EnsureSlow(row);
+    }
+    return span_view_;
+  }
+
+  /// Pins the block covering `row` and refreshes the cached span bounds.
+  const ColumnView& EnsureSlow(RowId row);
 
   std::shared_ptr<PagedColumnSource> source_;
   BlockPin pin_;
+  // Cached bounds + view of the working pin: [span_first_, span_last_]
+  // (empty when span_last_ < span_first_). Mirrors pin_; invalidated by
+  // ReleasePin.
+  ColumnView span_view_;
+  RowId span_first_ = 0;
+  RowId span_last_ = -1;
 };
 
 }  // namespace dbtouch::storage

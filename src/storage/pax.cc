@@ -1,0 +1,31 @@
+#include "storage/pax.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace dbtouch::storage {
+
+PaxLayout::PaxLayout(std::vector<DataType> types) : types_(std::move(types)) {
+  DBTOUCH_CHECK(!types_.empty());
+  const std::size_t n = types_.size();
+  // Placement order: wider minipages first, schema index as tie-break.
+  // stable_sort on the index vector keeps the order deterministic.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return TypeWidth(types_[a]) > TypeWidth(types_[b]);
+                   });
+  prefix_bytes_.assign(n, 0);
+  std::size_t offset_width = 0;
+  for (const std::size_t column : order) {
+    prefix_bytes_[column] = offset_width;
+    offset_width += TypeWidth(types_[column]);
+  }
+  row_bytes_ = offset_width;
+}
+
+}  // namespace dbtouch::storage

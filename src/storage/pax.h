@@ -1,0 +1,73 @@
+// PAX multi-column block layout (Ailamaki et al.'s Partition Attributes
+// Across, the MonetDB/X100-style unit of I/O).
+//
+// One PAX block covers a row range of a whole table: the payload is the
+// concatenation of per-column "minipages", each a densely packed array of
+// that column's fields for the block's rows. A fat-table tuple therefore
+// costs ONE block fault — every attribute of the tuple lives in the same
+// payload — while each minipage is still a contiguous typed span the
+// vectorized kernels can run over.
+//
+// Layout contract (see src/storage/README.md):
+//   - Minipages are placed in DESCENDING field-width order (ties broken
+//     by schema index, so the order is deterministic). Because widths are
+//     4 or 8 bytes, every minipage offset `rows * prefix_width` is then
+//     naturally aligned for its type with ZERO padding: once the 8-byte
+//     columns are exhausted, only 4-byte columns remain.
+//   - Payload size is exactly rows * row_bytes. No per-block header; the
+//     geometry (rows per block, row byte width) lives in the file header,
+//     the column types in the file's column directory.
+
+#ifndef DBTOUCH_STORAGE_PAX_H_
+#define DBTOUCH_STORAGE_PAX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace dbtouch::storage {
+
+/// Describes how a PAX block payload is carved into per-column minipages.
+/// Immutable after construction; cheap to copy.
+class PaxLayout {
+ public:
+  /// `types[c]` is the field type of schema column c. Must be non-empty.
+  explicit PaxLayout(std::vector<DataType> types);
+
+  std::size_t num_columns() const { return types_.size(); }
+  DataType type(std::size_t column) const { return types_[column]; }
+  const std::vector<DataType>& types() const { return types_; }
+
+  /// Bytes one row contributes to a block payload (sum of field widths).
+  std::size_t row_bytes() const { return row_bytes_; }
+
+  /// Byte offset of schema column `column`'s minipage inside the payload
+  /// of a block holding `rows` rows.
+  std::size_t MinipageOffset(std::int64_t rows, std::size_t column) const {
+    return static_cast<std::size_t>(rows) * prefix_bytes_[column];
+  }
+
+  /// Bytes of schema column `column`'s minipage for a `rows`-row block.
+  std::size_t MinipageBytes(std::int64_t rows, std::size_t column) const {
+    return static_cast<std::size_t>(rows) * TypeWidth(types_[column]);
+  }
+
+  /// Total payload bytes of a `rows`-row block.
+  std::size_t BlockBytes(std::int64_t rows) const {
+    return static_cast<std::size_t>(rows) * row_bytes_;
+  }
+
+ private:
+  std::vector<DataType> types_;
+  // prefix_bytes_[c]: summed field widths of every minipage placed before
+  // column c's (i.e. of wider columns, and equal-width columns with a
+  // smaller schema index).
+  std::vector<std::size_t> prefix_bytes_;
+  std::size_t row_bytes_ = 0;
+};
+
+}  // namespace dbtouch::storage
+
+#endif  // DBTOUCH_STORAGE_PAX_H_

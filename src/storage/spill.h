@@ -37,6 +37,13 @@ struct SpillOptions {
   /// Reopen the file on every fetch (observability of deletion /
   /// permission changes; see FileProviderOptions).
   bool reopen_per_fetch = false;
+  /// Start every block payload on a 4 KiB boundary (see
+  /// cache::BlockFileWriterOptions::aligned_extents).
+  bool aligned_extents = false;
+  /// Spill and fault through O_DIRECT (implies aligned extents; falls
+  /// back to buffered I/O where the filesystem refuses — tmpfs/CI).
+  /// Ignored on the read side under use_mmap / reopen_per_fetch.
+  bool use_direct = false;
 };
 
 class TableSpiller {
@@ -51,7 +58,16 @@ class TableSpiller {
   Result<std::shared_ptr<cache::FileBlockProvider>> SpillColumn(
       const std::shared_ptr<const Table>& table, std::size_t column);
 
+  /// Streams the whole table into one PAX block file — each block holds
+  /// every column's minipage for its row range (storage/pax.h) — and
+  /// opens a provider over it. One fault then makes a block's rows
+  /// resident for *all* attributes, which is what a fat-table gesture
+  /// probe touches. Overwrites any previous PAX spill of the table.
+  Result<std::shared_ptr<cache::FileBlockProvider>> SpillTablePax(
+      const std::shared_ptr<const Table>& table);
+
   std::string PathFor(const std::string& table, std::size_t column) const;
+  std::string PaxPathFor(const std::string& table) const;
 
   const SpillOptions& options() const { return options_; }
   std::int64_t columns_spilled() const { return columns_spilled_; }

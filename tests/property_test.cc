@@ -20,6 +20,7 @@
 #include "core/kernel.h"
 #include "core/shared_state.h"
 #include "exec/join.h"
+#include "exec/span_kernels.h"
 #include "layout/rotation.h"
 #include "sampling/sample_hierarchy.h"
 #include "sim/motion_profile.h"
@@ -288,14 +289,25 @@ INSTANTIATE_TEST_SUITE_P(Seeds, AggregateOrderProperty,
 // ---- Storage-tier parity: identical gestures, bit-identical answers --------
 //
 // The same gesture script — column summaries and taps PLUS fat-table taps
-// and a group-by slide — runs against four backends: raw in-memory
-// reads, the paged buffer pool over the in-memory table, the pool over
-// file-spilled columns, and the spilled table with its matrix actually
-// reclaimed (SpillTable reclaim_raw: every read must come off disk), at
-// 10/50/100% buffer budgets. The storage tier and the budget are
-// performance knobs; every answer must be bit-identical across all.
+// and a group-by slide — runs against every backend: raw in-memory
+// reads, the paged buffer pool over the in-memory table (both with the
+// span kernels' default dispatch and with the scalar tier forced), the
+// pool over file-spilled columns, the spilled table with its matrix
+// actually reclaimed (SpillTable reclaim_raw: every read must come off
+// disk), the table PAX-spilled into one multi-column file, and the spill
+// written and faulted through O_DIRECT with aligned extents — at
+// 10/50/100% buffer budgets. The storage tier, the SIMD tier and the
+// budget are performance knobs; every answer must be bit-identical
+// across all.
 
-enum class Backend { kInMemory, kPagedRam, kFileSpilled, kFileReclaimed };
+enum class Backend {
+  kInMemory,
+  kPagedRam,
+  kFileSpilled,
+  kFileReclaimed,
+  kPaxReclaimed,
+  kDirectReclaimed,
+};
 
 struct TierParityParam {
   Backend backend;
@@ -334,7 +346,9 @@ std::vector<AnswerFingerprint> RunTierScript(Backend backend,
   };
 
   const bool spilled = backend == Backend::kFileSpilled ||
-                       backend == Backend::kFileReclaimed;
+                       backend == Backend::kFileReclaimed ||
+                       backend == Backend::kPaxReclaimed ||
+                       backend == Backend::kDirectReclaimed;
   std::shared_ptr<core::SharedState> shared;
   std::string spill_dir;
   if (spilled) {
@@ -348,11 +362,20 @@ std::vector<AnswerFingerprint> RunTierScript(Backend backend,
     shared = std::make_shared<core::SharedState>(
         config.sampling, /*force_eager=*/false, config.buffer);
     DBTOUCH_CHECK_OK(shared->RegisterTable(make_table()));
-    storage::TableSpiller spiller(
-        spill_dir, storage::SpillOptions{.rows_per_block = kRowsPerBlock});
-    DBTOUCH_CHECK_OK(shared->SpillTable(
-        "tier", spiller,
-        /*reclaim_raw=*/backend == Backend::kFileReclaimed));
+    storage::SpillOptions spill_options{.rows_per_block = kRowsPerBlock};
+    // The O_DIRECT backend asks for direct + aligned I/O; on filesystems
+    // that refuse O_DIRECT (tmpfs) it degrades to buffered reads over the
+    // same aligned-extent file — the answers must not care either way.
+    spill_options.use_direct = backend == Backend::kDirectReclaimed;
+    storage::TableSpiller spiller(spill_dir, spill_options);
+    if (backend == Backend::kPaxReclaimed) {
+      DBTOUCH_CHECK_OK(
+          shared->SpillTablePax("tier", spiller, /*reclaim_raw=*/true));
+    } else {
+      DBTOUCH_CHECK_OK(shared->SpillTable(
+          "tier", spiller,
+          /*reclaim_raw=*/backend != Backend::kFileSpilled));
+    }
   }
   Kernel kernel(config, shared);
   if (!spilled) {
@@ -424,13 +447,27 @@ TEST_P(TierParityProperty, PagedAndSpilledTiersMatchInMemoryBitForBit) {
   ASSERT_GT(reference.size(), 10u);
   const std::vector<AnswerFingerprint> paged =
       RunTierScript(Backend::kPagedRam, budget_pct);
+  // The same paged run with the span kernels' SIMD dispatch forced down
+  // to the scalar tier: vectorization is a performance knob too.
+  const exec::SimdLevel hardware_level = exec::ActiveSimdLevel();
+  exec::SetSimdLevelForTest(exec::SimdLevel::kScalar);
+  const std::vector<AnswerFingerprint> scalar =
+      RunTierScript(Backend::kPagedRam, budget_pct);
+  exec::SetSimdLevelForTest(hardware_level);
   const std::vector<AnswerFingerprint> spilled =
       RunTierScript(Backend::kFileSpilled, budget_pct);
   const std::vector<AnswerFingerprint> reclaimed =
       RunTierScript(Backend::kFileReclaimed, budget_pct);
+  const std::vector<AnswerFingerprint> pax =
+      RunTierScript(Backend::kPaxReclaimed, budget_pct);
+  const std::vector<AnswerFingerprint> direct =
+      RunTierScript(Backend::kDirectReclaimed, budget_pct);
   EXPECT_EQ(paged, reference);
+  EXPECT_EQ(scalar, reference);
   EXPECT_EQ(spilled, reference);
   EXPECT_EQ(reclaimed, reference);
+  EXPECT_EQ(pax, reference);
+  EXPECT_EQ(direct, reference);
 }
 
 INSTANTIATE_TEST_SUITE_P(BufferBudgets, TierParityProperty,

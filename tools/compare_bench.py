@@ -50,9 +50,17 @@ def main(argv):
     print("-" * len(header))
 
     failures = []
+    warnings = []
     for key, gate in gates.items():
         if key not in base_metrics:
-            failures.append(f"{key}: gated but missing from baseline metrics")
+            # A gate whose metric predates the checked-in baseline (a new
+            # metric gated before the baseline was regenerated) is a
+            # warning, not a failure: there is nothing to compare against
+            # yet. Regenerating the baseline arms the gate.
+            warnings.append(
+                f"{key}: gated but missing from baseline metrics "
+                "(skipped; regenerate the baseline to arm this gate)"
+            )
             continue
         if key not in cur_metrics:
             failures.append(f"{key}: missing from current report")
@@ -85,12 +93,17 @@ def main(argv):
         for key in informational:
             print(f"  {key:<30} {cur_metrics[key]:.6g}")
 
+    if warnings:
+        print(f"\n{len(warnings)} gate warning(s):", file=sys.stderr)
+        for warning in warnings:
+            print(f"  - {warning}", file=sys.stderr)
+
     if failures:
         print(f"\n{len(failures)} gate(s) FAILED:", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    print(f"\nall {len(gates)} gate(s) within tolerance")
+    print(f"\nall {len(gates) - len(warnings)} armed gate(s) within tolerance")
     return 0
 
 
