@@ -18,6 +18,7 @@
 
 #include "core/kernel.h"
 #include "exec/predicate.h"
+#include "server/api.h"
 #include "server/touch_server.h"
 #include "sim/motion_profile.h"
 #include "sim/trace_builder.h"
@@ -112,10 +113,10 @@ int main() {
   std::printf("\nper-session results:\n");
   for (const SessionId id : sessions) {
     const auto& per = stats.per_session.at(id);
-    std::int64_t results = 0;
-    (void)server.WithSession(id, [&results](Kernel& kernel) {
-      results = kernel.results().size();
-    });
+    dbtouch::server::api::SessionSnapshotReq snap_req;
+    snap_req.session = id;
+    const auto snapshot = server.Call(snap_req);
+    const std::int64_t results = snapshot.ok() ? snapshot->result_count : 0;
     std::printf(
         "  session %lld: %lld touches executed, %lld results, "
         "%lld misses, %lld shed\n",

@@ -1,0 +1,195 @@
+#include "gateway/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace dbtouch::gateway {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string("client: ") + what + ": " +
+                          std::strerror(errno));
+}
+
+}  // namespace
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_request_id_(other.next_request_id_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_request_id_ = other.next_request_id_;
+  }
+  return *this;
+}
+
+Status Client::Connect(const std::string& host, std::uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("client: bad host " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Errno("connect");
+    Close();
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::WriteAll(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Aborted("client: connection closed by server");
+      }
+      return Errno("write");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::ReadExact(char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::read(fd_, buf + got, n - got);
+    if (r == 0) {
+      return Status::Aborted("client: connection closed by server");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      // A reset after the server decided to hang up reads the same as a
+      // clean close for the robustness tests' purposes.
+      if (errno == ECONNRESET) {
+        return Status::Aborted("client: connection reset by server");
+      }
+      return Errno("read");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status Client::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client: not connected");
+  return WriteAll(bytes);
+}
+
+Result<std::string> Client::TryReadFrame(FrameHeader* header) {
+  if (fd_ < 0) return Status::FailedPrecondition("client: not connected");
+  char head[kFrameHeaderBytes];
+  DBTOUCH_RETURN_IF_ERROR(ReadExact(head, sizeof(head)));
+  DBTOUCH_ASSIGN_OR_RETURN(
+      FrameHeader h, DecodeHeader(std::string_view(head, sizeof(head))));
+  std::string payload(h.payload_len, '\0');
+  if (h.payload_len > 0) {
+    DBTOUCH_RETURN_IF_ERROR(ReadExact(payload.data(), payload.size()));
+  }
+  if (header != nullptr) *header = h;
+  return payload;
+}
+
+template <typename Req, typename Resp>
+Result<Resp> Client::Roundtrip(MessageType type, const Req& req) {
+  if (fd_ < 0) return Status::FailedPrecondition("client: not connected");
+  const std::uint32_t id = next_request_id_++;
+  DBTOUCH_RETURN_IF_ERROR(WriteAll(EncodeRequestFrame(type, id, req)));
+  while (true) {
+    FrameHeader header;
+    DBTOUCH_ASSIGN_OR_RETURN(std::string payload, TryReadFrame(&header));
+    if (!header.is_response() || header.request_id != id) continue;
+    DBTOUCH_ASSIGN_OR_RETURN(ResponseEnvelope envelope,
+                             DecodeResponsePayload(payload));
+    if (envelope.code != api::WireCode::kOk) {
+      return api::StatusFromWire(envelope.code, std::move(envelope.message));
+    }
+    Resp resp;
+    WireReader r(envelope.body);
+    DBTOUCH_RETURN_IF_ERROR(Decode(r, &resp));
+    return resp;
+  }
+}
+
+Result<api::OpenSessionResp> Client::OpenSession() {
+  return Roundtrip<api::OpenSessionReq, api::OpenSessionResp>(
+      MessageType::kOpenSession, api::OpenSessionReq{});
+}
+
+Result<api::CloseSessionResp> Client::CloseSession(api::SessionId session) {
+  api::CloseSessionReq req;
+  req.session = session;
+  return Roundtrip<api::CloseSessionReq, api::CloseSessionResp>(
+      MessageType::kCloseSession, req);
+}
+
+Result<api::CreateObjectResp> Client::CreateObject(
+    const api::CreateObjectReq& req) {
+  return Roundtrip<api::CreateObjectReq, api::CreateObjectResp>(
+      MessageType::kCreateObject, req);
+}
+
+Result<api::SetActionResp> Client::SetAction(const api::SetActionReq& req) {
+  return Roundtrip<api::SetActionReq, api::SetActionResp>(
+      MessageType::kSetAction, req);
+}
+
+Result<api::SubmitBatchResp> Client::SubmitBatch(
+    const api::SubmitBatchReq& req) {
+  return Roundtrip<api::SubmitBatchReq, api::SubmitBatchResp>(
+      MessageType::kSubmitBatch, req);
+}
+
+Result<api::StatsResp> Client::Stats() {
+  return Roundtrip<api::StatsReq, api::StatsResp>(MessageType::kStats,
+                                                  api::StatsReq{});
+}
+
+Result<api::SessionSnapshotResp> Client::SessionSnapshot(
+    const api::SessionSnapshotReq& req) {
+  return Roundtrip<api::SessionSnapshotReq, api::SessionSnapshotResp>(
+      MessageType::kSessionSnapshot, req);
+}
+
+Status Client::WaitIdle() {
+  while (true) {
+    DBTOUCH_ASSIGN_OR_RETURN(api::StatsResp stats, Stats());
+    if (stats.idle()) return Status::OK();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace dbtouch::gateway

@@ -1,0 +1,82 @@
+// Client: a small blocking TCP client for the gateway wire protocol.
+//
+// One request at a time per Client instance: each typed call encodes a
+// request frame, sends it, and reads response frames until the one
+// echoing its request id arrives (the gateway may interleave nothing
+// today, but the id match keeps the client honest against reordering).
+// Wire-level errors come back as the Status reconstructed via
+// api::StatusFromWire, so callers see the same error surface as
+// in-process TouchServer::Call users.
+//
+// The raw escape hatches (SendRaw, TryReadFrame, fd) exist for the
+// protocol-robustness tests: truncated frames, garbage, version probes
+// and mid-frame disconnects need byte-level control.
+//
+// Not thread-safe; one thread per Client.
+
+#ifndef DBTOUCH_GATEWAY_CLIENT_H_
+#define DBTOUCH_GATEWAY_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "gateway/wire.h"
+
+namespace dbtouch::gateway {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  Status Connect(const std::string& host, std::uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // ---- Typed calls -------------------------------------------------------
+
+  Result<api::OpenSessionResp> OpenSession();
+  Result<api::CloseSessionResp> CloseSession(api::SessionId session);
+  Result<api::CreateObjectResp> CreateObject(const api::CreateObjectReq& req);
+  Result<api::SetActionResp> SetAction(const api::SetActionReq& req);
+  Result<api::SubmitBatchResp> SubmitBatch(const api::SubmitBatchReq& req);
+  Result<api::StatsResp> Stats();
+  Result<api::SessionSnapshotResp> SessionSnapshot(
+      const api::SessionSnapshotReq& req);
+
+  /// Polls Stats() until the server reports idle (all submitted quanta
+  /// executed or shed) — the wire client's Drain().
+  Status WaitIdle();
+
+  // ---- Raw access (robustness tests) -------------------------------------
+
+  /// Sends bytes verbatim — no framing, no validation.
+  Status SendRaw(std::string_view bytes);
+
+  /// Reads exactly one frame (blocking). EOF before a complete frame is
+  /// kAborted — the "server hung up" signal the robustness tests assert.
+  Result<std::string> TryReadFrame(FrameHeader* header);
+
+  template <typename Req, typename Resp>
+  Result<Resp> Roundtrip(MessageType type, const Req& req);
+
+ private:
+  Status WriteAll(std::string_view bytes);
+  Status ReadExact(char* buf, std::size_t n);
+
+  int fd_ = -1;
+  std::uint32_t next_request_id_ = 1;
+};
+
+}  // namespace dbtouch::gateway
+
+#endif  // DBTOUCH_GATEWAY_CLIENT_H_

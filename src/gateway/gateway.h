@@ -1,0 +1,164 @@
+// Gateway: the wire-protocol front door of the touch server.
+//
+// An epoll-based event loop (N loop threads, level-triggered,
+// nonblocking sockets) accepts TCP connections, splits the byte stream
+// into frames (gateway/wire.h), decodes each into a server::api request
+// struct and calls the same TouchServer::Call overload an in-process
+// caller would use. Responses are queued on a bounded per-connection
+// write queue; a connection whose peer stops reading past the bound is
+// closed rather than buffered unboundedly (the slow-reader policy), and
+// a flooding client sees per-event admission rejections in
+// SubmitBatchResp.rejected plus kBackpressure at the connection level.
+//
+// Sessions are connection-owned: sessions opened over a connection are
+// closed when that connection goes away (clean close, mid-frame
+// disconnect, slow-reader eviction alike), which cancels the session's
+// in-flight block fetches through the server's abort path.
+//
+// Threading: the acceptor lives on loop 0; new connections go to the
+// least-loaded loop. Each connection belongs to exactly one loop thread
+// for its lifetime, so per-connection state is single-threaded by
+// construction; cross-thread interaction is limited to the wake eventfd,
+// the accept handoff queue, and the stats atomics.
+
+#ifndef DBTOUCH_GATEWAY_GATEWAY_H_
+#define DBTOUCH_GATEWAY_GATEWAY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "gateway/wire.h"
+#include "server/touch_server.h"
+
+namespace dbtouch::gateway {
+
+struct GatewayConfig {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral (read the bound port back via port()).
+  std::uint16_t port = 0;
+  /// Event-loop threads; connections are spread across them.
+  int num_loops = 2;
+  int listen_backlog = 1024;
+  /// Accepts past this are answered with kBackpressure and closed.
+  std::size_t max_connections = 8192;
+  /// Bytes of queued-but-unsent responses a connection may hold before
+  /// it is closed as a slow reader.
+  std::size_t write_queue_limit_bytes = 1u << 20;
+  /// recv() chunk size.
+  std::size_t read_chunk_bytes = 64 * 1024;
+};
+
+struct GatewayStatsSnapshot {
+  std::int64_t connections_accepted = 0;
+  std::int64_t connections_active = 0;
+  std::int64_t connections_rejected = 0;
+  std::int64_t frames_received = 0;
+  std::int64_t frames_sent = 0;
+  std::int64_t bytes_received = 0;
+  std::int64_t bytes_sent = 0;
+  /// Malformed frames (bad magic, oversize, garbage payload, unknown
+  /// type) — each also closes its connection.
+  std::int64_t protocol_errors = 0;
+  std::int64_t version_rejections = 0;
+  std::int64_t slow_reader_closes = 0;
+  /// Sessions force-closed because their owning connection went away.
+  std::int64_t sessions_closed_on_disconnect = 0;
+};
+
+class Gateway {
+ public:
+  explicit Gateway(server::TouchServer& server, GatewayConfig config = {});
+  ~Gateway();
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  /// Binds, listens and spawns the loop threads. The server must already
+  /// be running.
+  Status Start();
+
+  /// Closes the listener and every connection (closing their sessions),
+  /// then joins the loop threads. Idempotent.
+  Status Stop();
+
+  /// Bound port (resolves config.port == 0 to the ephemeral choice).
+  std::uint16_t port() const { return port_; }
+
+  GatewayStatsSnapshot stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    /// Unparsed inbound bytes.
+    std::string in;
+    /// Queued outbound bytes; [out_off, out.size()) is still unsent.
+    std::string out;
+    std::size_t out_off = 0;
+    /// Sessions opened over this connection (connection-owned).
+    std::vector<api::SessionId> sessions;
+    /// EPOLLOUT currently registered.
+    bool want_write = false;
+    /// Flush the write queue, then close (used after version rejection).
+    bool closing = false;
+  };
+
+  struct Loop {
+    int epoll_fd = -1;
+    int wake_fd = -1;
+    std::thread thread;
+    /// Owned exclusively by this loop's thread.
+    std::unordered_map<int, std::unique_ptr<Connection>> conns;
+    /// Accept handoff: loop 0 pushes fds here under mu, then wakes.
+    std::mutex mu;
+    std::vector<int> pending;
+    std::atomic<std::size_t> conn_count{0};
+  };
+
+  void LoopMain(std::size_t index);
+  void AcceptReady();
+  void AdoptPending(Loop& loop);
+  void HandleReadable(Loop& loop, Connection& conn);
+  void HandleWritable(Loop& loop, Connection& conn);
+  /// Parses complete frames out of conn.in. Returns false when the
+  /// connection was closed during processing.
+  bool ProcessFrames(Loop& loop, Connection& conn);
+  /// Decodes + dispatches one frame; appends the response to conn.out.
+  /// Returns false when the frame poisons the connection (malformed).
+  bool DispatchFrame(Connection& conn, const FrameHeader& header,
+                     std::string_view payload);
+  /// Flushes conn.out; arms/disarms EPOLLOUT; enforces the write-queue
+  /// bound. Returns false when the connection was closed.
+  bool FlushWrites(Loop& loop, Connection& conn);
+  void CloseConnection(Loop& loop, Connection& conn);
+  void UpdateEpollOut(Loop& loop, Connection& conn, bool want);
+
+  server::TouchServer& server_;
+  GatewayConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::atomic<bool> running_{false};
+
+  std::atomic<std::int64_t> connections_accepted_{0};
+  std::atomic<std::int64_t> connections_active_{0};
+  std::atomic<std::int64_t> connections_rejected_{0};
+  std::atomic<std::int64_t> frames_received_{0};
+  std::atomic<std::int64_t> frames_sent_{0};
+  std::atomic<std::int64_t> bytes_received_{0};
+  std::atomic<std::int64_t> bytes_sent_{0};
+  std::atomic<std::int64_t> protocol_errors_{0};
+  std::atomic<std::int64_t> version_rejections_{0};
+  std::atomic<std::int64_t> slow_reader_closes_{0};
+  std::atomic<std::int64_t> sessions_closed_on_disconnect_{0};
+};
+
+}  // namespace dbtouch::gateway
+
+#endif  // DBTOUCH_GATEWAY_GATEWAY_H_

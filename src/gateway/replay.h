@@ -1,0 +1,103 @@
+// ReplayHarness: paced, per-session gesture timelines replayed over real
+// sockets against a running Gateway — the load side of bench_gateway and
+// the gateway's end-to-end tests.
+//
+// Each session gets a deterministic ICEBOAT-style exploration log
+// synthesized from the paper's gesture vocabulary: a seeded sequence of
+// slides over its data object separated by think-time gaps, sampled at
+// the simulated device's touch rate (sim::TraceBuilder). The timeline is
+// then cut into one batch per display-frame interval and each batch is
+// sent at its position on the session's own clock — so a harness that
+// falls behind its send schedule (send lag) or a server that answers
+// late (ack RTT) is visible separately from the server's internal
+// quantum latency.
+//
+// Threads each drive an interleaved slice of the sessions with blocking
+// request/response clients; one batch round-trip is cheap (the server
+// only enqueues), so a thread comfortably paces hundreds of sessions.
+
+#ifndef DBTOUCH_GATEWAY_REPLAY_H_
+#define DBTOUCH_GATEWAY_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/histogram.h"
+#include "server/api.h"
+#include "sim/touch_device.h"
+
+namespace dbtouch::gateway {
+
+struct ReplayConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Concurrent paced sessions, one connection each.
+  int sessions = 64;
+  /// Client threads; each drives sessions/threads sessions.
+  int threads = 8;
+  /// Gestures in each session's timeline.
+  int gestures_per_session = 2;
+  double slide_min_s = 0.4;
+  double slide_max_s = 1.2;
+  /// Think-time gap between gestures.
+  double think_min_s = 0.05;
+  double think_max_s = 0.3;
+  /// Batch cut interval — one SubmitBatch per this many micros of
+  /// session timeline. 0 = the device's touch-event interval (one batch
+  /// per registered touch frame).
+  sim::Micros batch_interval_us = 0;
+  /// Server-side pacing flag forwarded in every SubmitBatchReq.
+  bool paced = true;
+  /// Client-side pacing: true sends each batch at its timeline slot,
+  /// false sends back-to-back (flood mode; send lag is not recorded).
+  bool pace_sends = true;
+  std::uint64_t seed = 42;
+  /// Table the sessions' objects bind to (must be registered).
+  std::string table;
+  /// Column for the column objects.
+  std::string column;
+  sim::TouchDeviceConfig device;
+  /// Per-session result-stream tail to pull through SessionSnapshot
+  /// after the drain (0 = skip the snapshot phase).
+  std::int64_t snapshot_tail = 0;
+};
+
+struct ReplayResult {
+  int sessions = 0;
+  std::int64_t batches_sent = 0;
+  std::int64_t events_sent = 0;
+  std::int64_t events_accepted = 0;
+  /// Admission rejections reported by SubmitBatchResp — the server's
+  /// backpressure signal.
+  std::int64_t events_rejected = 0;
+  /// Failed calls (connect/submit/snapshot errors).
+  std::int64_t errors = 0;
+  /// Results observed via the post-drain SessionSnapshot phase.
+  std::int64_t snapshot_results = 0;
+  /// Client-observed SubmitBatch round-trip time (us).
+  obs::HistogramSnapshot ack_rtt_us;
+  /// How late each batch left relative to its timeline slot (us).
+  obs::HistogramSnapshot send_lag_us;
+  /// Wall time of the paced replay phase (not setup/drain).
+  double replay_wall_s = 0.0;
+  /// Server stats fetched over the wire after the drain.
+  server::api::StatsResp server_stats;
+};
+
+class ReplayHarness {
+ public:
+  explicit ReplayHarness(ReplayConfig config);
+
+  /// Opens sessions, replays every timeline to completion, drains the
+  /// server and tears the sessions down. One call per harness.
+  Result<ReplayResult> Run();
+
+ private:
+  ReplayConfig config_;
+};
+
+}  // namespace dbtouch::gateway
+
+#endif  // DBTOUCH_GATEWAY_REPLAY_H_

@@ -1,0 +1,508 @@
+#include "gateway/wire.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace dbtouch::gateway {
+
+namespace {
+
+// Vectors on the wire are a u32 count followed by the elements; cap the
+// count against the remaining payload so a hostile length prefix cannot
+// drive a huge allocation before element decoding fails.
+constexpr std::size_t kMinElementBytes = 1;
+
+Status MalformedVector(std::uint32_t count, std::size_t remaining) {
+  return Status::InvalidArgument("wire: vector count " + std::to_string(count) +
+                                 " exceeds remaining payload bytes " +
+                                 std::to_string(remaining));
+}
+
+}  // namespace
+
+std::string_view MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kError:
+      return "Error";
+    case MessageType::kOpenSession:
+      return "OpenSession";
+    case MessageType::kCloseSession:
+      return "CloseSession";
+    case MessageType::kCreateObject:
+      return "CreateObject";
+    case MessageType::kSetAction:
+      return "SetAction";
+    case MessageType::kSubmitBatch:
+      return "SubmitBatch";
+    case MessageType::kStats:
+      return "Stats";
+    case MessageType::kSessionSnapshot:
+      return "SessionSnapshot";
+  }
+  return "Unknown";
+}
+
+// ---- WireWriter ------------------------------------------------------------
+
+void WireWriter::U16(std::uint16_t v) {
+  out_.push_back(static_cast<char>(v & 0xff));
+  out_.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void WireWriter::U32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void WireWriter::U64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void WireWriter::F64(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
+
+void WireWriter::String(std::string_view v) {
+  U32(static_cast<std::uint32_t>(v.size()));
+  out_.append(v);
+}
+
+// ---- WireReader ------------------------------------------------------------
+
+Status WireReader::Need(std::size_t n) const {
+  if (data_.size() - pos_ < n) {
+    return Status::InvalidArgument(
+        "wire: truncated payload (need " + std::to_string(n) + " bytes, have " +
+        std::to_string(data_.size() - pos_) + ")");
+  }
+  return Status::OK();
+}
+
+Result<std::uint8_t> WireReader::U8() {
+  DBTOUCH_RETURN_IF_ERROR(Need(1));
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+Result<std::uint16_t> WireReader::U16() {
+  DBTOUCH_RETURN_IF_ERROR(Need(2));
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 2;
+  return v;
+}
+
+Result<std::uint32_t> WireReader::U32() {
+  DBTOUCH_RETURN_IF_ERROR(Need(4));
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> WireReader::U64() {
+  DBTOUCH_RETURN_IF_ERROR(Need(8));
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<std::int32_t> WireReader::I32() {
+  DBTOUCH_ASSIGN_OR_RETURN(std::uint32_t v, U32());
+  return static_cast<std::int32_t>(v);
+}
+
+Result<std::int64_t> WireReader::I64() {
+  DBTOUCH_ASSIGN_OR_RETURN(std::uint64_t v, U64());
+  return static_cast<std::int64_t>(v);
+}
+
+Result<double> WireReader::F64() {
+  DBTOUCH_ASSIGN_OR_RETURN(std::uint64_t v, U64());
+  return std::bit_cast<double>(v);
+}
+
+Result<bool> WireReader::Bool() {
+  DBTOUCH_ASSIGN_OR_RETURN(std::uint8_t v, U8());
+  return v != 0;
+}
+
+Result<std::string> WireReader::String() {
+  DBTOUCH_ASSIGN_OR_RETURN(std::uint32_t len, U32());
+  if (len > remaining()) return MalformedVector(len, remaining());
+  std::string out(data_.substr(pos_, len));
+  pos_ += len;
+  return out;
+}
+
+// ---- Header ----------------------------------------------------------------
+
+void EncodeHeader(const FrameHeader& header, std::string* out) {
+  WireWriter w;
+  w.U32(kMagic);
+  w.U16(header.version);
+  w.U16(header.type);
+  w.U32(header.request_id);
+  w.U32(header.payload_len);
+  out->append(w.buffer());
+}
+
+Result<FrameHeader> DecodeHeader(std::string_view data) {
+  WireReader r(data.substr(0, kFrameHeaderBytes));
+  DBTOUCH_ASSIGN_OR_RETURN(std::uint32_t magic, r.U32());
+  if (magic != kMagic) {
+    return Status::InvalidArgument("wire: bad frame magic");
+  }
+  FrameHeader header;
+  DBTOUCH_ASSIGN_OR_RETURN(header.version, r.U16());
+  DBTOUCH_ASSIGN_OR_RETURN(header.type, r.U16());
+  DBTOUCH_ASSIGN_OR_RETURN(header.request_id, r.U32());
+  DBTOUCH_ASSIGN_OR_RETURN(header.payload_len, r.U32());
+  if (header.payload_len > kMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        "wire: payload length " + std::to_string(header.payload_len) +
+        " exceeds limit " + std::to_string(kMaxPayloadBytes));
+  }
+  return header;
+}
+
+// ---- Shared sub-codecs -----------------------------------------------------
+
+namespace {
+
+void EncodeRect(const api::WireRect& v, WireWriter& w) {
+  w.F64(v.x);
+  w.F64(v.y);
+  w.F64(v.width);
+  w.F64(v.height);
+}
+
+Status DecodeRect(WireReader& r, api::WireRect* v) {
+  DBTOUCH_ASSIGN_OR_RETURN(v->x, r.F64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->y, r.F64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->width, r.F64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->height, r.F64());
+  return Status::OK();
+}
+
+void EncodeAction(const api::WireAction& v, WireWriter& w) {
+  w.U8(v.kind);
+  w.U8(v.agg);
+  w.I64(v.summary_k);
+  w.Bool(v.has_predicate);
+  w.U8(v.predicate_op);
+  w.F64(v.predicate_lo);
+  w.F64(v.predicate_hi);
+  w.Bool(v.use_zone_map);
+  w.U32(v.group_key_attribute);
+  w.U32(v.group_value_attribute);
+}
+
+Status DecodeAction(WireReader& r, api::WireAction* v) {
+  DBTOUCH_ASSIGN_OR_RETURN(v->kind, r.U8());
+  DBTOUCH_ASSIGN_OR_RETURN(v->agg, r.U8());
+  DBTOUCH_ASSIGN_OR_RETURN(v->summary_k, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->has_predicate, r.Bool());
+  DBTOUCH_ASSIGN_OR_RETURN(v->predicate_op, r.U8());
+  DBTOUCH_ASSIGN_OR_RETURN(v->predicate_lo, r.F64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->predicate_hi, r.F64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->use_zone_map, r.Bool());
+  DBTOUCH_ASSIGN_OR_RETURN(v->group_key_attribute, r.U32());
+  DBTOUCH_ASSIGN_OR_RETURN(v->group_value_attribute, r.U32());
+  return Status::OK();
+}
+
+void EncodeEvent(const api::WireTouchEvent& v, WireWriter& w) {
+  w.I64(v.timestamp_us);
+  w.I32(v.finger_id);
+  w.U8(v.phase);
+  w.F64(v.x_cm);
+  w.F64(v.y_cm);
+}
+
+Status DecodeEvent(WireReader& r, api::WireTouchEvent* v) {
+  DBTOUCH_ASSIGN_OR_RETURN(v->timestamp_us, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->finger_id, r.I32());
+  DBTOUCH_ASSIGN_OR_RETURN(v->phase, r.U8());
+  DBTOUCH_ASSIGN_OR_RETURN(v->x_cm, r.F64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->y_cm, r.F64());
+  return Status::OK();
+}
+
+void EncodeObjectInfo(const api::ObjectInfo& v, WireWriter& w) {
+  w.I64(v.object);
+  w.U8(v.kind);
+  w.U8(v.orientation);
+  w.String(v.table);
+  w.I64(v.column);
+  EncodeRect(v.frame, w);
+  w.I64(v.tuple_count);
+}
+
+Status DecodeObjectInfo(WireReader& r, api::ObjectInfo* v) {
+  DBTOUCH_ASSIGN_OR_RETURN(v->object, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->kind, r.U8());
+  DBTOUCH_ASSIGN_OR_RETURN(v->orientation, r.U8());
+  DBTOUCH_ASSIGN_OR_RETURN(v->table, r.String());
+  DBTOUCH_ASSIGN_OR_RETURN(v->column, r.I64());
+  DBTOUCH_RETURN_IF_ERROR(DecodeRect(r, &v->frame));
+  DBTOUCH_ASSIGN_OR_RETURN(v->tuple_count, r.I64());
+  return Status::OK();
+}
+
+void EncodeResultInfo(const api::ResultInfo& v, WireWriter& w) {
+  w.I64(v.object);
+  w.U8(v.kind);
+  w.I64(v.row);
+  w.F64(v.value);
+  w.Bool(v.approximate);
+}
+
+Status DecodeResultInfo(WireReader& r, api::ResultInfo* v) {
+  DBTOUCH_ASSIGN_OR_RETURN(v->object, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->kind, r.U8());
+  DBTOUCH_ASSIGN_OR_RETURN(v->row, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->value, r.F64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->approximate, r.Bool());
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---- Request/response codecs -----------------------------------------------
+
+void Encode(const api::OpenSessionReq&, WireWriter&) {}
+
+Status Decode(WireReader&, api::OpenSessionReq*) { return Status::OK(); }
+
+void Encode(const api::OpenSessionResp& v, WireWriter& w) { w.I64(v.session); }
+
+Status Decode(WireReader& r, api::OpenSessionResp* v) {
+  DBTOUCH_ASSIGN_OR_RETURN(v->session, r.I64());
+  return Status::OK();
+}
+
+void Encode(const api::CloseSessionReq& v, WireWriter& w) { w.I64(v.session); }
+
+Status Decode(WireReader& r, api::CloseSessionReq* v) {
+  DBTOUCH_ASSIGN_OR_RETURN(v->session, r.I64());
+  return Status::OK();
+}
+
+void Encode(const api::CloseSessionResp&, WireWriter&) {}
+
+Status Decode(WireReader&, api::CloseSessionResp*) { return Status::OK(); }
+
+void Encode(const api::CreateObjectReq& v, WireWriter& w) {
+  w.I64(v.session);
+  w.U8(v.kind);
+  w.String(v.table);
+  w.String(v.column);
+  EncodeRect(v.frame, w);
+}
+
+Status Decode(WireReader& r, api::CreateObjectReq* v) {
+  DBTOUCH_ASSIGN_OR_RETURN(v->session, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->kind, r.U8());
+  DBTOUCH_ASSIGN_OR_RETURN(v->table, r.String());
+  DBTOUCH_ASSIGN_OR_RETURN(v->column, r.String());
+  return DecodeRect(r, &v->frame);
+}
+
+void Encode(const api::CreateObjectResp& v, WireWriter& w) { w.I64(v.object); }
+
+Status Decode(WireReader& r, api::CreateObjectResp* v) {
+  DBTOUCH_ASSIGN_OR_RETURN(v->object, r.I64());
+  return Status::OK();
+}
+
+void Encode(const api::SetActionReq& v, WireWriter& w) {
+  w.I64(v.session);
+  w.I64(v.object);
+  EncodeAction(v.action, w);
+}
+
+Status Decode(WireReader& r, api::SetActionReq* v) {
+  DBTOUCH_ASSIGN_OR_RETURN(v->session, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->object, r.I64());
+  return DecodeAction(r, &v->action);
+}
+
+void Encode(const api::SetActionResp&, WireWriter&) {}
+
+Status Decode(WireReader&, api::SetActionResp*) { return Status::OK(); }
+
+void Encode(const api::SubmitBatchReq& v, WireWriter& w) {
+  w.I64(v.session);
+  w.Bool(v.paced);
+  w.U32(static_cast<std::uint32_t>(v.events.size()));
+  for (const auto& event : v.events) EncodeEvent(event, w);
+}
+
+Status Decode(WireReader& r, api::SubmitBatchReq* v) {
+  DBTOUCH_ASSIGN_OR_RETURN(v->session, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->paced, r.Bool());
+  DBTOUCH_ASSIGN_OR_RETURN(std::uint32_t count, r.U32());
+  if (count > r.remaining() / kMinElementBytes) {
+    return MalformedVector(count, r.remaining());
+  }
+  v->events.clear();
+  v->events.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    api::WireTouchEvent event;
+    DBTOUCH_RETURN_IF_ERROR(DecodeEvent(r, &event));
+    v->events.push_back(event);
+  }
+  return Status::OK();
+}
+
+void Encode(const api::SubmitBatchResp& v, WireWriter& w) {
+  w.I64(v.accepted);
+  w.I64(v.rejected);
+}
+
+Status Decode(WireReader& r, api::SubmitBatchResp* v) {
+  DBTOUCH_ASSIGN_OR_RETURN(v->accepted, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->rejected, r.I64());
+  return Status::OK();
+}
+
+void Encode(const api::StatsReq&, WireWriter&) {}
+
+Status Decode(WireReader&, api::StatsReq*) { return Status::OK(); }
+
+void Encode(const api::StatsResp& v, WireWriter& w) {
+  w.I64(v.sessions_active);
+  w.I64(v.submitted);
+  w.I64(v.executed);
+  w.I64(v.dropped_quanta);
+  w.I64(v.deadline_misses);
+  w.I64(v.p50_latency_us);
+  w.I64(v.p99_latency_us);
+  w.I64(v.suspended_quanta);
+  w.I64(v.buffer_hits);
+  w.I64(v.buffer_lookups);
+}
+
+Status Decode(WireReader& r, api::StatsResp* v) {
+  DBTOUCH_ASSIGN_OR_RETURN(v->sessions_active, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->submitted, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->executed, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->dropped_quanta, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->deadline_misses, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->p50_latency_us, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->p99_latency_us, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->suspended_quanta, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->buffer_hits, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->buffer_lookups, r.I64());
+  return Status::OK();
+}
+
+void Encode(const api::SessionSnapshotReq& v, WireWriter& w) {
+  w.I64(v.session);
+  w.I64(v.max_results);
+}
+
+Status Decode(WireReader& r, api::SessionSnapshotReq* v) {
+  DBTOUCH_ASSIGN_OR_RETURN(v->session, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->max_results, r.I64());
+  return Status::OK();
+}
+
+void Encode(const api::SessionSnapshotResp& v, WireWriter& w) {
+  w.I64(v.session);
+  w.U32(static_cast<std::uint32_t>(v.objects.size()));
+  for (const auto& object : v.objects) EncodeObjectInfo(object, w);
+  w.I64(v.touch_events);
+  w.I64(v.gesture_events);
+  w.I64(v.entries_returned);
+  w.I64(v.rows_scanned);
+  w.I64(v.rows_pruned);
+  w.I64(v.suspensions);
+  w.I64(v.fetch_errors);
+  w.I64(v.shed_levels);
+  w.I64(v.result_count);
+  w.U32(static_cast<std::uint32_t>(v.results.size()));
+  for (const auto& result : v.results) EncodeResultInfo(result, w);
+}
+
+Status Decode(WireReader& r, api::SessionSnapshotResp* v) {
+  DBTOUCH_ASSIGN_OR_RETURN(v->session, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(std::uint32_t object_count, r.U32());
+  if (object_count > r.remaining() / kMinElementBytes) {
+    return MalformedVector(object_count, r.remaining());
+  }
+  v->objects.clear();
+  v->objects.reserve(object_count);
+  for (std::uint32_t i = 0; i < object_count; ++i) {
+    api::ObjectInfo info;
+    DBTOUCH_RETURN_IF_ERROR(DecodeObjectInfo(r, &info));
+    v->objects.push_back(std::move(info));
+  }
+  DBTOUCH_ASSIGN_OR_RETURN(v->touch_events, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->gesture_events, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->entries_returned, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->rows_scanned, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->rows_pruned, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->suspensions, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->fetch_errors, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->shed_levels, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->result_count, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(std::uint32_t result_count, r.U32());
+  if (result_count > r.remaining() / kMinElementBytes) {
+    return MalformedVector(result_count, r.remaining());
+  }
+  v->results.clear();
+  v->results.reserve(result_count);
+  for (std::uint32_t i = 0; i < result_count; ++i) {
+    api::ResultInfo info;
+    DBTOUCH_RETURN_IF_ERROR(DecodeResultInfo(r, &info));
+    v->results.push_back(info);
+  }
+  return Status::OK();
+}
+
+// ---- Frame assembly --------------------------------------------------------
+
+std::string EncodeErrorFrame(MessageType type, std::uint32_t request_id,
+                             api::WireCode code, std::string_view message) {
+  WireWriter w;
+  w.U16(static_cast<std::uint16_t>(code));
+  w.String(message);
+  FrameHeader header;
+  header.type = static_cast<std::uint16_t>(type) | kResponseBit;
+  header.request_id = request_id;
+  header.payload_len = static_cast<std::uint32_t>(w.buffer().size());
+  std::string out;
+  out.reserve(kFrameHeaderBytes + w.buffer().size());
+  EncodeHeader(header, &out);
+  out.append(w.buffer());
+  return out;
+}
+
+Result<ResponseEnvelope> DecodeResponsePayload(std::string_view payload) {
+  WireReader r(payload);
+  ResponseEnvelope envelope;
+  DBTOUCH_ASSIGN_OR_RETURN(std::uint16_t code, r.U16());
+  envelope.code = static_cast<api::WireCode>(code);
+  if (envelope.code == api::WireCode::kOk) {
+    envelope.body = payload.substr(payload.size() - r.remaining());
+  } else {
+    DBTOUCH_ASSIGN_OR_RETURN(envelope.message, r.String());
+  }
+  return envelope;
+}
+
+}  // namespace dbtouch::gateway

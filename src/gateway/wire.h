@@ -1,0 +1,225 @@
+// The dbTouch wire protocol: length-prefixed binary frames carrying the
+// server::api request/response structs across a socket.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     magic        0x44425457 ("DBTW" when read as LE bytes)
+//   4       2     version      protocol version (api::kApiVersion)
+//   6       2     type         MessageType; responses set kResponseBit
+//   8       4     request_id   client-chosen, echoed in the response
+//   12      4     payload_len  bytes following this header
+//   16      ...   payload
+//
+// Request payloads are the api struct fields in declaration order,
+// encoded by the WireWriter primitives below. Response payloads start
+// with a u16 api::WireCode: kOk is followed by the response struct's
+// fields, any other code by a string diagnostic. The codec is strictly
+// deterministic — encoding a decoded request reproduces the original
+// bytes bit-identically, which the api round-trip test asserts.
+//
+// See src/gateway/README.md for the full spec, version-negotiation rules
+// and the protocol-evolution policy.
+
+#ifndef DBTOUCH_GATEWAY_WIRE_H_
+#define DBTOUCH_GATEWAY_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "server/api.h"
+
+namespace dbtouch::gateway {
+
+namespace api = server::api;
+
+inline constexpr std::uint32_t kMagic = 0x44425457;  // "WTBD" LE / "DBTW"
+inline constexpr std::uint16_t kWireVersion = api::kApiVersion;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Upper bound on payload_len a peer may send; larger frames are
+/// rejected as malformed before any allocation happens.
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;  // 1 MiB
+/// Set on the type field of every response frame.
+inline constexpr std::uint16_t kResponseBit = 0x8000;
+
+/// Message types. Append-only; never renumber (the values are the wire
+/// contract). kError is response-only: the server uses it when it cannot
+/// attribute an error to a known request type.
+enum class MessageType : std::uint16_t {
+  kError = 0,
+  kOpenSession = 1,
+  kCloseSession = 2,
+  kCreateObject = 3,
+  kSetAction = 4,
+  kSubmitBatch = 5,
+  kStats = 6,
+  kSessionSnapshot = 7,
+};
+
+std::string_view MessageTypeName(MessageType type);
+
+struct FrameHeader {
+  std::uint16_t version = kWireVersion;
+  std::uint16_t type = 0;
+  std::uint32_t request_id = 0;
+  std::uint32_t payload_len = 0;
+
+  bool is_response() const { return (type & kResponseBit) != 0; }
+  MessageType message_type() const {
+    return static_cast<MessageType>(type & ~kResponseBit);
+  }
+};
+
+// ---- Primitive encoding ----------------------------------------------------
+
+/// Appends little-endian primitives to a byte buffer. Strings carry a u32
+/// length prefix. Doubles travel as their IEEE-754 bit pattern.
+class WireWriter {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U16(std::uint16_t v);
+  void U32(std::uint32_t v);
+  void U64(std::uint64_t v);
+  void I32(std::int32_t v) { U32(static_cast<std::uint32_t>(v)); }
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void F64(double v);
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void String(std::string_view v);
+
+  const std::string& buffer() const { return out_; }
+  std::string str() && { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian reads over a payload view. Every getter
+/// fails with InvalidArgument on underrun instead of reading past the
+/// end, so truncated frames surface as clean decode errors.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  Result<std::uint8_t> U8();
+  Result<std::uint16_t> U16();
+  Result<std::uint32_t> U32();
+  Result<std::uint64_t> U64();
+  Result<std::int32_t> I32();
+  Result<std::int64_t> I64();
+  Result<double> F64();
+  Result<bool> Bool();
+  Result<std::string> String();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(std::size_t n) const;
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// ---- Header ----------------------------------------------------------------
+
+void EncodeHeader(const FrameHeader& header, std::string* out);
+
+/// Decodes and validates a header from the first kFrameHeaderBytes of
+/// `data`. Bad magic or a payload_len over kMaxPayloadBytes is
+/// InvalidArgument; an unsupported version is NOT rejected here (the
+/// caller decides, so it can answer with kUnsupportedVersion).
+Result<FrameHeader> DecodeHeader(std::string_view data);
+
+// ---- Payload codecs --------------------------------------------------------
+//
+// One Encode/Decode pair per api struct, fields in declaration order.
+// Decode returns InvalidArgument on truncation; trailing unread bytes
+// are the caller's concern (the gateway treats them as malformed).
+
+void Encode(const api::OpenSessionReq& v, WireWriter& w);
+void Encode(const api::OpenSessionResp& v, WireWriter& w);
+void Encode(const api::CloseSessionReq& v, WireWriter& w);
+void Encode(const api::CloseSessionResp& v, WireWriter& w);
+void Encode(const api::CreateObjectReq& v, WireWriter& w);
+void Encode(const api::CreateObjectResp& v, WireWriter& w);
+void Encode(const api::SetActionReq& v, WireWriter& w);
+void Encode(const api::SetActionResp& v, WireWriter& w);
+void Encode(const api::SubmitBatchReq& v, WireWriter& w);
+void Encode(const api::SubmitBatchResp& v, WireWriter& w);
+void Encode(const api::StatsReq& v, WireWriter& w);
+void Encode(const api::StatsResp& v, WireWriter& w);
+void Encode(const api::SessionSnapshotReq& v, WireWriter& w);
+void Encode(const api::SessionSnapshotResp& v, WireWriter& w);
+
+Status Decode(WireReader& r, api::OpenSessionReq* v);
+Status Decode(WireReader& r, api::OpenSessionResp* v);
+Status Decode(WireReader& r, api::CloseSessionReq* v);
+Status Decode(WireReader& r, api::CloseSessionResp* v);
+Status Decode(WireReader& r, api::CreateObjectReq* v);
+Status Decode(WireReader& r, api::CreateObjectResp* v);
+Status Decode(WireReader& r, api::SetActionReq* v);
+Status Decode(WireReader& r, api::SetActionResp* v);
+Status Decode(WireReader& r, api::SubmitBatchReq* v);
+Status Decode(WireReader& r, api::SubmitBatchResp* v);
+Status Decode(WireReader& r, api::StatsReq* v);
+Status Decode(WireReader& r, api::StatsResp* v);
+Status Decode(WireReader& r, api::SessionSnapshotReq* v);
+Status Decode(WireReader& r, api::SessionSnapshotResp* v);
+
+// ---- Frame assembly --------------------------------------------------------
+
+/// One complete request frame: header + encoded body.
+template <typename Req>
+std::string EncodeRequestFrame(MessageType type, std::uint32_t request_id,
+                               const Req& body) {
+  WireWriter w;
+  Encode(body, w);
+  FrameHeader header;
+  header.type = static_cast<std::uint16_t>(type);
+  header.request_id = request_id;
+  header.payload_len = static_cast<std::uint32_t>(w.buffer().size());
+  std::string out;
+  out.reserve(kFrameHeaderBytes + w.buffer().size());
+  EncodeHeader(header, &out);
+  out.append(w.buffer());
+  return out;
+}
+
+/// One complete success-response frame: header + u16 kOk + encoded body.
+template <typename Resp>
+std::string EncodeResponseFrame(MessageType type, std::uint32_t request_id,
+                                const Resp& body) {
+  WireWriter w;
+  w.U16(static_cast<std::uint16_t>(api::WireCode::kOk));
+  Encode(body, w);
+  FrameHeader header;
+  header.type = static_cast<std::uint16_t>(type) | kResponseBit;
+  header.request_id = request_id;
+  header.payload_len = static_cast<std::uint32_t>(w.buffer().size());
+  std::string out;
+  out.reserve(kFrameHeaderBytes + w.buffer().size());
+  EncodeHeader(header, &out);
+  out.append(w.buffer());
+  return out;
+}
+
+/// One complete error-response frame: header + u16 code + diagnostic.
+std::string EncodeErrorFrame(MessageType type, std::uint32_t request_id,
+                             api::WireCode code, std::string_view message);
+
+/// Splits a response payload into its code and the body view. For kOk
+/// the body is the encoded response struct; otherwise `message` holds
+/// the diagnostic.
+struct ResponseEnvelope {
+  api::WireCode code = api::WireCode::kOk;
+  std::string message;
+  std::string_view body;
+};
+Result<ResponseEnvelope> DecodeResponsePayload(std::string_view payload);
+
+}  // namespace dbtouch::gateway
+
+#endif  // DBTOUCH_GATEWAY_WIRE_H_

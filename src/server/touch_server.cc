@@ -94,7 +94,9 @@ Status TouchServer::Stop() {
   return Status::OK();
 }
 
-Result<SessionId> TouchServer::OpenSession() {
+// ---- The api surface: one Call overload per request type -------------------
+
+Result<api::OpenSessionResp> TouchServer::Call(const api::OpenSessionReq&) {
   core::KernelConfig config = config_.session_defaults;
   if (!config_.allow_layout_rotation) {
     // Rotation rewrites the shared table's physical layout; an effectively
@@ -102,19 +104,22 @@ Result<SessionId> TouchServer::OpenSession() {
     config.rotation_trigger_rad = 1e9;
   }
   config.non_blocking_faults = config_.async_fetch;
-  Result<SessionId> id = sessions_.Open(config);
-  if (id.ok() && trace_ != nullptr) {
-    const auto s = sessions_.Get(*id);
+  DBTOUCH_ASSIGN_OR_RETURN(const SessionId id, sessions_.Open(config));
+  if (trace_ != nullptr) {
+    const auto s = sessions_.Get(id);
     if (s.ok()) {
       const std::lock_guard<std::mutex> lock((*s)->exec_mu());
-      (*s)->kernel().set_trace_recorder(trace_.get(), *id);
+      (*s)->kernel().set_trace_recorder(trace_.get(), id);
     }
   }
-  return id;
+  api::OpenSessionResp resp;
+  resp.session = id;
+  return resp;
 }
 
-Status TouchServer::CloseSession(SessionId id) {
-  const std::size_t dropped = scheduler_.DropSession(id);
+Result<api::CloseSessionResp> TouchServer::Call(
+    const api::CloseSessionReq& req) {
+  const std::size_t dropped = scheduler_.DropSession(req.session);
   if (dropped > 0) {
     total_dropped_.fetch_add(static_cast<std::int64_t>(dropped),
                              std::memory_order_relaxed);
@@ -123,34 +128,245 @@ Status TouchServer::CloseSession(SessionId id) {
   // the blocks, so letting them run would spend cold-tier bandwidth on a
   // dead session. In-flight fetches settle normally (their completions
   // unpark via the scheduler, which no-ops for closed sessions).
-  shared_->buffer_manager().CancelFetches(static_cast<std::uint64_t>(id));
-  return sessions_.Close(id);
+  shared_->buffer_manager().CancelFetches(
+      static_cast<std::uint64_t>(req.session));
+  DBTOUCH_RETURN_IF_ERROR(sessions_.Close(req.session));
+  return api::CloseSessionResp{};
+}
+
+Result<api::CreateObjectResp> TouchServer::Call(
+    const api::CreateObjectReq& req) {
+  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<ServerSession> s,
+                           sessions_.Get(req.session));
+  const touch::RectCm frame{req.frame.x, req.frame.y, req.frame.width,
+                            req.frame.height};
+  const std::lock_guard<std::mutex> lock(s->exec_mu());
+  api::CreateObjectResp resp;
+  if (req.kind == 0) {
+    DBTOUCH_ASSIGN_OR_RETURN(
+        resp.object, s->kernel().CreateColumnObject(req.table, req.column,
+                                                    frame));
+  } else if (req.kind == 1) {
+    DBTOUCH_ASSIGN_OR_RETURN(resp.object,
+                             s->kernel().CreateTableObject(req.table, frame));
+  } else {
+    return Status::InvalidArgument("unknown object kind " +
+                                   std::to_string(req.kind));
+  }
+  return resp;
+}
+
+Result<api::SetActionResp> TouchServer::Call(const api::SetActionReq& req) {
+  core::ActionConfig action;
+  if (req.action.kind > static_cast<std::uint8_t>(core::ActionKind::kGroupBy)) {
+    return Status::InvalidArgument("unknown action kind " +
+                                   std::to_string(req.action.kind));
+  }
+  if (req.action.agg > static_cast<std::uint8_t>(exec::AggKind::kStdDev)) {
+    return Status::InvalidArgument("unknown aggregate kind " +
+                                   std::to_string(req.action.agg));
+  }
+  action.kind = static_cast<core::ActionKind>(req.action.kind);
+  action.agg = static_cast<exec::AggKind>(req.action.agg);
+  action.summary_k = req.action.summary_k;
+  if (req.action.has_predicate) {
+    if (req.action.predicate_op >
+        static_cast<std::uint8_t>(exec::CompareOp::kBetween)) {
+      return Status::InvalidArgument("unknown predicate op " +
+                                     std::to_string(req.action.predicate_op));
+    }
+    const auto op = static_cast<exec::CompareOp>(req.action.predicate_op);
+    action.predicate =
+        op == exec::CompareOp::kBetween
+            ? exec::Predicate(req.action.predicate_lo,
+                              req.action.predicate_hi)
+            : exec::Predicate(op, req.action.predicate_lo);
+  }
+  action.use_zone_map = req.action.use_zone_map;
+  action.group_key_attribute = req.action.group_key_attribute;
+  action.group_value_attribute = req.action.group_value_attribute;
+  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<ServerSession> s,
+                           sessions_.Get(req.session));
+  const std::lock_guard<std::mutex> lock(s->exec_mu());
+  DBTOUCH_RETURN_IF_ERROR(s->kernel().SetAction(req.object, action));
+  return api::SetActionResp{};
+}
+
+Result<api::SubmitBatchResp> TouchServer::Call(
+    const api::SubmitBatchReq& req) {
+  api::SubmitBatchResp resp;
+  if (req.events.empty()) {
+    return resp;
+  }
+  const sim::Micros epoch = SteadyNowUs();
+  const sim::Micros t0 = req.events.front().timestamp_us;
+  const api::WireTouchEvent* prev = nullptr;
+  for (const api::WireTouchEvent& wire : req.events) {
+    const sim::TouchEvent event = api::FromWire(wire);
+    // Gesture speed at this event, from the batch itself (the server sees
+    // raw touches; it cannot wait for the recognizer's smoothed velocity).
+    double speed_cm_s = 0.0;
+    if (prev != nullptr && wire.timestamp_us > prev->timestamp_us &&
+        wire.finger_id == prev->finger_id) {
+      speed_cm_s =
+          sim::DistanceCm(event.position,
+                          sim::PointCm{prev->x_cm, prev->y_cm}) /
+          sim::MicrosToSeconds(wire.timestamp_us - prev->timestamp_us);
+    }
+    prev = &wire;
+    const sim::Micros offset = wire.timestamp_us - t0;
+    const sim::Micros budget = BudgetForSpeed(speed_cm_s);
+    const sim::Micros arrival = epoch + offset;
+    const sim::Micros release = req.paced ? arrival : epoch;
+    DBTOUCH_ASSIGN_OR_RETURN(
+        const bool admitted,
+        Enqueue(req.session, event, release, arrival + budget, budget,
+                event.phase == sim::TouchPhase::kMoved));
+    if (admitted) {
+      ++resp.accepted;
+    } else {
+      ++resp.rejected;
+    }
+  }
+  return resp;
+}
+
+Result<api::StatsResp> TouchServer::Call(const api::StatsReq&) {
+  api::StatsResp resp;
+  resp.sessions_active = static_cast<std::int64_t>(sessions_.size());
+  resp.submitted = total_submitted_.load(std::memory_order_relaxed);
+  resp.executed = total_executed_.load(std::memory_order_relaxed);
+  resp.dropped_quanta = total_dropped_.load(std::memory_order_relaxed);
+  resp.deadline_misses = total_misses_.load(std::memory_order_relaxed);
+  const obs::HistogramSnapshot e2e = e2e_hist_.Snapshot();
+  resp.p50_latency_us = e2e.Percentile(0.50);
+  resp.p99_latency_us = e2e.Percentile(0.99);
+  resp.suspended_quanta = total_suspended_.load(std::memory_order_relaxed);
+  const cache::BlockCacheStats buffer = shared_->buffer_manager().stats();
+  resp.buffer_hits = buffer.hits;
+  resp.buffer_lookups = buffer.lookups;
+  return resp;
+}
+
+Result<api::SessionSnapshotResp> TouchServer::Call(
+    const api::SessionSnapshotReq& req) {
+  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<ServerSession> s,
+                           sessions_.Get(req.session));
+  api::SessionSnapshotResp resp;
+  resp.session = req.session;
+  resp.shed_levels = s->shed_levels.load(std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(s->exec_mu());
+  core::Kernel& kernel = s->kernel();
+  for (const core::ObjectId id : kernel.ListObjects()) {
+    const auto view = kernel.object_view(id);
+    if (!view.ok()) {
+      continue;  // Destroyed between ListObjects and here (same lock, so
+                 // only possible for ids invalidated by the kernel itself).
+    }
+    const touch::DataObjectView& v = **view;
+    api::ObjectInfo info;
+    info.object = id;
+    info.kind = static_cast<std::uint8_t>(v.kind());
+    info.orientation = static_cast<std::uint8_t>(v.orientation());
+    info.table = v.table_name();
+    info.column = v.column_index().has_value()
+                      ? static_cast<std::int64_t>(*v.column_index())
+                      : -1;
+    info.frame = api::WireRect{v.frame().x, v.frame().y, v.frame().width,
+                               v.frame().height};
+    info.tuple_count = v.tuple_count();
+    resp.objects.push_back(std::move(info));
+  }
+  const core::KernelStats& k = kernel.stats();
+  resp.touch_events = k.touch_events;
+  resp.gesture_events = k.gesture_events;
+  resp.entries_returned = k.entries_returned;
+  resp.rows_scanned = k.rows_scanned;
+  resp.rows_pruned = k.rows_pruned;
+  resp.suspensions = k.suspensions;
+  resp.fetch_errors = k.fetch_errors;
+  const auto& items = kernel.results().items();
+  resp.result_count = static_cast<std::int64_t>(items.size());
+  if (req.max_results > 0 && !items.empty()) {
+    const std::size_t take = std::min<std::size_t>(
+        items.size(), static_cast<std::size_t>(req.max_results));
+    resp.results.reserve(take);
+    for (std::size_t i = items.size() - take; i < items.size(); ++i) {
+      const core::ResultItem& item = items[i];
+      api::ResultInfo info;
+      info.object = item.object;
+      info.kind = static_cast<std::uint8_t>(item.kind);
+      info.row = item.row;
+      // Results carry int64 or double scalars; string results (none
+      // today) would CHECK in ToDouble, so guard them to 0.
+      info.value = item.value.is_string() ? 0.0 : item.value.ToDouble();
+      info.approximate = item.approximate;
+      resp.results.push_back(info);
+    }
+  }
+  return resp;
+}
+
+// ---- Legacy convenience wrappers -------------------------------------------
+
+Result<SessionId> TouchServer::OpenSession() {
+  DBTOUCH_ASSIGN_OR_RETURN(const api::OpenSessionResp resp,
+                           Call(api::OpenSessionReq{}));
+  return resp.session;
+}
+
+Status TouchServer::CloseSession(SessionId id) {
+  api::CloseSessionReq req;
+  req.session = id;
+  return Call(req).status();
 }
 
 Result<core::ObjectId> TouchServer::CreateColumnObject(
     SessionId session, const std::string& table, const std::string& column,
     const touch::RectCm& frame) {
-  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<ServerSession> s,
-                           sessions_.Get(session));
-  const std::lock_guard<std::mutex> lock(s->exec_mu());
-  return s->kernel().CreateColumnObject(table, column, frame);
+  api::CreateObjectReq req;
+  req.session = session;
+  req.kind = 0;
+  req.table = table;
+  req.column = column;
+  req.frame = api::WireRect{frame.x, frame.y, frame.width, frame.height};
+  DBTOUCH_ASSIGN_OR_RETURN(const api::CreateObjectResp resp, Call(req));
+  return resp.object;
 }
 
 Result<core::ObjectId> TouchServer::CreateTableObject(
     SessionId session, const std::string& table,
     const touch::RectCm& frame) {
-  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<ServerSession> s,
-                           sessions_.Get(session));
-  const std::lock_guard<std::mutex> lock(s->exec_mu());
-  return s->kernel().CreateTableObject(table, frame);
+  api::CreateObjectReq req;
+  req.session = session;
+  req.kind = 1;
+  req.table = table;
+  req.frame = api::WireRect{frame.x, frame.y, frame.width, frame.height};
+  DBTOUCH_ASSIGN_OR_RETURN(const api::CreateObjectResp resp, Call(req));
+  return resp.object;
 }
 
 Status TouchServer::SetAction(SessionId session, core::ObjectId object,
                               const core::ActionConfig& action) {
-  DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<ServerSession> s,
-                           sessions_.Get(session));
-  const std::lock_guard<std::mutex> lock(s->exec_mu());
-  return s->kernel().SetAction(object, action);
+  api::SetActionReq req;
+  req.session = session;
+  req.object = object;
+  req.action.kind = static_cast<std::uint8_t>(action.kind);
+  req.action.agg = static_cast<std::uint8_t>(action.agg);
+  req.action.summary_k = action.summary_k;
+  if (action.predicate.has_value()) {
+    req.action.has_predicate = true;
+    req.action.predicate_op =
+        static_cast<std::uint8_t>(action.predicate->op());
+    req.action.predicate_lo = action.predicate->lo();
+    req.action.predicate_hi = action.predicate->hi();
+  }
+  req.action.use_zone_map = action.use_zone_map;
+  req.action.group_key_attribute =
+      static_cast<std::uint32_t>(action.group_key_attribute);
+  req.action.group_value_attribute =
+      static_cast<std::uint32_t>(action.group_value_attribute);
+  return Call(req).status();
 }
 
 Status TouchServer::WithSession(
@@ -187,9 +403,11 @@ sim::Micros TouchServer::BudgetForSpeed(double speed_cm_s) const {
   return static_cast<sim::Micros>(std::max(budget, cost_floor_us));
 }
 
-Status TouchServer::Enqueue(SessionId session, const sim::TouchEvent& event,
-                            sim::Micros release_us, sim::Micros deadline_us,
-                            sim::Micros budget_us, bool droppable) {
+Result<bool> TouchServer::Enqueue(SessionId session,
+                                  const sim::TouchEvent& event,
+                                  sim::Micros release_us,
+                                  sim::Micros deadline_us,
+                                  sim::Micros budget_us, bool droppable) {
   DBTOUCH_ASSIGN_OR_RETURN(std::shared_ptr<ServerSession> s,
                            sessions_.Get(session));
   if (!running_.load(std::memory_order_acquire)) {
@@ -223,49 +441,33 @@ Status TouchServer::Enqueue(SessionId session, const sim::TouchEvent& event,
             obs::SpanStage::kShed, quantum_id, session,
             static_cast<std::int64_t>(obs::ShedReason::kAdmission));
       }
+      return false;
     }
-    return Status::OK();
+    return true;
   }
   scheduler_.Push(std::move(task));
-  return Status::OK();
+  return true;
 }
 
 Status TouchServer::Submit(SessionId session, const sim::TouchEvent& event) {
-  const sim::Micros now = SteadyNowUs();
-  const sim::Micros budget = BudgetForSpeed(0.0);
-  return Enqueue(session, event, now, now + budget, budget,
-                 event.phase == sim::TouchPhase::kMoved);
+  api::SubmitBatchReq req;
+  req.session = session;
+  req.paced = false;  // One event: released immediately, due one budget out.
+  req.events.push_back(api::ToWire(event));
+  return Call(req).status();
 }
 
 Status TouchServer::SubmitTrace(SessionId session,
                                 const sim::GestureTrace& trace,
                                 const TraceSubmitOptions& options) {
-  if (trace.events.empty()) {
-    return Status::OK();
-  }
-  const sim::Micros epoch = SteadyNowUs();
-  const sim::Micros t0 = trace.events.front().timestamp_us;
-  const sim::TouchEvent* prev = nullptr;
+  api::SubmitBatchReq req;
+  req.session = session;
+  req.paced = options.paced;
+  req.events.reserve(trace.events.size());
   for (const sim::TouchEvent& event : trace.events) {
-    // Gesture speed at this event, from the trace itself (the server sees
-    // raw touches; it cannot wait for the recognizer's smoothed velocity).
-    double speed_cm_s = 0.0;
-    if (prev != nullptr && event.timestamp_us > prev->timestamp_us &&
-        event.finger_id == prev->finger_id) {
-      speed_cm_s = sim::DistanceCm(event.position, prev->position) /
-                   sim::MicrosToSeconds(event.timestamp_us -
-                                        prev->timestamp_us);
-    }
-    prev = &event;
-    const sim::Micros offset = event.timestamp_us - t0;
-    const sim::Micros budget = BudgetForSpeed(speed_cm_s);
-    const sim::Micros arrival = epoch + offset;
-    const sim::Micros release = options.paced ? arrival : epoch;
-    DBTOUCH_RETURN_IF_ERROR(
-        Enqueue(session, event, release, arrival + budget, budget,
-                event.phase == sim::TouchPhase::kMoved));
+    req.events.push_back(api::ToWire(event));
   }
-  return Status::OK();
+  return Call(req).status();
 }
 
 Status TouchServer::Drain() {

@@ -48,6 +48,7 @@
 #include "core/shared_state.h"
 #include "obs/histogram.h"
 #include "obs/trace_recorder.h"
+#include "server/api.h"
 #include "server/frame_scheduler.h"
 #include "server/server_stats.h"
 #include "server/session_manager.h"
@@ -106,6 +107,33 @@ struct TraceSubmitOptions {
   bool paced = true;
 };
 
+// Thread-safety contract. TouchServer is shared by submitters, its own
+// worker pool, fetch-completion callbacks and stats readers, so every
+// public member documents its synchronisation; the audit below is part
+// of the api-layer sweep and is what each accessor actually does:
+//
+//   - Call(...) overloads, OpenSession, CloseSession, CreateColumnObject,
+//     CreateTableObject, SetAction, WithSession, Submit, SubmitTrace,
+//     Drain, stats(): safe from any thread, any time. Session lookups go
+//     through the SessionManager's mutex; kernel access takes that
+//     session's exec_mu; queue operations take the scheduler's lock.
+//   - session_count(): safe from any thread — it is
+//     SessionManager::size(), which locks the manager's mutex (the
+//     "reads sessions_ without synchronization" concern was a stale
+//     doc smell, not a race; the lock was always there).
+//   - running(): safe from any thread (atomic, acquire).
+//   - Start()/Stop(): NOT safe to call concurrently with each other or
+//     with themselves; serialise lifecycle transitions externally.
+//     Submitting while stopped returns FailedPrecondition.
+//   - num_workers(): safe only after Start() has returned and before
+//     Stop() is entered (it reads the worker vector unsynchronised; the
+//     vector only mutates inside Start/Stop).
+//   - shared(): the SharedState reference itself is valid for the
+//     server's lifetime; RegisterTable and the other SharedState methods
+//     are internally synchronised, but SpillTable/reclaim calls follow
+//     SharedState's own documented contract.
+//   - trace_recorder(): safe from any thread (set once in the
+//     constructor, never reassigned).
 class TouchServer {
  public:
   explicit TouchServer(const TouchServerConfig& config = {});
@@ -131,13 +159,35 @@ class TouchServer {
     return shared_->RegisterTable(std::move(table));
   }
 
-  // ---- Session lifecycle -------------------------------------------------
+  // ---- The versioned api surface (server/api.h) --------------------------
+  //
+  // One Call overload per request type. These are THE entry points: the
+  // gateway decodes wire frames into these structs and calls them, and
+  // every legacy convenience method below is a thin wrapper that builds
+  // the matching request. Errors come back as Status; the gateway maps
+  // them onto api::WireCode at the boundary.
+
+  Result<api::OpenSessionResp> Call(const api::OpenSessionReq& req);
+  Result<api::CloseSessionResp> Call(const api::CloseSessionReq& req);
+  Result<api::CreateObjectResp> Call(const api::CreateObjectReq& req);
+  Result<api::SetActionResp> Call(const api::SetActionReq& req);
+  Result<api::SubmitBatchResp> Call(const api::SubmitBatchReq& req);
+  Result<api::StatsResp> Call(const api::StatsReq& req);
+  Result<api::SessionSnapshotResp> Call(const api::SessionSnapshotReq& req);
+
+  // ---- Session lifecycle (wrappers over Call) ----------------------------
 
   Result<SessionId> OpenSession();
   Status CloseSession(SessionId id);
+  /// Live session count; locks the session manager (see the class
+  /// thread-safety contract above).
   std::size_t session_count() const { return sessions_.size(); }
 
   // ---- Session-scoped setup (serialised against that session's worker) --
+  //
+  // Deprecated for non-test use: new callers should go through
+  // Call(api::CreateObjectReq/SetActionReq) — these remain as thin
+  // wrappers for one release.
 
   Result<core::ObjectId> CreateColumnObject(SessionId session,
                                             const std::string& table,
@@ -150,11 +200,13 @@ class TouchServer {
                    const core::ActionConfig& action);
 
   /// Runs `fn` with the session's kernel under the session lock — the
-  /// inspection door for tests and result readers.
+  /// inspection door. TESTS ONLY: production readers (benches, examples,
+  /// the gateway) use Call(api::SessionSnapshotReq) for a typed,
+  /// serialisable view instead of raw kernel access.
   Status WithSession(SessionId session,
                      const std::function<void(core::Kernel&)>& fn);
 
-  // ---- The feed ----------------------------------------------------------
+  // ---- The feed (wrappers over Call(api::SubmitBatchReq)) ----------------
 
   /// Queues one touch, due one frame budget from now.
   Status Submit(SessionId session, const sim::TouchEvent& event);
@@ -184,9 +236,11 @@ class TouchServer {
                       core::TouchStall stall);
   sim::Micros BaseBudgetUs() const;
   sim::Micros BudgetForSpeed(double speed_cm_s) const;
-  Status Enqueue(SessionId session, const sim::TouchEvent& event,
-                 sim::Micros release_us, sim::Micros deadline_us,
-                 sim::Micros budget_us, bool droppable);
+  /// True = admitted to the session queue, false = rejected at admission
+  /// (the bound was hit); error = no such session / not running.
+  Result<bool> Enqueue(SessionId session, const sim::TouchEvent& event,
+                       sim::Micros release_us, sim::Micros deadline_us,
+                       sim::Micros budget_us, bool droppable);
 
   /// Folds a finished quantum into the stage histograms (queue wait,
   /// execution, fetch stall, end-to-end) and, when tracing, records the

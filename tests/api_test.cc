@@ -1,0 +1,410 @@
+// server::api layer tests: the wire codec round-trips every request and
+// response type bit-identically, the WireCode<->Status mapping is total
+// and stable, and the legacy TouchServer convenience methods are
+// observably thin wrappers over the Call overloads.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gateway/wire.h"
+#include "server/api.h"
+#include "server/touch_server.h"
+#include "sim/motion_profile.h"
+#include "sim/trace_builder.h"
+#include "storage/datagen.h"
+#include "storage/table.h"
+
+namespace dbtouch::server {
+namespace {
+
+namespace gw = dbtouch::gateway;
+
+using core::Kernel;
+using sim::MotionProfile;
+using sim::PointCm;
+using sim::TraceBuilder;
+using storage::Column;
+using storage::Table;
+using touch::RectCm;
+
+// ---- Codec round-trips -----------------------------------------------------
+
+/// THE api acceptance check: encode -> decode -> re-encode must be
+/// bit-identical, and the decoded struct must compare equal. Any codec
+/// asymmetry (field order drift, lossy narrowing, missed field) fails
+/// one of the two.
+template <typename T>
+void ExpectBitIdenticalRoundtrip(const T& value) {
+  gw::WireWriter first;
+  Encode(value, first);
+
+  T decoded;
+  gw::WireReader reader(first.buffer());
+  ASSERT_TRUE(Decode(reader, &decoded).ok());
+  EXPECT_TRUE(reader.AtEnd()) << "decoder left trailing bytes";
+  EXPECT_TRUE(decoded == value);
+
+  gw::WireWriter second;
+  Encode(decoded, second);
+  EXPECT_EQ(first.buffer(), second.buffer()) << "re-encode not bit-identical";
+}
+
+api::WireAction SampleAction() {
+  api::WireAction action;
+  action.kind = 2;
+  action.agg = 1;
+  action.summary_k = 128;
+  action.has_predicate = true;
+  action.predicate_op = 6;
+  action.predicate_lo = -3.25;
+  action.predicate_hi = 700.5;
+  action.use_zone_map = true;
+  action.group_key_attribute = 3;
+  action.group_value_attribute = 9;
+  return action;
+}
+
+std::vector<api::WireTouchEvent> SampleEvents() {
+  std::vector<api::WireTouchEvent> events;
+  for (int i = 0; i < 5; ++i) {
+    api::WireTouchEvent event;
+    event.timestamp_us = 66'667 * i;
+    event.finger_id = i % 2;
+    event.phase = i == 0 ? 0 : (i == 4 ? 2 : 1);
+    event.x_cm = 3.0 + 0.1 * i;
+    event.y_cm = 1.0 + 2.0 * i;
+    events.push_back(event);
+  }
+  return events;
+}
+
+TEST(ApiCodecTest, OpenSessionRoundtrip) {
+  ExpectBitIdenticalRoundtrip(api::OpenSessionReq{});
+  api::OpenSessionResp resp;
+  resp.session = 42;
+  ExpectBitIdenticalRoundtrip(resp);
+}
+
+TEST(ApiCodecTest, CloseSessionRoundtrip) {
+  api::CloseSessionReq req;
+  req.session = -7;  // Ids are opaque i64; sign must survive.
+  ExpectBitIdenticalRoundtrip(req);
+  ExpectBitIdenticalRoundtrip(api::CloseSessionResp{});
+}
+
+TEST(ApiCodecTest, CreateObjectRoundtrip) {
+  api::CreateObjectReq req;
+  req.session = 3;
+  req.kind = 1;
+  req.table = "lineitem";
+  req.column = "";  // Table objects carry an empty column name.
+  req.frame = api::WireRect{0.5, 1.5, 6.25, 12.0};
+  ExpectBitIdenticalRoundtrip(req);
+  api::CreateObjectResp resp;
+  resp.object = 11;
+  ExpectBitIdenticalRoundtrip(resp);
+}
+
+TEST(ApiCodecTest, SetActionRoundtrip) {
+  api::SetActionReq req;
+  req.session = 5;
+  req.object = 2;
+  req.action = SampleAction();
+  ExpectBitIdenticalRoundtrip(req);
+  ExpectBitIdenticalRoundtrip(api::SetActionResp{});
+}
+
+TEST(ApiCodecTest, SubmitBatchRoundtrip) {
+  api::SubmitBatchReq req;
+  req.session = 9;
+  req.paced = false;
+  req.events = SampleEvents();
+  ExpectBitIdenticalRoundtrip(req);
+  api::SubmitBatchResp resp;
+  resp.accepted = 4;
+  resp.rejected = 1;
+  ExpectBitIdenticalRoundtrip(resp);
+}
+
+TEST(ApiCodecTest, StatsRoundtrip) {
+  ExpectBitIdenticalRoundtrip(api::StatsReq{});
+  api::StatsResp resp;
+  resp.sessions_active = 12;
+  resp.submitted = 100;
+  resp.executed = 90;
+  resp.dropped_quanta = 10;
+  resp.deadline_misses = 3;
+  resp.p50_latency_us = 400;
+  resp.p99_latency_us = 9'000;
+  resp.suspended_quanta = 7;
+  resp.buffer_hits = 55;
+  resp.buffer_lookups = 60;
+  ExpectBitIdenticalRoundtrip(resp);
+}
+
+TEST(ApiCodecTest, SessionSnapshotRoundtrip) {
+  api::SessionSnapshotReq req;
+  req.session = 4;
+  req.max_results = 16;
+  ExpectBitIdenticalRoundtrip(req);
+
+  api::SessionSnapshotResp resp;
+  resp.session = 4;
+  api::ObjectInfo object;
+  object.object = 1;
+  object.kind = 0;
+  object.orientation = 1;
+  object.table = "t";
+  object.column = 2;
+  object.frame = api::WireRect{1, 2, 3, 4};
+  object.tuple_count = 20'000;
+  resp.objects.push_back(object);
+  resp.touch_events = 31;
+  resp.gesture_events = 30;
+  resp.entries_returned = 29;
+  resp.rows_scanned = 1'000;
+  resp.rows_pruned = 500;
+  resp.suspensions = 2;
+  resp.fetch_errors = 1;
+  resp.shed_levels = 3;
+  resp.result_count = 2;
+  api::ResultInfo result;
+  result.object = 1;
+  result.kind = 1;
+  result.row = 77;
+  result.value = 3.5;
+  result.approximate = true;
+  resp.results.push_back(result);
+  result.row = 78;
+  result.value = -1.0;
+  result.approximate = false;
+  resp.results.push_back(result);
+  ExpectBitIdenticalRoundtrip(resp);
+}
+
+TEST(ApiCodecTest, RequestFrameRoundtripsThroughHeader) {
+  // Full frame (header + payload) for every request type, decoded the
+  // way the gateway does it: header first, then the typed payload.
+  api::SubmitBatchReq req;
+  req.session = 1;
+  req.paced = true;
+  req.events = SampleEvents();
+  const std::string frame =
+      gw::EncodeRequestFrame(gw::MessageType::kSubmitBatch, 7, req);
+  ASSERT_GE(frame.size(), gw::kFrameHeaderBytes);
+
+  auto header = gw::DecodeHeader(frame);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->version, gw::kWireVersion);
+  EXPECT_EQ(header->message_type(), gw::MessageType::kSubmitBatch);
+  EXPECT_FALSE(header->is_response());
+  EXPECT_EQ(header->request_id, 7u);
+  EXPECT_EQ(header->payload_len, frame.size() - gw::kFrameHeaderBytes);
+
+  api::SubmitBatchReq decoded;
+  gw::WireReader reader(
+      std::string_view(frame).substr(gw::kFrameHeaderBytes));
+  ASSERT_TRUE(Decode(reader, &decoded).ok());
+  EXPECT_TRUE(decoded == req);
+}
+
+TEST(ApiCodecTest, TruncationFailsCleanly) {
+  api::SetActionReq req;
+  req.session = 5;
+  req.object = 2;
+  req.action = SampleAction();
+  gw::WireWriter w;
+  Encode(req, w);
+  // Every proper prefix must fail to decode — never read past the end,
+  // never succeed on partial data.
+  for (std::size_t cut = 0; cut < w.buffer().size(); ++cut) {
+    api::SetActionReq out;
+    gw::WireReader reader(std::string_view(w.buffer()).substr(0, cut));
+    EXPECT_FALSE(Decode(reader, &out).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(ApiCodecTest, HostileVectorCountRejected) {
+  // A SubmitBatch claiming 2^31 events in a 32-byte payload must fail
+  // before any allocation, not OOM.
+  gw::WireWriter w;
+  w.I64(1);                     // session
+  w.Bool(true);                 // paced
+  w.U32(0x8000'0000u);          // events count: hostile
+  api::SubmitBatchReq out;
+  gw::WireReader reader(w.buffer());
+  EXPECT_FALSE(Decode(reader, &out).ok());
+}
+
+// ---- WireCode mapping ------------------------------------------------------
+
+TEST(ApiWireCodeTest, StatusCodesMapOneToOne) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,   StatusCode::kFailedPrecondition,
+      StatusCode::kUnimplemented, StatusCode::kResourceExhausted,
+      StatusCode::kDeadlineExceeded, StatusCode::kAborted,
+      StatusCode::kInternal};
+  for (StatusCode code : codes) {
+    const Status status(code, "msg");
+    const api::WireCode wire = api::WireCodeFromStatus(status);
+    EXPECT_EQ(static_cast<int>(wire), static_cast<int>(code));
+    const Status back = api::StatusFromWire(wire, "msg");
+    EXPECT_EQ(back.code(), code);
+  }
+}
+
+TEST(ApiWireCodeTest, ProtocolCodesMapToCanonicalStatuses) {
+  EXPECT_EQ(api::StatusFromWire(api::WireCode::kUnsupportedVersion, "").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(api::StatusFromWire(api::WireCode::kMalformedFrame, "").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(api::StatusFromWire(api::WireCode::kBackpressure, "").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ApiWireCodeTest, EveryCodeHasAName) {
+  const api::WireCode codes[] = {
+      api::WireCode::kOk,          api::WireCode::kInvalidArgument,
+      api::WireCode::kNotFound,    api::WireCode::kAlreadyExists,
+      api::WireCode::kOutOfRange,  api::WireCode::kFailedPrecondition,
+      api::WireCode::kUnimplemented, api::WireCode::kResourceExhausted,
+      api::WireCode::kDeadlineExceeded, api::WireCode::kAborted,
+      api::WireCode::kInternal,    api::WireCode::kUnsupportedVersion,
+      api::WireCode::kMalformedFrame, api::WireCode::kBackpressure};
+  for (api::WireCode code : codes) {
+    EXPECT_NE(api::WireCodeName(code), "Unknown");
+  }
+  EXPECT_EQ(api::WireCodeName(static_cast<api::WireCode>(999)), "Unknown");
+}
+
+// ---- Call overloads vs legacy wrappers -------------------------------------
+
+std::shared_ptr<Table> SmallTable() {
+  std::vector<Column> cols;
+  cols.push_back(storage::GenSequenceInt64("v", 20'000, 0, 1));
+  auto table = Table::FromColumns("t", std::move(cols));
+  EXPECT_TRUE(table.ok());
+  return *table;
+}
+
+TouchServerConfig RelaxedConfig() {
+  TouchServerConfig config;
+  config.num_workers = 2;
+  config.base_frame_budget_us = 10'000'000;
+  config.min_frame_budget_us = 10'000'000;
+  config.est_row_ns = 0.0;
+  config.drop_slack_us = 3'600'000'000;
+  return config;
+}
+
+TEST(ApiCallTest, LegacyWrappersAndCallAgree) {
+  // Two sessions, one driven through the legacy convenience methods, one
+  // through Call(api::...). Identical traces must produce identical
+  // result streams — the wrappers are wrappers, not a second code path.
+  TouchServer server(RelaxedConfig());
+  ASSERT_TRUE(server.RegisterTable(SmallTable()).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto legacy = server.OpenSession();
+  ASSERT_TRUE(legacy.ok());
+  const auto via_api = server.Call(api::OpenSessionReq{});
+  ASSERT_TRUE(via_api.ok());
+
+  const RectCm frame{2.0, 1.0, 2.0, 10.0};
+  ASSERT_TRUE(server.CreateColumnObject(*legacy, "t", "v", frame).ok());
+  api::CreateObjectReq create;
+  create.session = via_api->session;
+  create.kind = 0;
+  create.table = "t";
+  create.column = "v";
+  create.frame = api::WireRect{frame.x, frame.y, frame.width, frame.height};
+  ASSERT_TRUE(server.Call(create).ok());
+
+  Kernel reference;
+  TraceBuilder builder(reference.device());
+  const auto trace = builder.Slide("s", PointCm{3.0, 1.0}, PointCm{3.0, 11.0},
+                                   MotionProfile::Constant(0.5));
+  ASSERT_TRUE(server.SubmitTrace(*legacy, trace, {/*paced=*/false}).ok());
+  api::SubmitBatchReq batch;
+  batch.session = via_api->session;
+  batch.paced = false;
+  for (const auto& event : trace.events) {
+    batch.events.push_back(api::ToWire(event));
+  }
+  const auto submitted = server.Call(batch);
+  ASSERT_TRUE(submitted.ok());
+  EXPECT_EQ(submitted->accepted,
+            static_cast<std::int64_t>(trace.events.size()));
+  EXPECT_EQ(submitted->rejected, 0);
+  ASSERT_TRUE(server.Drain().ok());
+
+  api::SessionSnapshotReq snap;
+  snap.max_results = 1'000'000;
+  snap.session = *legacy;
+  const auto legacy_snap = server.Call(snap);
+  snap.session = via_api->session;
+  const auto api_snap = server.Call(snap);
+  ASSERT_TRUE(legacy_snap.ok() && api_snap.ok());
+  EXPECT_GT(legacy_snap->result_count, 0);
+  EXPECT_EQ(legacy_snap->result_count, api_snap->result_count);
+  ASSERT_EQ(legacy_snap->results.size(), api_snap->results.size());
+  for (std::size_t i = 0; i < legacy_snap->results.size(); ++i) {
+    EXPECT_EQ(legacy_snap->results[i].row, api_snap->results[i].row);
+    EXPECT_EQ(legacy_snap->results[i].value, api_snap->results[i].value);
+  }
+  EXPECT_EQ(legacy_snap->objects.size(), 1u);
+  EXPECT_EQ(legacy_snap->objects[0].table, "t");
+  EXPECT_EQ(legacy_snap->objects[0].tuple_count, 20'000);
+
+  ASSERT_TRUE(server.CloseSession(*legacy).ok());
+  api::CloseSessionReq close;
+  close.session = via_api->session;
+  ASSERT_TRUE(server.Call(close).ok());
+  EXPECT_EQ(server.session_count(), 0u);
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(ApiCallTest, ErrorsSurfaceAsStatuses) {
+  TouchServer server(RelaxedConfig());
+  ASSERT_TRUE(server.RegisterTable(SmallTable()).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  api::CloseSessionReq close;
+  close.session = 12345;
+  EXPECT_EQ(server.Call(close).status().code(), StatusCode::kNotFound);
+
+  const auto session = server.Call(api::OpenSessionReq{});
+  ASSERT_TRUE(session.ok());
+  api::CreateObjectReq create;
+  create.session = session->session;
+  create.kind = 0;
+  create.table = "missing";
+  create.column = "v";
+  create.frame = api::WireRect{1, 1, 2, 10};
+  EXPECT_FALSE(server.Call(create).ok());
+
+  api::SetActionReq set;
+  set.session = session->session;
+  set.object = 99;
+  set.action.kind = 200;  // No such ActionKind.
+  EXPECT_EQ(server.Call(set).status().code(), StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(ApiCallTest, StatsIdleSemantics) {
+  api::StatsResp stats;
+  stats.submitted = 10;
+  stats.executed = 8;
+  stats.dropped_quanta = 1;
+  EXPECT_FALSE(stats.idle());
+  stats.dropped_quanta = 2;
+  EXPECT_TRUE(stats.idle());
+}
+
+}  // namespace
+}  // namespace dbtouch::server
