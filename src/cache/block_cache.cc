@@ -51,6 +51,9 @@ BlockCache::Pinned BlockCache::PinHitLocked(Shard& shard, const BlockKey& key,
   if (entry.staged) {
     // First claim of an async completion: leave the staging pad and run
     // normal admission, so an awaited block is retained when room exists.
+    if (!entry.staged_demand) {
+      ++shard.stats.prefetch_staged_claims;  // Warm-up paid off.
+    }
     entry.staged = false;
     entry.staged_demand = false;
     shard.staged_fifo.erase(entry.staged_it);
@@ -172,6 +175,9 @@ void BlockCache::Insert(const BlockKey& key, std::vector<std::byte> payload,
       if (spare_demand && vit->second.staged_demand) {
         continue;
       }
+      if (!vit->second.staged_demand) {
+        ++shard.stats.prefetch_staged_evictions;  // Warm-up died unclaimed.
+      }
       shard.staged_bytes -=
           static_cast<std::int64_t>(vit->second.payload.size());
       shard.staged_fifo.erase(it);
@@ -262,6 +268,9 @@ BlockCacheStats BlockCache::stats() const {
     total.inserts += shard->stats.inserts;
     total.insert_duplicates += shard->stats.insert_duplicates;
     total.staged_evictions += shard->stats.staged_evictions;
+    total.prefetch_staged_claims += shard->stats.prefetch_staged_claims;
+    total.prefetch_staged_evictions +=
+        shard->stats.prefetch_staged_evictions;
     total.staged_blocks +=
         static_cast<std::int64_t>(shard->staged_fifo.size());
     total.staged_bytes += shard->staged_bytes;

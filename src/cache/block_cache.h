@@ -82,6 +82,12 @@ struct BlockCacheStats {
   std::int64_t insert_duplicates = 0;
   /// Staged (unclaimed async) blocks evicted by the staging cap.
   std::int64_t staged_evictions = 0;
+  /// Prefetch warm-up outcomes: staged warm-ups claimed by a pin before
+  /// eviction vs dropped unclaimed. Their ratio is the claimed-before-
+  /// eviction score fed back into the extrapolator's horizon — warm-ups
+  /// that keep dying unclaimed mean the horizon outruns the cache.
+  std::int64_t prefetch_staged_claims = 0;
+  std::int64_t prefetch_staged_evictions = 0;
   std::int64_t staged_blocks = 0;  // Gauge.
   std::int64_t staged_bytes = 0;   // Gauge.
   /// Gauges (a coherent snapshot at stats() time).

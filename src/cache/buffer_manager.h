@@ -122,6 +122,28 @@ class BufferManager {
   std::int64_t sync_ranged_blocks() const {
     return sync_ranged_blocks_.load(std::memory_order_relaxed);
   }
+  /// Smoothed per-block cold-fetch wall (us) from the async pipeline; 0
+  /// until a fetch settles (or when async_fetch is off). Lock-free — the
+  /// touch server reads it per quantum to extend refinement deadlines by
+  /// *measured* tier latency.
+  std::int64_t ewma_block_fetch_us() const {
+    const FetchQueue* queue = fetch_queue();
+    return queue == nullptr ? 0 : queue->ewma_block_fetch_us();
+  }
+
+  /// Claimed-before-eviction score of prefetch warm-ups: claims /
+  /// (claims + staged evictions) over the cache's lifetime; 1.0 while no
+  /// warm-up has been claimed or dropped yet (no evidence against the
+  /// configured horizon).
+  double prefetch_claim_rate() const {
+    const BlockCacheStats s = cache_.stats();
+    const std::int64_t total =
+        s.prefetch_staged_claims + s.prefetch_staged_evictions;
+    return total == 0 ? 1.0
+                      : static_cast<double>(s.prefetch_staged_claims) /
+                            static_cast<double>(total);
+  }
+
   /// Retracts still-queued demand fetches enqueued under `tag` (the touch
   /// server's session id) — see FetchQueue::CancelTagged. Returns the
   /// number of queued fetches dropped.

@@ -348,6 +348,16 @@ void FetchQueue::SettleFetch(std::unique_lock<std::mutex>& lock,
       ++stats_.ranged_reads;
       stats_.ranged_blocks += count;
     }
+    // Fold this fetch into the per-block latency EWMA (a ranged read
+    // amortises its wall over the blocks it covered). Successful fetches
+    // only: a failure's wall measures the retry/backoff policy, not the
+    // tier.
+    const std::int64_t per_block = wall_us / std::max<std::int64_t>(count, 1);
+    const std::int64_t prev = stats_.ewma_block_fetch_us;
+    stats_.ewma_block_fetch_us =
+        prev == 0 ? per_block : (prev * 4 + per_block) / 5;
+    ewma_block_us_.store(stats_.ewma_block_fetch_us,
+                         std::memory_order_relaxed);
   } else {
     stats_.failures += count;
   }

@@ -110,6 +110,11 @@ struct FetchQueueStats {
   /// Wall time inside provider fetches, including retries + backoff.
   std::int64_t fetch_wall_us = 0;
   std::int64_t max_fetch_wall_us = 0;
+  /// Smoothed per-block fetch wall (us) — the live estimate of what one
+  /// cold block costs on this tier right now. 0 until a fetch settles.
+  /// The scheduler extends deadlines of refinement quanta by exactly this
+  /// measured latency, never by a guess.
+  std::int64_t ewma_block_fetch_us = 0;
 };
 
 /// True for error codes worth retrying: the transport may deliver on the
@@ -204,6 +209,12 @@ class FetchQueue {
 
   FetchQueueStats stats() const;
 
+  /// Lock-free read of the smoothed per-block fetch wall (us); 0 until a
+  /// fetch settles. Safe from the worker hot path.
+  std::int64_t ewma_block_fetch_us() const {
+    return ewma_block_us_.load(std::memory_order_relaxed);
+  }
+
   /// Trace hook: each provider read the fetchers issue is recorded as a
   /// kFetchStarted/kFetchDone span pair (session field = block owner tag,
   /// a/b = first block + count, then ok + wall micros). Atomic because the
@@ -275,6 +286,9 @@ class FetchQueue {
   std::deque<BlockKey> prefetch_queue_;
   std::unordered_map<BlockKey, Request, BlockKeyHash> requests_;
   FetchQueueStats stats_;
+  /// Mirror of stats_.ewma_block_fetch_us readable without mu_ (updated
+  /// under mu_ in SettleFetch; alpha 0.2 favours stability over reaction).
+  std::atomic<std::int64_t> ewma_block_us_{0};
   /// Fetchers currently running waiter callbacks outside the lock;
   /// WaitIdle counts them as outstanding work.
   int active_callbacks_ = 0;

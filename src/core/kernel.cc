@@ -368,6 +368,190 @@ void Kernel::AbandonPending() {
   probe_pins_.clear();
 }
 
+bool Kernel::AnswerPartialFromResident() {
+  if (pending_gestures_.empty()) {
+    return false;
+  }
+  const GestureEvent g = pending_gestures_.front();
+  // Eligible: slide steps only. Taps, gesture begins/ends and the
+  // stateful actions fall through to the classic park — deferring their
+  // execution would reorder operator-state feeds.
+  if (g.type != GestureType::kSlide || g.phase != GesturePhase::kChanged) {
+    return false;
+  }
+  // Mirror ProbeGesture's targeting (the stalled head is never a kBegan:
+  // begins read no data, so they cannot stall).
+  ObjectState* obj = gesture_target_;
+  if (obj == nullptr || obj->view->kind() == ObjectKind::kTable) {
+    return false;
+  }
+  // Only stateless actions can be re-executed bit-identically later.
+  if (obj->action.kind != ActionKind::kScan &&
+      obj->action.kind != ActionKind::kSummary) {
+    return false;
+  }
+  // A joined object's slide feeds the join; a deferred re-execution would
+  // not, so partial answers skip joined objects entirely.
+  for (const JoinBinding& b : joins_) {
+    if (b.left == obj->id || b.right == obj->id) {
+      return false;
+    }
+  }
+  if (!config_.use_sampling || obj->hierarchy == nullptr) {
+    return false;
+  }
+  // Lowest already-materialised sample level. Never EnsureLevel here: a
+  // lazy build reads the (cold) base and would fault — the whole point is
+  // to answer from what is resident right now.
+  int level = 0;
+  for (int l = 1; l < obj->hierarchy->num_levels(); ++l) {
+    if (obj->hierarchy->IsMaterialized(l)) {
+      level = l;
+      break;
+    }
+  }
+  if (level == 0) {
+    return false;
+  }
+
+  const sim::PointCm local = obj->view->ScreenToLocal(g.position);
+  const TouchMapping mapping = touch::MapTouch(*obj->view, local);
+  const RowId base_row = mapping.row;
+
+  const std::int64_t start_ns = NowWallNs();
+  ResultItem item;
+  item.object = obj->id;
+  item.timestamp_us = g.timestamp_us;
+  item.screen_position = ResultPosition(*obj, g.position);
+  item.row = base_row;
+  item.approximate = true;
+  item.partial = true;
+  item.refine_seq = 0;
+  std::int64_t scanned = 0;
+  if (obj->action.kind == ActionKind::kScan) {
+    item.kind = ResultKind::kValue;
+    item.attribute = mapping.attribute;
+    item.value = obj->hierarchy->LevelView(level).GetValue(
+        obj->hierarchy->FromBaseRow(level, base_row));
+    scanned = 1;
+  } else {
+    exec::InteractiveSummaryOp op(obj->hierarchy->LevelView(level),
+                                  obj->action.summary_k, obj->action.agg);
+    exec::SummaryResult sr =
+        op.ComputeAt(obj->hierarchy->FromBaseRow(level, base_row));
+    scanned = op.rows_scanned();
+    sr.first = obj->hierarchy->ToBaseRow(level, sr.first);
+    sr.last = std::min<RowId>(obj->hierarchy->ToBaseRow(level, sr.last) +
+                                  obj->hierarchy->LevelStride(level) - 1,
+                              obj->table->row_count() - 1);
+    item.kind = ResultKind::kSummary;
+    item.value = storage::Value(sr.value);
+    item.band_first = sr.first;
+    item.band_last = sr.last;
+    item.rows_aggregated = sr.rows;
+    obj->stats.last_level_used = level;
+  }
+  results_.Append(std::move(item));
+
+  // The gesture is consumed here — account for it like OnGesture would.
+  ++stats_.gesture_events;
+  ++stats_.slide_steps;
+  ++stats_.partial_answers;
+  ++stats_.entries_returned;
+  stats_.rows_scanned += scanned;
+  ++obj->stats.touches;
+  ++obj->stats.entries_returned;
+  obj->stats.rows_scanned += scanned;
+  sessions_.AddEntries(1);
+  sessions_.AddRowsScanned(scanned);
+  const std::int64_t wall = NowWallNs() - start_ns;
+  stats_.exec_wall_ns += wall;
+  stats_.max_touch_wall_ns = std::max(stats_.max_touch_wall_ns, wall);
+  MaybePrefetch(obj, base_row, g);
+  sessions_.OnTouch(g.timestamp_us);
+
+  refinements_.push_back(PendingRefinement{g, obj->id, /*seq=*/1});
+  pending_gestures_.pop_front();
+  probe_pins_.clear();
+  return true;
+}
+
+RefineOutcome Kernel::RefineNext(TouchStall* stall) {
+  while (!refinements_.empty()) {
+    PendingRefinement& ref = refinements_.front();
+    const auto it = objects_.find(ref.object);
+    if (it == objects_.end()) {
+      refinements_.pop_front();  // Object destroyed; partial stands.
+      continue;
+    }
+    ObjectState* obj = it->second.get();
+    const sim::PointCm local = obj->view->ScreenToLocal(ref.event.position);
+    const TouchMapping mapping = touch::MapTouch(*obj->view, local);
+    const RowId base_row = mapping.row;
+
+    // Base-row range the full-fidelity execution reads — mirrors
+    // ProbeGesture's slide case; [-1, -1] = no base reads (the level
+    // policy routes this summary to an in-memory sample anyway).
+    RowId first = base_row;
+    RowId last = base_row;
+    if (obj->action.kind == ActionKind::kSummary) {
+      if (ChooseLevelFor(*obj, ref.event) > 0) {
+        first = -1;
+      } else {
+        const std::int64_t k = SummaryBandK(*obj);
+        first = std::max<RowId>(base_row - k, 0);
+        last = std::min<RowId>(base_row + k, obj->table->row_count() - 1);
+      }
+    }
+    if (first >= 0 && obj->paged != nullptr && obj->paged->may_block()) {
+      if (stall != nullptr) {
+        stall->entries.clear();
+      }
+      const Result<bool> ready =
+          ProbeBlocks(obj->paged, first, last, /*non_blocking=*/true, stall);
+      if (!ready.ok()) {
+        ++stats_.fetch_errors;
+        probe_pins_.clear();
+        refinements_.pop_front();
+        continue;
+      }
+      if (!*ready) {
+        ++ref.seq;  // This attempt failed; the next one carries seq + 1.
+        probe_pins_.clear();
+        return RefineOutcome::kStillCold;
+      }
+    }
+
+    const std::int64_t before = results_.size();
+    const std::int64_t start_ns = NowWallNs();
+    const std::int64_t entries = ExecuteAction(obj, mapping, ref.event);
+    const std::int64_t wall = NowWallNs() - start_ns;
+    stats_.exec_wall_ns += wall;
+    stats_.max_touch_wall_ns = std::max(stats_.max_touch_wall_ns, wall);
+    stats_.entries_returned += entries;
+    obj->stats.entries_returned += entries;
+    sessions_.AddEntries(entries);
+    for (std::int64_t i = before; i < results_.size(); ++i) {
+      ResultItem& refined = results_.mutable_items()[static_cast<std::size_t>(i)];
+      refined.partial = false;
+      refined.refine_seq = ref.seq;
+    }
+    ++stats_.refinements;
+    probe_pins_.clear();
+    refinements_.pop_front();
+    return RefineOutcome::kRefined;
+  }
+  return RefineOutcome::kIdle;
+}
+
+void Kernel::AbandonRefinement() {
+  if (!refinements_.empty()) {
+    refinements_.pop_front();
+    ++stats_.fetch_errors;
+  }
+  probe_pins_.clear();
+}
+
 TouchOutcome Kernel::DrainPending(bool non_blocking, TouchStall* stall) {
   while (!pending_gestures_.empty()) {
     const GestureEvent g = pending_gestures_.front();
@@ -640,8 +824,15 @@ void Kernel::MaybePrefetch(ObjectState* obj, RowId row,
     return;
   }
   obj->extrapolator.Observe(event.timestamp_us, row);
+  // Close the warm-up feedback loop: the cache's claimed-before-eviction
+  // score scales the horizon, so a stream of warm-ups dying unclaimed
+  // shortens the reach instead of churning the staging pad forever.
+  obj->extrapolator.ObserveClaimRate(
+      shared_->buffer_manager().prefetch_claim_rate());
   const prefetch::RowRange range = obj->extrapolator.PredictRange(
-      event.timestamp_us, config_.prefetch_horizon_s, source->row_count());
+      event.timestamp_us,
+      config_.prefetch_horizon_s * obj->extrapolator.horizon_scale(),
+      source->row_count());
   if (range.empty()) {
     return;
   }

@@ -137,6 +137,12 @@ struct KernelStats {
   std::int64_t suspensions = 0;
   std::int64_t fetch_errors = 0;
   std::int64_t prefetch_requests = 0;
+  /// Partial-answer path (Section 4's fidelity-for-latency trade): quanta
+  /// answered coarsely from the resident sample level at deadline
+  /// pressure, and refinement executions that later replaced those
+  /// answers with full-fidelity results.
+  std::int64_t partial_answers = 0;
+  std::int64_t refinements = 0;
 };
 
 struct ObjectStats {
@@ -150,6 +156,13 @@ struct ObjectStats {
 enum class TouchOutcome {
   kCompleted,  // All gesture work for the touch executed.
   kSuspended,  // Waiting on cold blocks; see the TouchStall.
+};
+
+/// Outcome of one RefineNext attempt.
+enum class RefineOutcome {
+  kIdle,       // No refinement queued.
+  kRefined,    // Head refinement executed at full fidelity.
+  kStillCold,  // Needed blocks still missing; `stall` filled.
 };
 
 /// What a suspended quantum waits on: blocks the slow tiers have not
@@ -261,6 +274,32 @@ class Kernel {
   /// touches); only the stalled execution is shed (counted as a kernel
   /// fetch error).
   void AbandonPending();
+
+  // ---- Partial answers & progressive refinement (Section 4) --------------
+
+  /// Deadline escape hatch: answers the gesture stalled at the head of the
+  /// pending queue immediately from the lowest *resident* sample level
+  /// (never faulting), emits the result with partial = true / refine_seq =
+  /// 0, and queues a refinement that will re-execute the same touch at
+  /// full fidelity once its blocks land. Returns false — leaving the
+  /// pending queue untouched, so the caller parks classically — when the
+  /// stalled gesture is not eligible: only stateless actions (plain scans
+  /// and summaries) on non-joined column objects with a materialised
+  /// sample level can be re-executed bit-identically later.
+  bool AnswerPartialFromResident();
+
+  /// Executes the oldest queued refinement whose object is still alive.
+  /// kRefined: full-fidelity results appended, tagged with the attempt's
+  /// refine_seq. kStillCold: blocks are still missing — `stall` names
+  /// them; the caller fetches and retries. kIdle: nothing queued.
+  RefineOutcome RefineNext(TouchStall* stall);
+
+  /// Refinements queued behind partial answers not yet refined.
+  bool has_refinements() const { return !refinements_.empty(); }
+
+  /// Drops the head refinement (its fetch failed permanently); counted as
+  /// a kernel fetch error. The partial answer stays the final answer.
+  void AbandonRefinement();
 
   /// Feeds a whole trace through OnTouch.
   void Replay(const sim::GestureTrace& trace);
@@ -406,6 +445,15 @@ class Kernel {
   /// suspended on a cold fetch (execution order is gesture order, so
   /// everything behind the stalled event waits with it).
   std::deque<gesture::GestureEvent> pending_gestures_;
+  /// Touches answered partially and awaiting full-fidelity re-execution.
+  /// seq counts refinement attempts for the touch (the emitted partial
+  /// item carries 0; each retry bumps it).
+  struct PendingRefinement {
+    gesture::GestureEvent event;
+    ObjectId object = 0;
+    std::int64_t seq = 0;
+  };
+  std::deque<PendingRefinement> refinements_;
   /// Pins taken by the residency probe; held through the gesture's
   /// execution (the probed blocks cannot evict mid-touch) and dropped
   /// after it. Declared last: pins reference sources owned by objects_.

@@ -54,6 +54,13 @@ struct ResultItem {
   std::int64_t rows_aggregated = 0;
   /// True when produced from a sample rather than base data.
   bool approximate = false;
+  /// Partial-answer protocol (paper Section 4): a deadline-pressed quantum
+  /// answers from the resident sample level with partial = true, then
+  /// refinement quanta re-execute at full fidelity as blocks land; each
+  /// refinement carries the sequence number of the attempt that produced
+  /// it (0 = the initial coarse answer).
+  bool partial = false;
+  std::int64_t refine_seq = 0;
 };
 
 struct VisibleResult {
@@ -72,6 +79,9 @@ class ResultStream {
   void Append(ResultItem item) { items_.push_back(std::move(item)); }
 
   const std::vector<ResultItem>& items() const { return items_; }
+  /// Mutable access for refinement tagging: the kernel stamps refine_seq
+  /// onto items appended by a just-executed refinement quantum.
+  std::vector<ResultItem>& mutable_items() { return items_; }
   std::int64_t size() const {
     return static_cast<std::int64_t>(items_.size());
   }

@@ -436,6 +436,17 @@ void Encode(const api::SessionSnapshotResp& v, WireWriter& w) {
   w.I64(v.result_count);
   w.U32(static_cast<std::uint32_t>(v.results.size()));
   for (const auto& result : v.results) EncodeResultInfo(result, w);
+  // Partial-answer extension, appended AFTER the complete v1 payload per
+  // the append-only protocol-evolution policy: old decoders stop at the
+  // original end and keep the zero defaults. Per-result flags ride in
+  // trailing parallel arrays so EncodeResultInfo's v1 layout is untouched.
+  w.I64(v.partial_answers);
+  w.I64(v.refinements);
+  w.U32(static_cast<std::uint32_t>(v.results.size()));
+  for (const auto& result : v.results) {
+    w.Bool(result.partial);
+    w.I64(result.refine_seq);
+  }
 }
 
 Status Decode(WireReader& r, api::SessionSnapshotResp* v) {
@@ -470,6 +481,20 @@ Status Decode(WireReader& r, api::SessionSnapshotResp* v) {
     api::ResultInfo info;
     DBTOUCH_RETURN_IF_ERROR(DecodeResultInfo(r, &info));
     v->results.push_back(info);
+  }
+  if (r.AtEnd()) {
+    return Status::OK();  // v1 peer: partial-answer defaults stand.
+  }
+  DBTOUCH_ASSIGN_OR_RETURN(v->partial_answers, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(v->refinements, r.I64());
+  DBTOUCH_ASSIGN_OR_RETURN(std::uint32_t flag_count, r.U32());
+  if (flag_count != v->results.size() ||
+      flag_count > r.remaining() / kMinElementBytes + 1) {
+    return MalformedVector(flag_count, r.remaining());
+  }
+  for (std::uint32_t i = 0; i < flag_count; ++i) {
+    DBTOUCH_ASSIGN_OR_RETURN(v->results[i].partial, r.Bool());
+    DBTOUCH_ASSIGN_OR_RETURN(v->results[i].refine_seq, r.I64());
   }
   return Status::OK();
 }

@@ -44,6 +44,10 @@ const char* SpanStageName(SpanStage stage) {
       return "completed";
     case SpanStage::kShed:
       return "shed";
+    case SpanStage::kPartial:
+      return "partial";
+    case SpanStage::kRefined:
+      return "refined";
   }
   return "?";
 }

@@ -58,6 +58,8 @@ enum class SpanStage : std::uint8_t {
   kResumed = 8,       // Worker re-entered the kernel after a stall.
   kCompleted = 9,     // Quantum finished (a=latency_us, b=missed).
   kShed = 10,         // Quantum dropped (a=reason, see ShedReason).
+  kPartial = 11,      // Answered coarsely at deadline pressure.
+  kRefined = 12,      // Refinement landed (a=latency_us, b=late).
 };
 
 /// a-tag of a kShed event.

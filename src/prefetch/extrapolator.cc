@@ -27,6 +27,26 @@ void GestureExtrapolator::Observe(sim::Micros now, storage::RowId row) {
   last_row_ = row;
 }
 
+void GestureExtrapolator::ObserveClaimRate(double rate) {
+  rate = std::clamp(rate, 0.0, 1.0);
+  if (!has_claim_rate_) {
+    has_claim_rate_ = true;
+    claim_rate_ = rate;
+    return;
+  }
+  claim_rate_ = config_.smoothing * rate +
+                (1.0 - config_.smoothing) * claim_rate_;
+}
+
+double GestureExtrapolator::horizon_scale() const {
+  if (!has_claim_rate_) {
+    return 1.0;
+  }
+  // Linear in the claim rate: 0 -> 0.5 (stop outrunning the cache),
+  // 1 -> 2.0 (warm-ups all land and get used; reach further).
+  return 0.5 + 1.5 * claim_rate_;
+}
+
 bool GestureExtrapolator::IsPaused(sim::Micros now) const {
   if (!has_observation_) {
     return true;
@@ -72,6 +92,8 @@ void GestureExtrapolator::Reset() {
   last_time_ = 0;
   last_row_ = 0;
   velocity_ = 0.0;
+  // The claim-rate EWMA survives Reset on purpose: it models the cache's
+  // capacity to absorb this object's warm-ups, not the gesture in flight.
 }
 
 }  // namespace dbtouch::prefetch

@@ -39,6 +39,17 @@ class GestureExtrapolator {
   /// Feeds the row just touched at `now`.
   void Observe(sim::Micros now, storage::RowId row);
 
+  /// Feeds the cache's claimed-before-eviction score for this object's
+  /// warm-ups: the fraction of staged prefetches a pin claimed before the
+  /// staging cap dropped them (1.0 = every warm-up paid off). Smoothed
+  /// with the same EWMA weight as the velocity.
+  void ObserveClaimRate(double rate);
+
+  /// Horizon multiplier derived from the claim rate, in [0.5, 2.0]: a
+  /// fully claimed warm-up stream doubles the look-ahead, one that mostly
+  /// dies unclaimed halves it. 1.0 before any feedback.
+  double horizon_scale() const;
+
   /// Smoothed velocity in rows/second; signed (negative = sliding towards
   /// smaller row ids).
   double velocity_rows_per_s() const { return velocity_; }
@@ -61,6 +72,8 @@ class GestureExtrapolator {
   sim::Micros last_time_ = 0;
   storage::RowId last_row_ = 0;
   double velocity_ = 0.0;
+  bool has_claim_rate_ = false;
+  double claim_rate_ = 1.0;
 };
 
 }  // namespace dbtouch::prefetch

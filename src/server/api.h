@@ -289,6 +289,13 @@ struct ResultInfo {
   std::int64_t row = 0;
   double value = 0.0;
   bool approximate = false;
+  /// Partial-answer protocol: true while this entry is a coarse answer
+  /// awaiting refinement; refine_seq counts refinement passes (0 = the
+  /// initial answer). Encoded as trailing per-result arrays AFTER the v1
+  /// results vector on the wire — old decoders simply stop early and see
+  /// the defaults (append-only protocol evolution).
+  bool partial = false;
+  std::int64_t refine_seq = 0;
 
   friend bool operator==(const ResultInfo&, const ResultInfo&) = default;
 };
@@ -312,6 +319,10 @@ struct SessionSnapshotResp {
   // Result stream: total size plus an optional tail.
   std::int64_t result_count = 0;
   std::vector<ResultInfo> results;
+  // Partial-answer kernel counters. Trailing fields on the wire (appended
+  // after `results`): absent on old peers, zero-defaulted on decode.
+  std::int64_t partial_answers = 0;
+  std::int64_t refinements = 0;
 
   friend bool operator==(const SessionSnapshotResp&,
                          const SessionSnapshotResp&) = default;

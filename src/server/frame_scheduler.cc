@@ -18,6 +18,14 @@ void FrameScheduler::Push(TouchTask task) {
   cv_.notify_all();
 }
 
+void FrameScheduler::PushFront(TouchTask task) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queues_[task.session_id].push_front(std::move(task));
+  }
+  cv_.notify_all();
+}
+
 std::optional<TouchTask> FrameScheduler::PopRunnable() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {

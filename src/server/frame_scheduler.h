@@ -53,6 +53,17 @@ struct TouchTask {
   /// touch was already consumed by the recognizer — the worker re-enters
   /// via Kernel::ResumePending instead of feeding the event again.
   bool resume = false;
+  /// Refinement quantum: a prior quantum already answered partially at
+  /// its deadline; this one re-executes the touch at full fidelity via
+  /// Kernel::RefineNext. Never droppable (the partial answer promised a
+  /// refinement), and its deadline is the original deadline extended by
+  /// the measured per-block fetch EWMA — fidelity waits exactly as long
+  /// as the tier demonstrably needs, no longer.
+  bool refine = false;
+  /// For refinement quanta: release_us of the quantum that produced the
+  /// partial answer, so refinement latency is measured from the user's
+  /// touch, not from the re-queue.
+  sim::Micros origin_release_us = 0;
   /// Server-assigned id, unique across sessions; tags this quantum's trace
   /// spans (0 = untraced path).
   std::int64_t quantum_id = 0;
@@ -77,6 +88,13 @@ class FrameScheduler {
 
   /// Enqueues a task on its session's FIFO queue.
   void Push(TouchTask task);
+
+  /// Enqueues at the FRONT of the session queue — for refinement quanta,
+  /// which must not wait out every not-yet-released touch behind them in
+  /// the FIFO. Safe ahead of a parked resume task: refinements execute
+  /// through their own kernel path and leave the parked gesture state
+  /// untouched. Ordinary touch quanta must use Push (gesture order).
+  void PushFront(TouchTask task);
 
   /// Blocks until a task is runnable (released, session not executing) and
   /// returns the earliest-deadline one; nullopt once Shutdown() is called.

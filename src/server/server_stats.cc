@@ -27,6 +27,9 @@ std::string ServerStatsSnapshot::ToJson(bool include_buckets) const {
   writer.Field("dropped_quanta", dropped_quanta);
   writer.Field("deadline_misses", deadline_misses);
   writer.Field("miss_rate", miss_rate());
+  writer.Field("partial_answers", partial_answers);
+  writer.Field("refinements", refinements);
+  writer.Field("refinements_shed", refinements_shed);
   writer.Field("p50_latency_us", p50_latency_us);
   writer.Field("p99_latency_us", p99_latency_us);
   writer.Field("max_latency_us", max_latency_us);
@@ -37,6 +40,7 @@ std::string ServerStatsSnapshot::ToJson(bool include_buckets) const {
   AppendStage(writer, "exec", stages.exec, include_buckets);
   AppendStage(writer, "fetch_stall", stages.fetch_stall, include_buckets);
   AppendStage(writer, "e2e", stages.e2e, include_buckets);
+  AppendStage(writer, "refine", stages.refine, include_buckets);
   writer.EndObject();
   writer.Key("buffer");
   writer.BeginObject();
@@ -70,6 +74,7 @@ std::string ServerStatsSnapshot::ToJson(bool include_buckets) const {
   writer.Field("bytes_fetched", fetch.bytes_fetched);
   writer.Field("fetch_wall_us", fetch.fetch_wall_us);
   writer.Field("max_fetch_wall_us", fetch.max_fetch_wall_us);
+  writer.Field("ewma_block_fetch_us", fetch.ewma_block_fetch_us);
   writer.Field("avg_fetch_ms", fetch.avg_fetch_ms());
   writer.EndObject();
   writer.Key("per_session");
@@ -86,6 +91,8 @@ std::string ServerStatsSnapshot::ToJson(bool include_buckets) const {
     writer.Field("touch_events", s.touch_events);
     writer.Field("entries_returned", s.entries_returned);
     writer.Field("rows_scanned", s.rows_scanned);
+    writer.Field("partial_quanta", s.partial_quanta);
+    writer.Field("refined_quanta", s.refined_quanta);
     writer.EndObject();
   }
   writer.EndObject();

@@ -32,6 +32,10 @@ struct SessionStatsSnapshot {
   std::int64_t touch_events = 0;
   std::int64_t entries_returned = 0;
   std::int64_t rows_scanned = 0;
+  /// Deadline-sacred mode: quanta answered coarsely from the resident
+  /// sample level at deadline pressure, and refinement quanta completed.
+  std::int64_t partial_quanta = 0;
+  std::int64_t refined_quanta = 0;
 };
 
 /// Shared buffer-manager roll-up inside a ServerStatsSnapshot: how the
@@ -104,6 +108,9 @@ struct FetchStatsSnapshot {
   /// Wall time inside provider fetches (incl. retry backoff).
   sim::Micros fetch_wall_us = 0;
   sim::Micros max_fetch_wall_us = 0;
+  /// Smoothed per-block cold-fetch wall (us); what the deadline-sacred
+  /// scheduler consults to predict whether a park blows the deadline.
+  sim::Micros ewma_block_fetch_us = 0;
 
   double avg_fetch_ms() const {
     const std::int64_t n = demand_fetches + prefetch_fetches;
@@ -129,6 +136,9 @@ struct StageLatencySnapshot {
   obs::HistogramSnapshot fetch_stall;
   /// Scheduled release -> completion: what a live user waited.
   obs::HistogramSnapshot e2e;
+  /// Partial answer's touch release -> full-fidelity refinement, per
+  /// refinement quantum; empty unless partial_answers is enabled.
+  obs::HistogramSnapshot refine;
 };
 
 struct ServerStatsSnapshot {
@@ -140,6 +150,13 @@ struct ServerStatsSnapshot {
   std::int64_t dropped_quanta = 0;
   /// Touches that executed but completed after their frame deadline.
   std::int64_t deadline_misses = 0;
+  /// Deadline-sacred mode accounting: quanta answered coarsely at
+  /// deadline pressure, refinement quanta completed at full fidelity, and
+  /// refinements abandoned on permanent fetch failure (the partial answer
+  /// stood). All zero with partial_answers off.
+  std::int64_t partial_answers = 0;
+  std::int64_t refinements = 0;
+  std::int64_t refinements_shed = 0;
   /// Latency = completion - scheduled arrival, steady-clock micros.
   /// Derived from stages.e2e (exact-bucket percentiles over EVERY executed
   /// touch — no sample cap, no reservoir bias); kept as top-level fields

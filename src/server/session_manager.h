@@ -52,6 +52,17 @@ class ServerSession {
   /// resume abandons the parked gesture work instead of re-suspending on
   /// a block that will never arrive.
   std::atomic<bool> fetch_failed{false};
+  /// Partial-answer path: quanta answered coarsely at deadline pressure,
+  /// refinement quanta completed, and the refine twin of fetch_failed —
+  /// set when a refinement's fetch failed permanently, read by the next
+  /// refine quantum to abandon instead of re-fetching forever.
+  std::atomic<std::int64_t> partial_quanta{0};
+  std::atomic<std::int64_t> refined_quanta{0};
+  std::atomic<bool> refine_fetch_failed{false};
+  /// Refinement demand fetches not yet settled. A still-cold refine
+  /// quantum only re-fetches when this is zero — otherwise a pending
+  /// settle will push the next refine quantum anyway.
+  std::atomic<std::int64_t> refine_fetches_inflight{0};
 
  private:
   SessionId id_;

@@ -285,6 +285,8 @@ Result<api::SessionSnapshotResp> TouchServer::Call(
   resp.rows_pruned = k.rows_pruned;
   resp.suspensions = k.suspensions;
   resp.fetch_errors = k.fetch_errors;
+  resp.partial_answers = k.partial_answers;
+  resp.refinements = k.refinements;
   const auto& items = kernel.results().items();
   resp.result_count = static_cast<std::int64_t>(items.size());
   if (req.max_results > 0 && !items.empty()) {
@@ -301,6 +303,8 @@ Result<api::SessionSnapshotResp> TouchServer::Call(
       // today) would CHECK in ToDouble, so guard them to 0.
       info.value = item.value.is_string() ? 0.0 : item.value.ToDouble();
       info.approximate = item.approximate;
+      info.partial = item.partial;
+      info.refine_seq = item.refine_seq;
       resp.results.push_back(info);
     }
   }
@@ -474,7 +478,20 @@ Status TouchServer::Drain() {
   if (!running_) {
     return Status::FailedPrecondition("server not running");
   }
-  scheduler_.WaitIdle();
+  // Refinement quanta are re-queued by fetch completions, so one WaitIdle
+  // is not enough: a settle landing just after it can push new work. Wait
+  // out the fetch pipeline as well and converge when a full pass saw both
+  // idle with no refinement re-queued in between.
+  while (true) {
+    scheduler_.WaitIdle();
+    const std::int64_t requeues =
+        refine_requeues_.load(std::memory_order_acquire);
+    shared_->buffer_manager().WaitForFetches();
+    if (refine_requeues_.load(std::memory_order_acquire) == requeues &&
+        scheduler_.pending() == 0) {
+      break;
+    }
+  }
   return Status::OK();
 }
 
@@ -489,6 +506,16 @@ void TouchServer::WorkerLoop() {
       continue;
     }
     const std::shared_ptr<ServerSession>& s = *session;
+
+    if (task->refine) {
+      // Refinement quanta live outside the executed/dropped accounting:
+      // the quantum that owed the user an answer already completed (with
+      // partial results) and was counted; this one only upgrades
+      // fidelity, so it must not perturb idle()/miss/shed bookkeeping.
+      ExecuteRefinement(&*task, s);
+      scheduler_.OnTaskDone(task->session_id);
+      continue;
+    }
 
     const sim::Micros popped = SteadyNowUs();
     // Stage accounting. The invariant this maintains: queue wait (release
@@ -533,7 +560,16 @@ void TouchServer::WorkerLoop() {
     core::TouchOutcome outcome;
     {
       const std::lock_guard<std::mutex> lock(s->exec_mu());
-      const int shed = s->shed_levels.load(std::memory_order_relaxed);
+      // Buffer-pressure bias: while the pool runs near its byte budget,
+      // every session sheds one extra level so summaries touch fewer
+      // blocks and eviction pressure relaxes. Applied only in the
+      // deadline-sacred mode — classic mode keeps bit-stable results.
+      const int bias = config_.partial_answers
+                           ? buffer_shed_bias_.load(std::memory_order_relaxed)
+                           : 0;
+      const int shed =
+          ClampShed(s->shed_levels.load(std::memory_order_relaxed) + bias,
+                    config_.max_shed_levels);
       s->kernel().set_shed_levels(shed);
       if (trace_ != nullptr) {
         s->kernel().set_trace_quantum(task->quantum_id);
@@ -552,6 +588,12 @@ void TouchServer::WorkerLoop() {
       } else {
         outcome = s->kernel().OnTouchAsync(task->event, &stall);
       }
+    }
+    if (outcome == core::TouchOutcome::kSuspended && config_.partial_answers) {
+      // Deadline-sacred path: if the measured fetch latency predicts the
+      // park would blow the deadline, answer now from the resident sample
+      // level and re-queue refinement quanta instead of parking.
+      outcome = TryPartialDispatch(&*task, s, &stall);
     }
     if (outcome == core::TouchOutcome::kSuspended) {
       // Close this exec segment and open a stall segment; the next
@@ -584,6 +626,18 @@ void TouchServer::WorkerLoop() {
           std::memory_order_relaxed);
     }
     RecordCompletion(*task, latency, missed);
+    const std::int64_t n = completions_since_pressure_check_.fetch_add(
+        1, std::memory_order_relaxed);
+    if ((n & 63) == 0) {
+      // Recompute the buffer-pressure shed bias every 64th completion:
+      // stats() aggregates across cache shards, too heavy per quantum.
+      const std::int64_t budget =
+          shared_->buffer_manager().config().budget_bytes;
+      const bool pressed =
+          budget > 0 &&
+          shared_->buffer_manager().stats().resident_bytes * 10 >= budget * 9;
+      buffer_shed_bias_.store(pressed ? 1 : 0, std::memory_order_relaxed);
+    }
     scheduler_.OnTaskDone(task->session_id);
   }
 }
@@ -642,6 +696,163 @@ void TouchServer::SuspendOnStall(const TouchTask& task,
   }
 }
 
+sim::Micros TouchServer::FetchEwmaUs() const {
+  return shared_->buffer_manager().ewma_block_fetch_us();
+}
+
+core::TouchOutcome TouchServer::TryPartialDispatch(
+    TouchTask* task, const std::shared_ptr<ServerSession>& s,
+    core::TouchStall* stall) {
+  // Sacrifice fidelity only when the measured tier latency predicts a
+  // deadline miss; a fast tier parks classically and still answers on
+  // time at full fidelity. Before the first fetch has settled the EWMA is
+  // zero and the classic path keeps its exactness.
+  const sim::Micros ewma = FetchEwmaUs();
+  if (ewma <= 0 || SteadyNowUs() + ewma <= task->deadline_us) {
+    return core::TouchOutcome::kSuspended;
+  }
+  while (true) {
+    bool answered = false;
+    {
+      const std::lock_guard<std::mutex> lock(s->exec_mu());
+      answered = s->kernel().AnswerPartialFromResident();
+    }
+    if (!answered) {
+      // The stalled head is not partial-eligible (tap targeting, join
+      // input, no resident sample level): park classically on `stall`.
+      return core::TouchOutcome::kSuspended;
+    }
+    s->partial_quanta.fetch_add(1, std::memory_order_relaxed);
+    total_partial_.fetch_add(1, std::memory_order_relaxed);
+    if (trace_ != nullptr) {
+      trace_->Record(obs::SpanStage::kPartial, task->quantum_id,
+                     task->session_id);
+    }
+    StartRefinementFetches(*task, s, std::move(*stall));
+    // Drain the rest of the quantum: gestures queued behind the answered
+    // head may complete outright or stall in turn (and get their own
+    // partial answer on the next lap).
+    core::TouchStall next;
+    core::TouchOutcome outcome;
+    {
+      const std::lock_guard<std::mutex> lock(s->exec_mu());
+      outcome = s->kernel().ResumePending(&next);
+    }
+    if (outcome == core::TouchOutcome::kCompleted) {
+      return outcome;
+    }
+    *stall = std::move(next);
+  }
+}
+
+void TouchServer::StartRefinementFetches(
+    const TouchTask& task, const std::shared_ptr<ServerSession>& s,
+    core::TouchStall stall) {
+  DBTOUCH_CHECK(!stall.entries.empty());
+  const SessionId id = task.session_id;
+  // Refinement latency is measured from the touch the user actually made,
+  // carried across re-queues and re-fetches.
+  const sim::Micros origin_release =
+      task.refine ? task.origin_release_us : task.release_us;
+  const sim::Micros base_deadline = task.deadline_us;
+  s->refine_fetches_inflight.fetch_add(stall.total_blocks(),
+                                       std::memory_order_acq_rel);
+  const auto settle = [this, id, s, origin_release,
+                       base_deadline](const Status& status) {
+    s->refine_fetches_inflight.fetch_sub(1, std::memory_order_acq_rel);
+    if (!status.ok()) {
+      // Permanent failure: the next refine quantum abandons instead of
+      // re-fetching a block that will never arrive.
+      s->refine_fetch_failed.store(true, std::memory_order_release);
+    }
+    if (!running_.load(std::memory_order_acquire)) {
+      return;  // Stop() abandons pending refinements.
+    }
+    // One refinement quantum per landed block: refinement starts as soon
+    // as any part of the band is checkable instead of waiting out the
+    // whole fetch, and the deadline extends past the original by exactly
+    // the measured per-block fetch latency — fidelity waits as long as
+    // the tier demonstrably needs, no longer.
+    TouchTask refine;
+    refine.session_id = id;
+    refine.refine = true;
+    refine.droppable = false;
+    refine.resume = false;
+    refine.release_us = SteadyNowUs();
+    const sim::Micros ewma = std::max<sim::Micros>(FetchEwmaUs(), 1'000);
+    refine.deadline_us = std::max(base_deadline, refine.release_us) + ewma;
+    refine.budget_us = refine.deadline_us - refine.release_us;
+    refine.origin_release_us = origin_release;
+    if (trace_ != nullptr) {
+      refine.quantum_id =
+          next_quantum_id_.fetch_add(1, std::memory_order_relaxed);
+    }
+    refine_requeues_.fetch_add(1, std::memory_order_release);
+    // Front of the session queue: the slide's not-yet-released touches
+    // sit behind it in the FIFO, and a refinement that waited out the
+    // whole gesture would be stale by the time it landed.
+    scheduler_.PushFront(std::move(refine));
+  };
+  for (const core::TouchStall::Entry& entry : stall.entries) {
+    for (const std::int64_t block : entry.blocks) {
+      const Status started = entry.source->StartFetch(
+          block, settle, static_cast<std::uint64_t>(id));
+      if (!started.ok()) {
+        settle(started);
+      }
+    }
+  }
+}
+
+void TouchServer::ExecuteRefinement(TouchTask* task,
+                                    const std::shared_ptr<ServerSession>& s) {
+  // Drain every refinement whose blocks have landed, not just the head:
+  // settles can land out of FIFO order, so the quantum pushed for
+  // refinement B may find head A still cold while B is ready right
+  // behind it — a single-shot RefineNext would strand B forever.
+  while (true) {
+    core::TouchStall stall;
+    core::RefineOutcome outcome;
+    {
+      const std::lock_guard<std::mutex> lock(s->exec_mu());
+      if (s->refine_fetch_failed.exchange(false,
+                                          std::memory_order_acq_rel)) {
+        // The refinement's fetch failed past its retries: the partial
+        // answer stands as the final one for that touch.
+        s->kernel().AbandonRefinement();
+        total_refine_shed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (trace_ != nullptr) {
+        s->kernel().set_trace_quantum(task->quantum_id);
+      }
+      outcome = s->kernel().RefineNext(&stall);
+    }
+    const sim::Micros done = SteadyNowUs();
+    if (outcome == core::RefineOutcome::kRefined) {
+      s->refined_quanta.fetch_add(1, std::memory_order_relaxed);
+      total_refined_.fetch_add(1, std::memory_order_relaxed);
+      refine_hist_.Record(done - task->origin_release_us);
+      if (trace_ != nullptr) {
+        trace_->Record(obs::SpanStage::kRefined, task->quantum_id,
+                       task->session_id, done - task->origin_release_us,
+                       done > task->deadline_us ? 1 : 0);
+      }
+      continue;  // The next refinement's blocks may have landed too.
+    }
+    if (outcome == core::RefineOutcome::kStillCold) {
+      // Blocks were evicted (or a re-queue raced an eviction) before this
+      // quantum ran. Re-fetch only when no settle is pending — otherwise
+      // the pending settle pushes the next refine quantum anyway and
+      // re-fetching here would amplify coalesced duplicates.
+      if (!stall.entries.empty() &&
+          s->refine_fetches_inflight.load(std::memory_order_acquire) == 0) {
+        StartRefinementFetches(*task, s, std::move(stall));
+      }
+    }
+    break;  // kIdle: every queued refinement is done.
+  }
+}
+
 void TouchServer::RecordCompletion(const TouchTask& task,
                                    sim::Micros latency, bool missed) {
   total_executed_.fetch_add(1, std::memory_order_relaxed);
@@ -680,10 +891,15 @@ ServerStatsSnapshot TouchServer::stats() const {
   snapshot.executed = total_executed_.load(std::memory_order_relaxed);
   snapshot.dropped_quanta = total_dropped_.load(std::memory_order_relaxed);
   snapshot.deadline_misses = total_misses_.load(std::memory_order_relaxed);
+  snapshot.partial_answers = total_partial_.load(std::memory_order_relaxed);
+  snapshot.refinements = total_refined_.load(std::memory_order_relaxed);
+  snapshot.refinements_shed =
+      total_refine_shed_.load(std::memory_order_relaxed);
   snapshot.stages.queue_wait = queue_wait_hist_.Snapshot();
   snapshot.stages.exec = exec_hist_.Snapshot();
   snapshot.stages.fetch_stall = fetch_stall_hist_.Snapshot();
   snapshot.stages.e2e = e2e_hist_.Snapshot();
+  snapshot.stages.refine = refine_hist_.Snapshot();
   snapshot.p50_latency_us = snapshot.stages.e2e.Percentile(0.50);
   snapshot.p99_latency_us = snapshot.stages.e2e.Percentile(0.99);
   snapshot.max_latency_us = snapshot.stages.e2e.max;
@@ -731,6 +947,7 @@ ServerStatsSnapshot TouchServer::stats() const {
     snapshot.fetch.bytes_fetched = fetch.bytes_fetched;
     snapshot.fetch.fetch_wall_us = fetch.fetch_wall_us;
     snapshot.fetch.max_fetch_wall_us = fetch.max_fetch_wall_us;
+    snapshot.fetch.ewma_block_fetch_us = fetch.ewma_block_fetch_us;
   }
   std::vector<std::int64_t> executed_per_session;
   for (const auto& s : sessions_.Snapshot()) {
@@ -743,6 +960,8 @@ ServerStatsSnapshot TouchServer::stats() const {
     per.suspended_quanta =
         s->suspended_quanta.load(std::memory_order_relaxed);
     per.shed_levels = s->shed_levels.load(std::memory_order_relaxed);
+    per.partial_quanta = s->partial_quanta.load(std::memory_order_relaxed);
+    per.refined_quanta = s->refined_quanta.load(std::memory_order_relaxed);
     {
       const std::lock_guard<std::mutex> lock(s->exec_mu());
       const core::KernelStats& k = s->kernel().stats();

@@ -95,6 +95,15 @@ struct TouchServerConfig {
   /// worker serves other sessions) instead of blocking inside the fault.
   /// Off = the synchronous pre-PR-3 path, kept for A/B benchmarking.
   bool async_fetch = true;
+  /// Deadline-sacred partial answers (paper Section 4): a quantum whose
+  /// cold fetch is predicted — by the measured per-block fetch EWMA — to
+  /// blow its deadline answers immediately from the resident sample level
+  /// (result tagged partial=true) and a refinement quantum is re-queued to
+  /// re-execute at full fidelity when the blocks land, instead of parking
+  /// the session until the fetch completes. Opt-in: coarse first answers
+  /// change result values mid-stream, so clients must understand the
+  /// partial/refine_seq protocol (see src/server/README.md).
+  bool partial_answers = false;
 };
 
 struct TraceSubmitOptions {
@@ -234,6 +243,31 @@ class TouchServer {
   void SuspendOnStall(const TouchTask& task,
                       const std::shared_ptr<ServerSession>& session,
                       core::TouchStall stall);
+  /// Partial-dispatch escape hatch: when the EWMA predicts `task`'s stall
+  /// outlives its deadline, answers partially from the resident sample
+  /// level and re-queues refinement quanta instead of parking. Returns
+  /// the outcome of the last kernel drain attempt — kCompleted means the
+  /// quantum finished on time with partial answers in place of the cold
+  /// reads; kSuspended means the (remaining) stall was not eligible and
+  /// the caller parks classically with `stall`. Caller holds no locks;
+  /// takes the session's exec_mu internally.
+  core::TouchOutcome TryPartialDispatch(
+      TouchTask* task, const std::shared_ptr<ServerSession>& session,
+      core::TouchStall* stall);
+  /// Starts demand fetches for a refinement's stall WITHOUT parking the
+  /// session; the last completion pushes a refine quantum (deadline =
+  /// now + measured EWMA) back onto the session's queue.
+  void StartRefinementFetches(const TouchTask& task,
+                              const std::shared_ptr<ServerSession>& session,
+                              core::TouchStall stall);
+  /// Handles a popped refine quantum: RefineNext under exec_mu; a still-
+  /// cold outcome re-fetches and re-queues, a permanent fetch failure
+  /// abandons the refinement (the partial answer stands).
+  void ExecuteRefinement(TouchTask* task,
+                         const std::shared_ptr<ServerSession>& session);
+  /// Smoothed per-block cold-fetch wall from the shared buffer pool (us);
+  /// 0 until a fetch has settled.
+  sim::Micros FetchEwmaUs() const;
   sim::Micros BaseBudgetUs() const;
   sim::Micros BudgetForSpeed(double speed_cm_s) const;
   /// True = admitted to the session queue, false = rejected at admission
@@ -268,6 +302,10 @@ class TouchServer {
   obs::Histogram exec_hist_;
   obs::Histogram fetch_stall_hist_;
   obs::Histogram e2e_hist_;
+  /// Refinement latency: partial answer's touch release -> full-fidelity
+  /// result, per refinement quantum (the fidelity half of the deadline/
+  /// fidelity contract; e2e_hist_ holds the latency half).
+  obs::Histogram refine_hist_;
   std::atomic<std::int64_t> total_submitted_{0};
   std::atomic<std::int64_t> total_executed_{0};
   std::atomic<std::int64_t> total_dropped_{0};
@@ -279,6 +317,20 @@ class TouchServer {
   /// Suspend round trips saved by multi-attribute stalls (see
   /// FetchStatsSnapshot::batched_stall_attrs).
   std::atomic<std::int64_t> total_batched_stall_attrs_{0};
+  /// Partial-answer path accounting: quanta answered coarsely at deadline
+  /// pressure, refinement quanta completed, refinements shed on permanent
+  /// fetch failure.
+  std::atomic<std::int64_t> total_partial_{0};
+  std::atomic<std::int64_t> total_refined_{0};
+  std::atomic<std::int64_t> total_refine_shed_{0};
+  /// Every refine quantum pushed by a fetch settle bumps this; Drain()
+  /// uses it to detect refinements re-queued behind its WaitIdle pass.
+  std::atomic<std::int64_t> refine_requeues_{0};
+  /// Buffer-pressure shed bias: extra shed levels applied to every
+  /// session while the pool runs near its byte budget (recomputed every
+  /// few completions; reads are relaxed-atomic on the hot path).
+  std::atomic<int> buffer_shed_bias_{0};
+  std::atomic<std::int64_t> completions_since_pressure_check_{0};
 };
 
 }  // namespace dbtouch::server

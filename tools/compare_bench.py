@@ -87,6 +87,18 @@ def main(argv):
                 f"(direction={direction}, tol={tol})"
             )
 
+    # A metric that existed in the baseline but vanished from the new run
+    # is a failure even when ungated: a silently dropped metric reads as
+    # "still covered" while regressions in it go blind. (Gated metrics
+    # missing from the current report were already failed above.)
+    for key in sorted(set(base_metrics) - set(cur_metrics)):
+        if key in gates:
+            continue
+        failures.append(
+            f"{key}: present in baseline but missing from current report "
+            "(metric dropped; regenerate the baseline if this is intended)"
+        )
+
     informational = sorted(set(cur_metrics) - set(gates))
     if informational:
         print("\ninformational (ungated):")
